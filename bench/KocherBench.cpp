@@ -1,0 +1,62 @@
+//===- bench/KocherBench.cpp - §4.2 test-suite detection results ------------===//
+//
+// The paper: "We use Pitchfork to detect leaks in the well-known Kocher
+// test cases [19] for Spectre v1, as well as our more extensive test
+// suite which includes Spectre v1.1 variants."  This harness prints, per
+// case: the sequential-CT baseline verdict and the SCT verdicts in both
+// checker modes, with the exploration work done.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SctChecker.h"
+#include "checker/SequentialCt.h"
+#include "support/Printing.h"
+#include "workloads/Kocher.h"
+#include "workloads/SpectreSuites.h"
+
+#include <cstdio>
+
+using namespace sct;
+
+namespace {
+
+bool reportSuite(const char *Title, const std::vector<SuiteCase> &Cases) {
+  std::printf("%s\n", Title);
+  std::vector<std::vector<std::string>> Table;
+  bool AllMatch = true;
+  for (const SuiteCase &C : Cases) {
+    bool SeqLeak = !checkSequentialCt(C.Prog).secure();
+    SctReport NoFwd = checkSct(C.Prog, v1v11Mode());
+    SctReport Fwd = checkSct(C.Prog, v4Mode());
+    bool Match = SeqLeak == C.ExpectSeqLeak &&
+                 !NoFwd.secure() == C.ExpectV1V11Leak &&
+                 !Fwd.secure() == C.ExpectV4Leak;
+    AllMatch = AllMatch && Match;
+    Table.push_back(
+        {C.Id, SeqLeak ? "leak" : "ct", !NoFwd.secure() ? "LEAK" : "secure",
+         !Fwd.secure() ? "LEAK" : "secure",
+         std::to_string(NoFwd.Exploration.TotalSteps),
+         std::to_string(Fwd.Exploration.TotalSteps),
+         Match ? "ok" : "MISMATCH"});
+  }
+  std::printf("%s\n",
+              renderTable({"case", "seq-ct", "sct (no fwd)", "sct (fwd)",
+                           "steps (no fwd)", "steps (fwd)", "expected"},
+                          Table)
+                  .c_str());
+  return AllMatch;
+}
+
+} // namespace
+
+int main() {
+  bool Ok = true;
+  Ok &= reportSuite("Kocher Spectre v1 cases (adapted, speculative-only):",
+                    kocherCases());
+  Ok &= reportSuite("Kocher original-style cases (sequentially leaky):",
+                    kocherOriginalCases());
+  Ok &= reportSuite("Spectre v1.1 suite:", spectreV11Cases());
+  Ok &= reportSuite("Spectre v4 suite:", spectreV4Cases());
+  std::printf("all verdicts %s expectations\n", Ok ? "MATCH" : "DO NOT MATCH");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+//===- examples/crypto_audit.cpp - Auditing crypto code like §4.2 -----------===//
+//
+// Drives the checker the way the paper's evaluation does: both checker
+// configurations against a small library of crypto implementations,
+// producing a per-implementation audit with witnesses for everything
+// flagged — including the Figure 10 MEE gadget, replayed in full.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SctChecker.h"
+#include "checker/SequentialCt.h"
+#include "workloads/CryptoLibs.h"
+
+#include <cstdio>
+
+using namespace sct;
+
+int main() {
+  for (const SuiteCase &C : cryptoCases()) {
+    std::printf("=== %s ===\n%s\n", C.Id.c_str(), C.Description.c_str());
+
+    // Step 0 of the paper's §4.2.1 procedure: the inputs are annotated
+    // (our regions) and the code is verified sequentially constant-time.
+    bool SeqCt = checkSequentialCt(C.Prog).secure();
+    std::printf("sequentially constant-time: %s\n", SeqCt ? "yes" : "NO");
+
+    // Step 1: Spectre v1/v1.1 hunt — bound 250, no forwarding hazards.
+    SctReport NoFwd = checkSct(C.Prog, v1v11Mode());
+    std::printf("v1/v1.1 mode: %s",
+                describeResult(C.Prog, NoFwd.Exploration).c_str());
+
+    // Step 2: only if clean, re-run with forwarding hazards at bound 20.
+    if (NoFwd.secure()) {
+      SctReport Fwd = checkSct(C.Prog, v4Mode());
+      std::printf("v4 mode:      %s",
+                  describeResult(C.Prog, Fwd.Exploration).c_str());
+      if (!Fwd.secure()) {
+        Machine M(C.Prog);
+        std::printf("\nfirst witness (forwarding-hazard attack):\n%s",
+                    describeLeak(M, Configuration::initial(C.Prog),
+                                 Fwd.Exploration.Leaks.front())
+                        .c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

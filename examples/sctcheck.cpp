@@ -1,0 +1,140 @@
+//===- examples/sctcheck.cpp - Command-line SCT checker ---------------------===//
+//
+// The Pitchfork workflow as a CLI: assemble a .sct file, check it for
+// speculative constant-time under configurable attacker power, and print
+// replayable witnesses.
+//
+//   sctcheck FILE [--bound N] [--no-fwd] [--alias] [--seq-only]
+//            [--indirect-targets a,b,..] [--rsb-targets a,b,..]
+//            [--fence-branches] [--fence-stores] [--first]
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/FenceInsertion.h"
+#include "checker/SctChecker.h"
+#include "checker/SequentialCt.h"
+#include "isa/AsmParser.h"
+#include "isa/AsmPrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace sct;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s FILE.sct [options]\n"
+      "  --bound N              speculation bound (default 20)\n"
+      "  --no-fwd               disable forwarding-hazard detection\n"
+      "  --alias                explore alias prediction (PS 3.5)\n"
+      "  --indirect-targets L   comma-separated mistraining labels (v2)\n"
+      "  --rsb-targets L        comma-separated underflow labels\n"
+      "  --seq-only             classical sequential CT check only\n"
+      "  --fence-branches       insert fences at branch targets first\n"
+      "  --fence-stores         insert fences after stores first\n"
+      "  --first                stop at the first violation\n"
+      "  --print                echo the (possibly transformed) program\n",
+      Prog);
+}
+
+std::vector<PC> parseTargets(const Program &P, const char *List) {
+  std::vector<PC> Out;
+  std::stringstream Stream(List);
+  std::string Name;
+  while (std::getline(Stream, Name, ',')) {
+    auto It = P.codeLabels().find(Name);
+    if (It == P.codeLabels().end()) {
+      std::fprintf(stderr, "error: unknown label '%s'\n", Name.c_str());
+      std::exit(2);
+    }
+    Out.push_back(It->second);
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  std::ifstream In(Argv[1]);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Argv[1]);
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  ParseResult Parsed = parseAsm(Buffer.str());
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "%s: assembly errors:\n%s", Argv[1],
+                 Parsed.errorText().c_str());
+    return 2;
+  }
+  Program Prog = std::move(*Parsed.Prog);
+
+  ExplorerOptions Opts;
+  bool SeqOnly = false, Print = false;
+  const char *IndirectList = nullptr, *RsbList = nullptr;
+  for (int I = 2; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--bound") && I + 1 < Argc)
+      Opts.SpeculationBound = static_cast<unsigned>(atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--no-fwd"))
+      Opts.ExploreForwardingHazards = false;
+    else if (!std::strcmp(Argv[I], "--alias"))
+      Opts.ExploreAliasPrediction = true;
+    else if (!std::strcmp(Argv[I], "--indirect-targets") && I + 1 < Argc)
+      IndirectList = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--rsb-targets") && I + 1 < Argc)
+      RsbList = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--seq-only"))
+      SeqOnly = true;
+    else if (!std::strcmp(Argv[I], "--fence-branches"))
+      Prog = insertFences(Prog, FencePolicy::BranchTargets);
+    else if (!std::strcmp(Argv[I], "--fence-stores"))
+      Prog = insertFences(Prog, FencePolicy::AfterStores);
+    else if (!std::strcmp(Argv[I], "--first"))
+      Opts.StopAtFirstLeak = true;
+    else if (!std::strcmp(Argv[I], "--print"))
+      Print = true;
+    else {
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+  if (IndirectList)
+    Opts.IndirectTargets = parseTargets(Prog, IndirectList);
+  if (RsbList)
+    Opts.RsbUnderflowTargets = parseTargets(Prog, RsbList);
+
+  if (Print)
+    std::printf("%s\n", printAsm(Prog).c_str());
+
+  SequentialCtReport Seq = checkSequentialCt(Prog);
+  std::printf("sequential constant-time: %s\n",
+              Seq.secure() ? "yes" : "VIOLATION");
+  for (const Observation &O : Seq.Leaks)
+    std::printf("  sequential leak: %s\n", O.str().c_str());
+  if (SeqOnly)
+    return Seq.secure() ? 0 : 1;
+
+  SctReport Report = checkSct(Prog, Opts);
+  std::printf("%s", describeResult(Prog, Report.Exploration).c_str());
+  if (!Report.secure()) {
+    Machine M(Prog);
+    std::printf("\n%s", describeLeak(M, Configuration::initial(Prog),
+                                     Report.Exploration.Leaks.front())
+                            .c_str());
+  }
+  return Report.secure() && Seq.secure() ? 0 : 1;
+}

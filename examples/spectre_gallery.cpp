@@ -1,0 +1,64 @@
+//===- examples/spectre_gallery.cpp - Every Spectre variant, end to end -----===//
+//
+// A tour of the attack classes the semantics captures — v1 (Figure 1),
+// v1.1 (Figure 6), v4 (Figure 7), v2 (Figure 11), ret2spec (Figure 12),
+// and the hypothetical aliasing predictor (Figure 2) — each with its
+// paper walkthrough replayed and the checker knob that exposes it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SctChecker.h"
+#include "sched/Executor.h"
+#include "workloads/Figures.h"
+
+#include <cstdio>
+
+using namespace sct;
+
+namespace {
+
+void tour(const FigureCase &C, const char *Variant, const char *Knob) {
+  std::printf("--- %s (%s) ---\n", Variant, C.Name.c_str());
+  std::printf("%s\n", C.Description.c_str());
+  std::printf("checker knob: %s\n", Knob);
+
+  Machine M(C.Prog);
+  if (!C.PaperSchedule.empty()) {
+    RunResult R =
+        runSchedule(M, Configuration::initial(C.Prog), C.PaperSchedule);
+    std::printf("paper schedule: %s\n", printSchedule(C.PaperSchedule).c_str());
+    std::printf("leakage trace:  ");
+    bool First = true;
+    for (const Observation &O : R.observations()) {
+      std::printf("%s%s", First ? "" : "; ", O.str().c_str());
+      First = false;
+    }
+    std::printf("\n");
+  }
+  SctReport Report = checkSct(C.Prog, C.CheckOpts);
+  std::printf("verdict: %s (expected %s)\n\n",
+              Report.secure() ? "secure" : "VIOLATION",
+              C.ExpectLeak ? "violation" : "secure");
+}
+
+} // namespace
+
+int main() {
+  tour(figure1(), "Spectre v1 — bounds check bypass",
+       "default exploration (branch mispredict forks)");
+  tour(figure6(), "Spectre v1.1 — speculative store forward",
+       "v1v11Mode(): bound 250, no forwarding-hazard forks needed");
+  tour(figure7(), "Spectre v4 — speculative store bypass",
+       "v4Mode(): forwarding-hazard detection on, bound 20");
+  tour(figure2(), "Aliasing predictor (hypothetical, §3.5)",
+       "ExploreAliasPrediction = true");
+  tour(figure11(), "Spectre v2 — mistrained indirect branch",
+       "IndirectTargets = {gadget}");
+  tour(figure12(), "ret2spec — RSB underflow",
+       "RsbUnderflowTargets = {gadget}");
+  tour(figure8(), "v1 + fence mitigation (Figure 8)",
+       "any — the fence blocks the loads");
+  tour(figure13(), "v2 + retpoline mitigation (Figure 13)",
+       "all attacker knobs on — speculation only reaches the trap");
+  return 0;
+}

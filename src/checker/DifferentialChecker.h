@@ -1,0 +1,69 @@
+//===- checker/DifferentialChecker.h - Definition 3.1, literally -*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Speculative constant-time by its definition (3.1): for low-equivalent
+/// configurations C ≃pub C' and any schedule D, the two runs must produce
+/// identical observation traces (and remain low-equivalent).  This checker
+/// instantiates the secrets of a program with fresh random values to
+/// manufacture low-equivalent pairs and replays a schedule on both.
+///
+/// It cross-validates the label-based checker: every label-flagged leak
+/// should be realizable as a concrete trace divergence for some secret
+/// pair (taint is an over-approximation, so the converse direction — no
+/// divergence found — is only evidence, not proof).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CHECKER_DIFFERENTIALCHECKER_H
+#define SCT_CHECKER_DIFFERENTIALCHECKER_H
+
+#include "sched/Executor.h"
+
+namespace sct {
+
+/// Outcome of running one schedule on a low-equivalent pair.
+struct DifferentialOutcome {
+  RunResult A;
+  RunResult B;
+  /// Both runs accepted the same prefix of the schedule and produced
+  /// attacker-equal traces.
+  bool TracesEqual = false;
+  /// Index (into the observation list) of the first divergence.
+  size_t FirstDivergence = 0;
+
+  /// A divergence in traces or in schedule well-formedness — a concrete
+  /// SCT counterexample.
+  bool violation() const { return !TracesEqual; }
+};
+
+/// Returns a copy of \p Init whose secret-labelled memory words are
+/// replaced by fresh pseudo-random values (seeded by \p Seed); the result
+/// is ≃pub-equivalent to \p Init by construction.
+Configuration mutateSecrets(const Program &P, const Configuration &Init,
+                            uint64_t Seed);
+
+/// Returns a copy of \p Init with every secret-labelled memory word set to
+/// \p Bits.  Targeted pairs (e.g. all-0 vs all-42) expose leaks that random
+/// sampling rarely hits, such as equality tests against a constant.
+Configuration fillSecrets(const Program &P, const Configuration &Init,
+                          uint64_t Bits);
+
+/// Runs \p D on \p A and \p B and compares traces step-aligned.
+DifferentialOutcome runPair(const Machine &M, Configuration A,
+                            Configuration B, const Schedule &D);
+
+/// Differential check of one schedule: tries \p Pairs random secret
+/// instantiations against the program's own initial configuration.
+/// Returns the first violating outcome, if any.
+std::optional<DifferentialOutcome>
+checkScheduleDifferentially(const Machine &M, const Schedule &D,
+                            unsigned Pairs = 8, uint64_t Seed = 1);
+
+} // namespace sct
+
+#endif // SCT_CHECKER_DIFFERENTIALCHECKER_H

@@ -1,0 +1,45 @@
+//===- checker/FenceInsertion.cpp - Speculation-barrier mitigation ----------===//
+
+#include "checker/FenceInsertion.h"
+
+#include "checker/ProgramRewriter.h"
+
+#include <set>
+
+using namespace sct;
+
+Program sct::insertFences(const Program &P, FencePolicy Policy) {
+  ProgramRewriter RW(P);
+  std::set<PC> FenceAt;
+
+  bool WantBranches = Policy == FencePolicy::BranchTargets ||
+                      Policy == FencePolicy::BranchTargetsAndStores;
+  bool WantStores = Policy == FencePolicy::AfterStores ||
+                    Policy == FencePolicy::BranchTargetsAndStores;
+
+  for (PC N = 0; N < P.endPC(); ++N) {
+    const Instruction &I = P.at(N);
+    if (WantBranches && I.is(InstrKind::Branch)) {
+      // Unconditional encodings (jmp) never misspeculate; skip them.
+      if (I.trueTarget() != I.falseTarget() ||
+          I.opcode() != Opcode::True) {
+        FenceAt.insert(I.trueTarget());
+        FenceAt.insert(I.falseTarget());
+      }
+    }
+    if (WantStores && I.is(InstrKind::Store))
+      FenceAt.insert(I.next());
+  }
+
+  for (PC At : FenceAt)
+    RW.insertBefore(At, Instruction::makeFence());
+  return RW.apply();
+}
+
+size_t sct::countFences(const Program &P) {
+  size_t Count = 0;
+  for (PC N = 0; N < P.endPC(); ++N)
+    if (P.at(N).is(InstrKind::Fence))
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,44 @@
+//===- checker/FenceInsertion.h - Speculation-barrier mitigation -*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fence-insertion mitigations (§3.6, Figure 8): a `fence` placed in the
+/// shadow of a conditional branch keeps younger instructions from
+/// executing until the branch has resolved, defeating Spectre v1/v1.1;
+/// a fence after every store defeats Spectre v4 (the younger load cannot
+/// execute until the store has retired its value to memory).
+///
+/// The paper notes fences do *not* help against mistrained indirect jumps
+/// (Figure 11) — use the retpoline transform for those.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CHECKER_FENCEINSERTION_H
+#define SCT_CHECKER_FENCEINSERTION_H
+
+#include "isa/Program.h"
+
+namespace sct {
+
+/// Where fences go.
+enum class FencePolicy : unsigned char {
+  BranchTargets,          ///< Before both targets of every branch (v1/v1.1).
+  AfterStores,            ///< After every store (v4).
+  BranchTargetsAndStores, ///< Union of the two.
+};
+
+/// Returns a copy of \p P with fences inserted per \p Policy; all
+/// control-flow targets are relocated.  Programs that stash code pointers
+/// in data words (jump tables) are not relocatable by this pass.
+Program insertFences(const Program &P, FencePolicy Policy);
+
+/// Number of fence instructions in \p P (mitigation-cost metric).
+size_t countFences(const Program &P);
+
+} // namespace sct
+
+#endif // SCT_CHECKER_FENCEINSERTION_H

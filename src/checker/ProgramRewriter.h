@@ -1,0 +1,83 @@
+//===- checker/ProgramRewriter.h - Structured program rewriting -*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small rewriting engine for program transformations (the fence and
+/// retpoline mitigations): insert instructions before existing program
+/// points, replace instructions with sequences, and append fresh blocks,
+/// with all control-flow targets — branch targets, callees, successors,
+/// the entry point, code labels, and designated code-pointer data words —
+/// remapped to the new layout.
+///
+/// Instructions given to the rewriter express control flow in *old*
+/// program-point coordinates (or virtual points returned by append());
+/// apply() relocates them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CHECKER_PROGRAMREWRITER_H
+#define SCT_CHECKER_PROGRAMREWRITER_H
+
+#include "isa/Program.h"
+
+#include <map>
+
+namespace sct {
+
+/// Rewrites one program.
+class ProgramRewriter {
+public:
+  /// Sentinel successor: apply() points the instruction at itself (used
+  /// for the self-looping fence trap of the retpoline construction).
+  static constexpr PC SelfLoop = 0xFFFFFFFF;
+
+  explicit ProgramRewriter(const Program &P) : Orig(P) {}
+
+  /// Inserts \p I immediately before old program point \p At; everything
+  /// that targeted \p At now targets the inserted instruction.  Multiple
+  /// insertions at one point keep their call order.  \p At may be the old
+  /// end point (appending an epilogue).
+  void insertBefore(PC At, Instruction I);
+
+  /// Replaces the instruction at old point \p At with \p Seq (straight-
+  /// line; the last element falls through to the old successor unless it
+  /// has explicit targets).
+  void replace(PC At, std::vector<Instruction> Seq);
+
+  /// Appends a fresh block after the program; returns the virtual program
+  /// point of its first instruction, usable as a branch/call target in
+  /// other rewriter instructions.
+  PC append(std::vector<Instruction> Block);
+
+  /// Declares that the data word initialised at \p Addr holds a code
+  /// pointer and must be remapped.
+  void markCodePointer(uint64_t Addr) { CodePointers.push_back(Addr); }
+
+  /// Declares an extra (scratch) register for use by rewritten code;
+  /// usable in rewriter instructions immediately.
+  Reg scratchReg(const std::string &Name);
+
+  /// Runs the rewrite.
+  Program apply();
+
+  /// After apply(): the new location of old (or virtual) point \p OldPC.
+  PC newPC(PC OldPC) const;
+
+private:
+  const Program &Orig;
+  std::map<PC, std::vector<Instruction>> Inserted;
+  std::map<PC, std::vector<Instruction>> Replaced;
+  std::vector<std::vector<Instruction>> Appended;
+  std::vector<uint64_t> CodePointers;
+  std::vector<std::string> ExtraRegs;
+  std::map<PC, PC> Remap;
+  bool Applied = false;
+};
+
+} // namespace sct
+
+#endif // SCT_CHECKER_PROGRAMREWRITER_H

@@ -1,0 +1,53 @@
+//===- checker/Retpoline.cpp - The retpoline mitigation ---------------------===//
+
+#include "checker/Retpoline.h"
+
+#include "checker/ProgramRewriter.h"
+
+using namespace sct;
+
+RetpolineResult sct::retpolineTransform(
+    const Program &P, const std::vector<uint64_t> &CodePointerAddrs) {
+  ProgramRewriter RW(P);
+  for (uint64_t Addr : CodePointerAddrs)
+    RW.markCodePointer(Addr);
+
+  bool HasJumpI = false;
+  for (PC N = 0; N < P.endPC(); ++N)
+    if (P.at(N).is(InstrKind::JumpI))
+      HasJumpI = true;
+  if (!HasJumpI)
+    return {RW.apply(), 0};
+
+  Reg Scratch = RW.scratchReg("rretp");
+  unsigned Rewritten = 0;
+
+  for (PC N = 0; N < P.endPC(); ++N) {
+    const Instruction &I = P.at(N);
+    if (!I.is(InstrKind::JumpI))
+      continue;
+    ++Rewritten;
+
+    // Body: fold the target address into the scratch register (sum
+    // addressing), overwrite the saved return address, return.
+    std::vector<Instruction> Body;
+    const std::vector<Operand> &Args = I.args();
+    Body.push_back(
+        Instruction::makeOp(Scratch, Opcode::Mov, {Args[0]}));
+    for (size_t A = 1; A < Args.size(); ++A)
+      Body.push_back(Instruction::makeOp(
+          Scratch, Opcode::Add, {Operand::reg(Scratch), Args[A]}));
+    Body.push_back(Instruction::makeStore(Operand::reg(Scratch),
+                                          {Operand::reg(Reg::sp())}));
+    Body.push_back(Instruction::makeRet());
+    PC BodyPC = RW.append(std::move(Body));
+
+    // Replacement: call the body; the fall-through slot is the
+    // self-looping fence trap the RSB will predict.
+    Instruction Trap = Instruction::makeFence();
+    Trap.setNext(ProgramRewriter::SelfLoop);
+    RW.replace(N, {Instruction::makeCall(BodyPC), std::move(Trap)});
+  }
+
+  return {RW.apply(), Rewritten};
+}

@@ -1,0 +1,50 @@
+//===- checker/Retpoline.h - The retpoline mitigation ----------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retpoline construction (Appendix A.2, Figure 13): each indirect
+/// jump `jmpi [args]` becomes
+///
+///     call body          ; pushes the *trap* as the predicted return
+///   trap:
+///     fence trap         ; self-looping speculation sink
+///   body:
+///     rretp = <args sum> ; compute the real target
+///     store rretp, [rsp] ; overwrite the saved return address
+///     ret                ; RSB predicts the trap; the resolved jump
+///                        ; rolls back and lands on the real target
+///
+/// Speculative execution can only ever reach the fence trap; the attacker
+/// never steers the transient target (the paper's Figure 13 walkthrough).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CHECKER_RETPOLINE_H
+#define SCT_CHECKER_RETPOLINE_H
+
+#include "isa/Program.h"
+
+namespace sct {
+
+/// Result of the transform.
+struct RetpolineResult {
+  Program Prog;
+  /// Number of indirect jumps rewritten.
+  unsigned Rewritten = 0;
+};
+
+/// Rewrites every `jmpi` in \p P into a retpoline.  \p CodePointerAddrs
+/// lists data addresses whose initial words are code pointers (jump
+/// tables) and must be relocated along with the code.  Requires the
+/// sum addressing mode (the default).
+RetpolineResult retpolineTransform(const Program &P,
+                                   const std::vector<uint64_t>
+                                       &CodePointerAddrs = {});
+
+} // namespace sct
+
+#endif // SCT_CHECKER_RETPOLINE_H

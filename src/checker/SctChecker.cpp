@@ -1,0 +1,44 @@
+//===- checker/SctChecker.cpp - The Pitchfork-style SCT checker -------------===//
+
+#include "checker/SctChecker.h"
+
+using namespace sct;
+
+ExplorerOptions sct::v1v11Mode() {
+  ExplorerOptions Opts;
+  Opts.SpeculationBound = 250;
+  Opts.ExploreForwardingHazards = false;
+  return Opts;
+}
+
+ExplorerOptions sct::v4Mode() {
+  ExplorerOptions Opts;
+  Opts.SpeculationBound = 20;
+  Opts.ExploreForwardingHazards = true;
+  return Opts;
+}
+
+SctReport sct::checkSct(const Program &P, const ExplorerOptions &Opts,
+                        const MachineOptions &MOpts) {
+  Machine M(P, MOpts);
+  SctReport R;
+  R.Opts = Opts;
+  R.Exploration = explore(M, Configuration::initial(P), Opts);
+  return R;
+}
+
+std::string TwoModeReport::cell() const {
+  if (flaggedWithoutForwarding())
+    return "x";
+  if (flaggedOnlyWithForwarding())
+    return "f";
+  return "-";
+}
+
+TwoModeReport sct::checkSctBothModes(const Program &P,
+                                     const MachineOptions &MOpts) {
+  TwoModeReport R;
+  R.V1V11 = checkSct(P, v1v11Mode(), MOpts);
+  R.V4 = checkSct(P, v4Mode(), MOpts);
+  return R;
+}

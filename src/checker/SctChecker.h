@@ -1,0 +1,72 @@
+//===- checker/SctChecker.h - The Pitchfork-style SCT checker --*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The speculative constant-time checker (§4): explores the worst-case
+/// attacker schedules DT(n) and flags secret-labelled observations.  By
+/// label soundness (Theorem B.9 and the discussion of §3.1), a program
+/// whose explored traces carry no secret label satisfies SCT for all
+/// schedules within the speculation bound; a secret-labelled observation
+/// is a replayable violation witness.
+///
+/// The two evaluation modes of §4.2.1 are packaged as presets:
+///   - `v1v11Mode()`  — speculation bound 250, forwarding-hazard
+///     detection off (Spectre v1 / v1.1 only);
+///   - `v4Mode()`     — speculation bound 20, forwarding-hazard
+///     detection on (adds Spectre v4 / stale forwards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CHECKER_SCTCHECKER_H
+#define SCT_CHECKER_SCTCHECKER_H
+
+#include "checker/Violation.h"
+#include "sched/ScheduleExplorer.h"
+
+namespace sct {
+
+/// A full checker verdict for one program.
+struct SctReport {
+  ExploreResult Exploration;
+  /// The options used (for reporting).
+  ExplorerOptions Opts;
+
+  bool secure() const { return Exploration.secure(); }
+};
+
+/// Checker presets mirroring §4.2.1.
+ExplorerOptions v1v11Mode();
+ExplorerOptions v4Mode();
+
+/// Checks \p P from its initial configuration under \p Opts.
+SctReport checkSct(const Program &P, const ExplorerOptions &Opts,
+                   const MachineOptions &MOpts = {});
+
+/// Convenience: checks under both §4.2.1 modes; returns the pair
+/// (v1/v1.1 verdict, v4 verdict).  The paper's Table 2 `f` marker means
+/// "first secure, second insecure".
+struct TwoModeReport {
+  SctReport V1V11;
+  SctReport V4;
+
+  bool flaggedWithoutForwarding() const { return !V1V11.secure(); }
+  bool flaggedOnlyWithForwarding() const {
+    return V1V11.secure() && !V4.secure();
+  }
+  bool secure() const { return V1V11.secure() && V4.secure(); }
+
+  /// Table-2 cell: "✓" flagged without forwarding, "f" only with, "—"
+  /// clean.
+  std::string cell() const;
+};
+
+TwoModeReport checkSctBothModes(const Program &P,
+                                const MachineOptions &MOpts = {});
+
+} // namespace sct
+
+#endif // SCT_CHECKER_SCTCHECKER_H

@@ -1,0 +1,17 @@
+//===- checker/SequentialCt.cpp - Classical constant-time baseline ----------===//
+
+#include "checker/SequentialCt.h"
+
+using namespace sct;
+
+SequentialCtReport sct::checkSequentialCt(const Program &P,
+                                          const MachineOptions &MOpts,
+                                          size_t MaxRetires) {
+  Machine M(P, MOpts);
+  SequentialCtReport R;
+  R.Seq = runSequential(M, Configuration::initial(P), MaxRetires);
+  for (const StepRecord &S : R.Seq.Run.Trace)
+    if (S.Obs.isSecret())
+      R.Leaks.push_back(S.Obs);
+  return R;
+}

@@ -1,0 +1,42 @@
+//===- checker/SequentialCt.h - Classical constant-time baseline -*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical ("decade-old", §1) constant-time discipline as a checker:
+/// run the canonical *sequential* schedule and flag secret-labelled
+/// observations — secret branches, secret-indexed accesses.  This is the
+/// baseline both motivating examples of §2 satisfy while still leaking
+/// speculatively, and Proposition B.11's weaker property (SCT ⟹
+/// sequential CT, never the converse).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CHECKER_SEQUENTIALCT_H
+#define SCT_CHECKER_SEQUENTIALCT_H
+
+#include "sched/SequentialScheduler.h"
+
+namespace sct {
+
+/// Verdict of the sequential constant-time baseline.
+struct SequentialCtReport {
+  SequentialResult Seq;
+  /// Secret-labelled observations in program order.
+  std::vector<Observation> Leaks;
+
+  bool secure() const { return Leaks.empty(); }
+};
+
+/// Runs the canonical sequential schedule of \p P and collects
+/// secret-labelled observations.
+SequentialCtReport checkSequentialCt(const Program &P,
+                                     const MachineOptions &MOpts = {},
+                                     size_t MaxRetires = 1 << 20);
+
+} // namespace sct
+
+#endif // SCT_CHECKER_SEQUENTIALCT_H

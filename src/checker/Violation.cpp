@@ -1,0 +1,43 @@
+//===- checker/Violation.cpp - SCT violation reports -------------------------===//
+
+#include "checker/Violation.h"
+
+#include "isa/AsmPrinter.h"
+
+using namespace sct;
+
+std::string sct::summarizeLeak(const Program &P, const LeakRecord &L) {
+  std::string Where = "pc " + std::to_string(L.Origin);
+  if (auto Name = P.labelAt(L.Origin))
+    Where += " (" + *Name + ")";
+  std::string Instr =
+      P.contains(L.Origin) ? printInstruction(P, L.Origin) : "<expanded>";
+  return "leak at " + Where + ": `" + Instr + "` emits " + L.Obs.str() +
+         " via " + std::string(ruleName(L.Rule)) + " after " +
+         std::to_string(L.Sched.size()) + " directives";
+}
+
+std::string sct::describeLeak(const Machine &M, const Configuration &Init,
+                              const LeakRecord &L) {
+  std::string Out = summarizeLeak(M.program(), L) + "\n";
+  Out += "witness schedule: " + printSchedule(L.Sched) + "\n";
+  Out += printRun(M, Init, L.Sched);
+  return Out;
+}
+
+std::string sct::describeResult(const Program &P, const ExploreResult &R) {
+  std::string Out;
+  if (R.secure()) {
+    Out = "no speculative constant-time violation found (";
+    Out += std::to_string(R.SchedulesCompleted) + " schedules, " +
+           std::to_string(R.TotalSteps) + " steps";
+    Out += R.Truncated ? ", TRUNCATED)\n" : ")\n";
+    return Out;
+  }
+  Out = "VIOLATION: " + std::to_string(R.Leaks.size()) + " distinct leak(s), " +
+        std::to_string(R.LeakEvents) + " leak event(s) across " +
+        std::to_string(R.SchedulesCompleted) + " schedules\n";
+  for (const LeakRecord &L : R.Leaks)
+    Out += "  - " + summarizeLeak(P, L) + "\n";
+  return Out;
+}

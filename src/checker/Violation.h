@@ -1,0 +1,37 @@
+//===- checker/Violation.h - SCT violation reports -------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable reports for speculative constant-time violations: the
+/// leaking instruction, which secret reaches the observation, and the
+/// replayable attacker schedule that witnesses it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CHECKER_VIOLATION_H
+#define SCT_CHECKER_VIOLATION_H
+
+#include "sched/ScheduleExplorer.h"
+
+#include <string>
+
+namespace sct {
+
+/// Renders one leak as a short single-line summary.
+std::string summarizeLeak(const Program &P, const LeakRecord &L);
+
+/// Renders one leak in full: summary, the witness schedule, and the
+/// replayed directive/effect/leakage table (paper-figure style).
+std::string describeLeak(const Machine &M, const Configuration &Init,
+                         const LeakRecord &L);
+
+/// Renders an exploration result: verdict plus one summary line per leak.
+std::string describeResult(const Program &P, const ExploreResult &R);
+
+} // namespace sct
+
+#endif // SCT_CHECKER_VIOLATION_H

@@ -1,0 +1,17 @@
+//===- core/Configuration.cpp - Machine configurations ----------------------===//
+
+#include "core/Configuration.h"
+
+using namespace sct;
+
+Configuration Configuration::initial(const Program &P) {
+  Configuration C;
+  C.Regs = RegisterFile(P.numRegs());
+  for (const auto &[R, V] : P.regInits())
+    C.Regs.set(R, Value::pub(V));
+  C.Mem = Memory(P.regions());
+  for (const auto &[Addr, V] : P.memInits())
+    C.Mem.store(Addr, Value(V, C.Mem.defaultLabel(Addr)));
+  C.N = P.entry();
+  return C;
+}

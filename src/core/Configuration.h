@@ -1,0 +1,68 @@
+//===- core/Configuration.h - Machine configurations -----------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configurations `C = (ρ, µ, n, buf)` (§3), extended with the return
+/// stack buffer σ of Appendix A.2.  Also defines the two equivalences the
+/// paper's metatheory uses:
+///  - `≈`  (sameArchState): registers and memory equal, speculative state
+///    ignored — used by sequential-equivalence (Theorem 3.2);
+///  - `≃pub` (lowEquivalent): agreement on all labels and on public
+///    values — the indistinguishability underlying SCT (Definition 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CORE_CONFIGURATION_H
+#define SCT_CORE_CONFIGURATION_H
+
+#include "core/Memory.h"
+#include "core/RegisterFile.h"
+#include "core/ReorderBuffer.h"
+#include "core/ReturnStackBuffer.h"
+
+namespace sct {
+
+/// A machine configuration.
+struct Configuration {
+  RegisterFile Regs;
+  Memory Mem;
+  PC N = 0;
+  ReorderBuffer Buf;
+  ReturnStackBuffer Rsb;
+
+  /// Builds the initial configuration of \p P: registers and memory from
+  /// the program's init lists, program point at the entry, empty buffers.
+  static Configuration initial(const Program &P);
+
+  /// The paper's `≈`: equal registers and memory (speculative state — buf,
+  /// σ, and the program point — may differ).
+  bool sameArchState(const Configuration &Other) const {
+    return Regs == Other.Regs && Mem == Other.Mem;
+  }
+
+  /// The paper's `≃pub`: configurations coincide on public values in
+  /// registers and memory (labels must agree everywhere).
+  bool lowEquivalent(const Configuration &Other) const {
+    return Regs.lowEquivalent(Other.Regs) && Mem.lowEquivalent(Other.Mem);
+  }
+
+  /// Terminal configuration (Definition B.2): empty reorder buffer.  The
+  /// run has additionally finished when no instruction remains to fetch.
+  bool isTerminal() const { return Buf.empty(); }
+
+  /// True iff the run can make no further progress: nothing speculative in
+  /// flight and the program point is outside the text section.
+  bool isFinal(const Program &P) const {
+    return Buf.empty() && !P.contains(N);
+  }
+
+  bool operator==(const Configuration &Other) const = default;
+};
+
+} // namespace sct
+
+#endif // SCT_CORE_CONFIGURATION_H

@@ -1,0 +1,28 @@
+//===- core/Directive.cpp - Attacker directives -----------------------------===//
+
+#include "core/Directive.h"
+
+using namespace sct;
+
+std::string Directive::str() const {
+  switch (K) {
+  case Kind::Fetch:
+    return "fetch";
+  case Kind::FetchBool:
+    return Guess ? "fetch: true" : "fetch: false";
+  case Kind::FetchTarget:
+    return "fetch: " + std::to_string(Target);
+  case Kind::Execute:
+    return "execute " + std::to_string(Idx);
+  case Kind::ExecuteValue:
+    return "execute " + std::to_string(Idx) + " : value";
+  case Kind::ExecuteAddr:
+    return "execute " + std::to_string(Idx) + " : addr";
+  case Kind::ExecuteFwd:
+    return "execute " + std::to_string(Idx) + " : fwd " +
+           std::to_string(FwdFrom);
+  case Kind::Retire:
+    return "retire";
+  }
+  return "<invalid>";
+}

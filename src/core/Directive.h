@@ -1,0 +1,114 @@
+//===- core/Directive.h - Attacker directives ------------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Attacker directives (§2, §3): the adversary resolves all scheduling and
+/// prediction non-determinism by supplying a sequence of directives, which
+/// is how the semantics abstracts over every possible predictor.
+///
+///   fetch                 fetch the next instruction
+///   fetch: b              fetch a conditional branch, guessing b
+///   fetch: n              fetch an indirect jump / RSB-empty ret,
+///                         predicting target n
+///   execute i             execute buffer entry i
+///   execute i : value     resolve the value of store i
+///   execute i : addr      resolve the address of store i
+///   execute i : fwd j     alias-predict: forward store j's data to load i
+///   retire                retire the oldest buffer entry
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CORE_DIRECTIVE_H
+#define SCT_CORE_DIRECTIVE_H
+
+#include "core/TransientInstr.h"
+
+#include <string>
+
+namespace sct {
+
+/// One attacker directive.
+struct Directive {
+  enum class Kind : unsigned char {
+    Fetch,        ///< fetch
+    FetchBool,    ///< fetch: true / fetch: false
+    FetchTarget,  ///< fetch: n
+    Execute,      ///< execute i
+    ExecuteValue, ///< execute i : value
+    ExecuteAddr,  ///< execute i : addr
+    ExecuteFwd,   ///< execute i : fwd j
+    Retire,       ///< retire
+  };
+
+  Kind K = Kind::Fetch;
+  bool Guess = false;  ///< FetchBool: the guessed branch direction.
+  PC Target = 0;       ///< FetchTarget: the predicted program point.
+  BufIdx Idx = 0;      ///< Execute*: the buffer index i.
+  BufIdx FwdFrom = 0;  ///< ExecuteFwd: the originating store j.
+
+  static Directive fetch() { return {}; }
+  static Directive fetchBool(bool B) {
+    Directive D;
+    D.K = Kind::FetchBool;
+    D.Guess = B;
+    return D;
+  }
+  static Directive fetchTarget(PC N) {
+    Directive D;
+    D.K = Kind::FetchTarget;
+    D.Target = N;
+    return D;
+  }
+  static Directive execute(BufIdx I) {
+    Directive D;
+    D.K = Kind::Execute;
+    D.Idx = I;
+    return D;
+  }
+  static Directive executeValue(BufIdx I) {
+    Directive D;
+    D.K = Kind::ExecuteValue;
+    D.Idx = I;
+    return D;
+  }
+  static Directive executeAddr(BufIdx I) {
+    Directive D;
+    D.K = Kind::ExecuteAddr;
+    D.Idx = I;
+    return D;
+  }
+  static Directive executeFwd(BufIdx I, BufIdx J) {
+    Directive D;
+    D.K = Kind::ExecuteFwd;
+    D.Idx = I;
+    D.FwdFrom = J;
+    return D;
+  }
+  static Directive retire() {
+    Directive D;
+    D.K = Kind::Retire;
+    return D;
+  }
+
+  bool isFetch() const {
+    return K == Kind::Fetch || K == Kind::FetchBool || K == Kind::FetchTarget;
+  }
+  bool isExecute() const {
+    return K == Kind::Execute || K == Kind::ExecuteValue ||
+           K == Kind::ExecuteAddr || K == Kind::ExecuteFwd;
+  }
+  bool isRetire() const { return K == Kind::Retire; }
+
+  bool operator==(const Directive &Other) const = default;
+
+  /// Renders the paper's notation, e.g. "execute 3 : addr".
+  std::string str() const;
+};
+
+} // namespace sct
+
+#endif // SCT_CORE_DIRECTIVE_H

@@ -1,0 +1,131 @@
+//===- core/Eval.cpp - The evaluation functions J·K --------------------------===//
+
+#include "core/Eval.h"
+
+using namespace sct;
+
+Value sct::evalOp(Opcode Opc, const std::vector<Value> &Args,
+                  const MachineOptions &Opts) {
+  assert(Args.size() == opcodeArity(Opc) && "operand count mismatch");
+  Label L = Label::publicLabel();
+  for (const Value &V : Args)
+    L = L.join(V.Taint);
+
+  auto A = [&](size_t I) { return Args[I].Bits; };
+  uint64_t R = 0;
+  switch (Opc) {
+  case Opcode::Add:
+    R = A(0) + A(1);
+    break;
+  case Opcode::Sub:
+    R = A(0) - A(1);
+    break;
+  case Opcode::Mul:
+    R = A(0) * A(1);
+    break;
+  case Opcode::UDiv:
+    R = A(1) == 0 ? 0 : A(0) / A(1);
+    break;
+  case Opcode::URem:
+    R = A(1) == 0 ? A(0) : A(0) % A(1);
+    break;
+  case Opcode::And:
+    R = A(0) & A(1);
+    break;
+  case Opcode::Or:
+    R = A(0) | A(1);
+    break;
+  case Opcode::Xor:
+    R = A(0) ^ A(1);
+    break;
+  case Opcode::Shl:
+    R = A(0) << (A(1) & 63);
+    break;
+  case Opcode::Shr:
+    R = A(0) >> (A(1) & 63);
+    break;
+  case Opcode::Not:
+    R = ~A(0);
+    break;
+  case Opcode::Neg:
+    R = 0 - A(0);
+    break;
+  case Opcode::Mov:
+    R = A(0);
+    break;
+  case Opcode::Select:
+    R = A(0) != 0 ? A(1) : A(2);
+    break;
+  case Opcode::Eq:
+    R = A(0) == A(1);
+    break;
+  case Opcode::Ne:
+    R = A(0) != A(1);
+    break;
+  case Opcode::Ult:
+    R = A(0) < A(1);
+    break;
+  case Opcode::Ule:
+    R = A(0) <= A(1);
+    break;
+  case Opcode::Ugt:
+    R = A(0) > A(1);
+    break;
+  case Opcode::Uge:
+    R = A(0) >= A(1);
+    break;
+  case Opcode::Slt:
+    R = static_cast<int64_t>(A(0)) < static_cast<int64_t>(A(1));
+    break;
+  case Opcode::Sle:
+    R = static_cast<int64_t>(A(0)) <= static_cast<int64_t>(A(1));
+    break;
+  case Opcode::Sgt:
+    R = static_cast<int64_t>(A(0)) > static_cast<int64_t>(A(1));
+    break;
+  case Opcode::Sge:
+    R = static_cast<int64_t>(A(0)) >= static_cast<int64_t>(A(1));
+    break;
+  case Opcode::True:
+    R = 1;
+    break;
+  case Opcode::False:
+    R = 0;
+    break;
+  case Opcode::Succ:
+    R = Opts.StackGrowsDown ? A(0) - Opts.StackStep : A(0) + Opts.StackStep;
+    break;
+  case Opcode::Pred:
+    R = Opts.StackGrowsDown ? A(0) + Opts.StackStep : A(0) - Opts.StackStep;
+    break;
+  }
+  return Value(R, L);
+}
+
+Value sct::evalAddr(const std::vector<Value> &Args,
+                    const MachineOptions &Opts) {
+  assert(!Args.empty() && "address computation needs operands");
+  Label L = Label::publicLabel();
+  for (const Value &V : Args)
+    L = L.join(V.Taint);
+
+  uint64_t A = 0;
+  switch (Opts.Addressing) {
+  case AddrMode::Sum:
+    for (const Value &V : Args)
+      A += V.Bits;
+    break;
+  case AddrMode::BaseIndexScale:
+    if (Args.size() >= 3) {
+      A = Args[0].Bits + Args[1].Bits * Args[2].Bits;
+      // Trailing operands beyond the triple are summed in.
+      for (size_t I = 3; I < Args.size(); ++I)
+        A += Args[I].Bits;
+    } else {
+      for (const Value &V : Args)
+        A += V.Bits;
+    }
+    break;
+  }
+  return Value(A, L);
+}

@@ -1,0 +1,65 @@
+//===- core/Eval.h - The evaluation functions J·K --------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation function J·K for operations and the abstract address
+/// operator Jaddr(·)K (§3.4, "Address calculation").  The paper keeps both
+/// abstract; we provide total 64-bit semantics and two addressing modes:
+/// the simple sum of operands (used in all paper figures) and an
+/// x86-style base + index·scale mode.
+///
+/// Labels propagate conservatively: the result label is the join of all
+/// operand labels (for Select, including the selector — the selected value
+/// depends on it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CORE_EVAL_H
+#define SCT_CORE_EVAL_H
+
+#include "core/ReturnStackBuffer.h"
+#include "core/Value.h"
+#include "isa/Opcode.h"
+
+#include <vector>
+
+namespace sct {
+
+/// How Jaddr(v⃗)K combines operands.
+enum class AddrMode : unsigned char {
+  Sum,            ///< a = v1 + v2 + ... (paper's simple mode).
+  BaseIndexScale, ///< a = v1 + v2·v3 (x86-style); fewer operands sum.
+};
+
+/// Knobs for the abstract parts of the semantics.  Defaults match the
+/// paper's figures.
+struct MachineOptions {
+  AddrMode Addressing = AddrMode::Sum;
+  /// Stack direction for the abstract succ/pred of Appendix A.2.
+  bool StackGrowsDown = true;
+  /// Stack step in words (memory is word-addressed).
+  uint64_t StackStep = 1;
+  /// ret behaviour on empty RSB.
+  RsbPolicy RsbOnEmpty = RsbPolicy::AttackerChoice;
+  /// Slots of the circular RSB model (RsbPolicy::Circular).
+  unsigned RsbCircularSize = 16;
+};
+
+/// Evaluates Jop(v⃗)K; total on all inputs (division by zero yields 0,
+/// shifts are modulo 64).
+Value evalOp(Opcode Opc, const std::vector<Value> &Args,
+             const MachineOptions &Opts);
+
+/// Evaluates Jaddr(v⃗)K; result label is the join of operand labels.
+Value evalAddr(const std::vector<Value> &Args, const MachineOptions &Opts);
+
+/// Branch-condition truth: nonzero is true.
+inline bool truthy(const Value &V) { return V.Bits != 0; }
+
+} // namespace sct
+
+#endif // SCT_CORE_EVAL_H

@@ -1,0 +1,135 @@
+//===- core/Machine.h - The small-step speculative semantics ---*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine: one step `C ↪—o—↪_d C'` of the paper's three-stage
+/// (fetch / execute / retire) out-of-order, speculative semantics.  Every
+/// inference rule of §3.3–3.7 and Appendix A is implemented and named by a
+/// RuleId so tests can assert exactly which rule fired.
+///
+/// A directive may be *inapplicable* in a configuration (no rule matches);
+/// step() then returns std::nullopt and reports why.  Well-formed
+/// schedules only ever issue applicable directives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CORE_MACHINE_H
+#define SCT_CORE_MACHINE_H
+
+#include "core/Configuration.h"
+#include "core/Directive.h"
+#include "core/Eval.h"
+#include "core/Observation.h"
+
+#include <optional>
+
+namespace sct {
+
+/// Names of the paper's inference rules.
+enum class RuleId : unsigned char {
+  // Fetch stage.
+  SimpleFetch,     ///< simple-fetch (op/load/store/fence)
+  CondFetch,       ///< cond-fetch
+  JmpiFetch,       ///< jmpi-fetch
+  CallFetch,       ///< call-direct-fetch
+  CallIFetch,      ///< calli fetch (indirect-call extension, App. A.1)
+  RetFetchRsb,     ///< ret-fetch-rsb
+  RetFetchRsbEmpty,///< ret-fetch-rsb-empty
+  // Execute stage.
+  OpExecute,              ///< op execution (implicit in the paper)
+  CondExecuteCorrect,     ///< cond-execute-correct
+  CondExecuteIncorrect,   ///< cond-execute-incorrect
+  LoadExecuteNodep,       ///< load-execute-nodep
+  LoadExecuteForward,     ///< load-execute-forward
+  LoadExecuteFwdGuessed,  ///< load-execute-forwarded-guessed (§3.5)
+  LoadExecuteAddrOk,      ///< load-execute-addr-ok (§3.5)
+  LoadExecuteAddrHazard,  ///< load-execute-addr-hazard (§3.5)
+  LoadExecuteAddrMemMatch,///< load-execute-addr-mem-match (§3.5)
+  LoadExecuteAddrMemHazard,///< load-execute-addr-mem-hazard (§3.5)
+  StoreExecuteValue,      ///< store-execute-value
+  StoreExecuteAddrOk,     ///< store-execute-addr-ok
+  StoreExecuteAddrHazard, ///< store-execute-addr-hazard
+  JmpiExecuteCorrect,     ///< jmpi-execute-correct
+  JmpiExecuteIncorrect,   ///< jmpi-execute-incorrect
+  // Retire stage.
+  ValueRetire, ///< value-retire (also retires resolved loads)
+  JumpRetire,  ///< jump-retire
+  StoreRetire, ///< store-retire
+  FenceRetire, ///< fence-retire
+  CallRetire,  ///< call-retire (retires the 3-entry call group)
+  RetRetire,   ///< ret-retire (retires the 4-entry ret group)
+};
+
+/// Printable rule name (the paper's hyphenated spelling).
+std::string_view ruleName(RuleId R);
+
+/// The result of a successful step.
+struct StepOutcome {
+  Observation Obs;
+  RuleId Rule;
+};
+
+/// The small-step machine for one program.
+class Machine {
+public:
+  explicit Machine(const Program &P, MachineOptions Opts = {})
+      : Prog(P), Opts(Opts) {}
+
+  const Program &program() const { return Prog; }
+  const MachineOptions &options() const { return Opts; }
+
+  /// Attempts one step of \p C under directive \p D.  On success mutates
+  /// \p C and returns the observation and rule; otherwise leaves \p C
+  /// unchanged and (optionally) reports why the directive is inapplicable.
+  std::optional<StepOutcome> step(Configuration &C, const Directive &D,
+                                  std::string *WhyNot = nullptr) const;
+
+  /// The register resolve function (buf +i ρ) of Figure 3, including the
+  /// §3.5 extension for partially-resolved loads.  std::nullopt is ⊥
+  /// (latest assignment before \p I is unresolved).
+  std::optional<Value> resolveReg(const Configuration &C, BufIdx I,
+                                  Reg R) const;
+
+  /// Lifts resolveReg over an operand (immediates resolve to themselves).
+  std::optional<Value> resolveOperand(const Configuration &C, BufIdx I,
+                                      const Operand &Op) const;
+
+  /// Pointwise lifting to operand lists; ⊥ if any element is ⊥.
+  std::optional<std::vector<Value>>
+  resolveOperands(const Configuration &C, BufIdx I,
+                  const std::vector<Operand> &Ops) const;
+
+  /// True iff a fence sits in the buffer strictly before index \p I — the
+  /// "∀j < i : buf(j) ≠ fence" premise of every execute rule (§3.6).
+  static bool fenceBefore(const ReorderBuffer &Buf, BufIdx I);
+
+  /// All directives applicable in \p C (probing on copies).  Candidate
+  /// targets for fetch-target directives (indirect jumps, RSB-empty
+  /// returns) are every program point plus end; this is exhaustive for the
+  /// small programs used in tests and random exploration.
+  std::vector<Directive> applicableDirectives(const Configuration &C) const;
+
+private:
+  const Program &Prog;
+  MachineOptions Opts;
+
+  std::optional<StepOutcome> stepFetch(Configuration &C, const Directive &D,
+                                       std::string *WhyNot) const;
+  std::optional<StepOutcome> stepExecute(Configuration &C, const Directive &D,
+                                         std::string *WhyNot) const;
+  std::optional<StepOutcome> stepRetire(Configuration &C,
+                                        std::string *WhyNot) const;
+
+  /// Rolls back to buffer index \p K: widens \p K to its group leader,
+  /// truncates the buffer, rolls the RSB journal back, and returns the
+  /// origin program point of the (possibly widened) rollback entry.
+  PC rollbackTo(Configuration &C, BufIdx K) const;
+};
+
+} // namespace sct
+
+#endif // SCT_CORE_MACHINE_H

@@ -1,0 +1,56 @@
+//===- core/Memory.cpp - The data memory µ ----------------------------------===//
+
+#include "core/Memory.h"
+
+using namespace sct;
+
+Value Memory::load(uint64_t Addr) const {
+  auto It = Cells.find(Addr);
+  if (It != Cells.end())
+    return It->second;
+  return Value(0, defaultLabel(Addr));
+}
+
+void Memory::store(uint64_t Addr, Value V) { Cells[Addr] = V; }
+
+Label Memory::defaultLabel(uint64_t Addr) const {
+  for (const MemRegion &R : Regions)
+    if (Addr >= R.Base && Addr - R.Base < R.Size)
+      return R.RegionLabel;
+  return Label::publicLabel();
+}
+
+bool Memory::operator==(const Memory &Other) const {
+  // Compare over the union of explicitly-written addresses; all other
+  // addresses read as region defaults, which agree iff the loads agree.
+  for (const auto &[Addr, V] : Cells) {
+    (void)V;
+    if (!(load(Addr) == Other.load(Addr)))
+      return false;
+  }
+  for (const auto &[Addr, V] : Other.Cells) {
+    (void)V;
+    if (!(load(Addr) == Other.load(Addr)))
+      return false;
+  }
+  return true;
+}
+
+bool Memory::lowEquivalent(const Memory &Other) const {
+  auto CellsAgree = [](Value A, Value B) {
+    if (A.Taint != B.Taint)
+      return false;
+    return A.isSecret() || A.Bits == B.Bits;
+  };
+  for (const auto &[Addr, V] : Cells) {
+    (void)V;
+    if (!CellsAgree(load(Addr), Other.load(Addr)))
+      return false;
+  }
+  for (const auto &[Addr, V] : Other.Cells) {
+    (void)V;
+    if (!CellsAgree(load(Addr), Other.load(Addr)))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,63 @@
+//===- core/Memory.h - The data memory µ -----------------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The word-addressed data memory `µ : V ⇀ V` of a configuration.  Each
+/// address holds one labelled 64-bit value.  Unwritten addresses read as 0
+/// labelled according to the program's region table — this is how the
+/// attacker's secrecy annotations (§4.2.1) enter the semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CORE_MEMORY_H
+#define SCT_CORE_MEMORY_H
+
+#include "core/Value.h"
+#include "isa/Program.h"
+
+#include <map>
+
+namespace sct {
+
+/// The data memory µ.
+class Memory {
+public:
+  Memory() = default;
+
+  /// Builds memory with \p Regions as the labelling policy for unwritten
+  /// addresses.
+  explicit Memory(std::vector<MemRegion> Regions)
+      : Regions(std::move(Regions)) {}
+
+  /// Reads µ(a); unwritten addresses yield 0 with the region label.
+  Value load(uint64_t Addr) const;
+
+  /// Writes µ[a ↦ v].
+  void store(uint64_t Addr, Value V);
+
+  /// The label an unwritten word at \p Addr carries.
+  Label defaultLabel(uint64_t Addr) const;
+
+  /// All explicitly written/initialised cells.
+  const std::map<uint64_t, Value> &cells() const { return Cells; }
+
+  /// Structural equality modulo default cells (two memories are equal iff
+  /// every address reads equal).
+  bool operator==(const Memory &Other) const;
+
+  /// True iff both memories agree on labels at every address and on bits
+  /// at public addresses (the memory half of ≃pub).
+  bool lowEquivalent(const Memory &Other) const;
+
+private:
+  std::vector<MemRegion> Regions;
+  std::map<uint64_t, Value> Cells;
+};
+
+} // namespace sct
+
+#endif // SCT_CORE_MEMORY_H

@@ -1,0 +1,29 @@
+//===- core/Observation.cpp - Leakage observations ---------------------------===//
+
+#include "core/Observation.h"
+
+using namespace sct;
+
+std::string Observation::str() const {
+  std::string Body;
+  switch (K) {
+  case Kind::None:
+    Body = Rollback ? "" : "-";
+    break;
+  case Kind::Read:
+    Body = "read " + Payload.str();
+    break;
+  case Kind::Fwd:
+    Body = "fwd " + Payload.str();
+    break;
+  case Kind::Write:
+    Body = "write " + Payload.str();
+    break;
+  case Kind::Jump:
+    Body = "jump " + Payload.str();
+    break;
+  }
+  if (!Rollback)
+    return Body;
+  return Body.empty() ? "rollback" : "rollback, " + Body;
+}

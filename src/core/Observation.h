@@ -1,0 +1,80 @@
+//===- core/Observation.h - Leakage observations ---------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observations: the externally visible effects the semantics exposes
+/// instead of modelling caches or predictors (§3.1).  Reads, forwards,
+/// writes, and control flow each leak a labelled payload; rollbacks are
+/// observable through instruction timing and therefore annotate the
+/// observation they accompany.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CORE_OBSERVATION_H
+#define SCT_CORE_OBSERVATION_H
+
+#include "core/Value.h"
+#include "isa/Instruction.h"
+
+#include <string>
+
+namespace sct {
+
+/// One leakage observation.
+struct Observation {
+  enum class Kind : unsigned char {
+    None,  ///< Silent step (ε).
+    Read,  ///< read a_ℓ — memory load at address a.
+    Fwd,   ///< fwd a_ℓ — store-to-load forward at address a.
+    Write, ///< write a_ℓ — memory commit at address a.
+    Jump,  ///< jump n_ℓ — resolved control flow to n.
+  };
+
+  Kind K = Kind::None;
+  /// True when the step rolled back misspeculated work ("rollback, o").
+  bool Rollback = false;
+  /// The leaked address or jump target, with the label the semantics
+  /// derived for it.
+  Value Payload;
+
+  static Observation none() { return {}; }
+  static Observation read(Value Addr, bool Rollback = false) {
+    return {Kind::Read, Rollback, Addr};
+  }
+  static Observation fwd(Value Addr, bool Rollback = false) {
+    return {Kind::Fwd, Rollback, Addr};
+  }
+  static Observation write(Value Addr) { return {Kind::Write, false, Addr}; }
+  static Observation jump(Value Target, bool Rollback = false) {
+    return {Kind::Jump, Rollback, Target};
+  }
+
+  bool isNone() const { return K == Kind::None && !Rollback; }
+
+  /// True iff the observation leaks data carrying a secret label — the
+  /// violation condition the checker looks for (a secret-dependent
+  /// observation cannot be trace-equal across low-equivalent runs).
+  bool isSecret() const { return K != Kind::None && Payload.isSecret(); }
+
+  /// Attacker-visible equality: kind, rollback, and payload *bits* (labels
+  /// are verification metadata, not observable).  This is the equality on
+  /// traces used by Definition 3.1.
+  bool observablyEquals(const Observation &Other) const {
+    if (K != Other.K || Rollback != Other.Rollback)
+      return false;
+    return K == Kind::None || Payload.Bits == Other.Payload.Bits;
+  }
+
+  bool operator==(const Observation &Other) const = default;
+
+  /// Renders the paper's notation, e.g. "rollback, fwd 0x43_pub".
+  std::string str() const;
+};
+
+} // namespace sct
+
+#endif // SCT_CORE_OBSERVATION_H

@@ -1,0 +1,17 @@
+//===- core/RegisterFile.cpp - The register map ρ ---------------------------===//
+
+#include "core/RegisterFile.h"
+
+using namespace sct;
+
+bool RegisterFile::lowEquivalent(const RegisterFile &Other) const {
+  if (Values.size() != Other.Values.size())
+    return false;
+  for (size_t I = 0; I < Values.size(); ++I) {
+    if (Values[I].Taint != Other.Values[I].Taint)
+      return false;
+    if (Values[I].isPublic() && Values[I].Bits != Other.Values[I].Bits)
+      return false;
+  }
+  return true;
+}

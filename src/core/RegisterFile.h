@@ -1,0 +1,55 @@
+//===- core/RegisterFile.h - The register map ρ ----------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The architectural register map `ρ : R ⇀ V` of a configuration (§3,
+/// "Configurations").  All declared registers are total here, initialised
+/// to 0_pub unless the program specifies otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CORE_REGISTERFILE_H
+#define SCT_CORE_REGISTERFILE_H
+
+#include "core/Value.h"
+#include "isa/Instruction.h"
+
+#include <vector>
+
+namespace sct {
+
+/// The register map ρ.
+class RegisterFile {
+public:
+  RegisterFile() = default;
+  explicit RegisterFile(unsigned NumRegs) : Values(NumRegs) {}
+
+  unsigned size() const { return static_cast<unsigned>(Values.size()); }
+
+  const Value &get(Reg R) const {
+    assert(R.id() < Values.size() && "register out of range");
+    return Values[R.id()];
+  }
+
+  void set(Reg R, Value V) {
+    assert(R.id() < Values.size() && "register out of range");
+    Values[R.id()] = V;
+  }
+
+  bool operator==(const RegisterFile &Other) const = default;
+
+  /// True iff both files agree on labels everywhere and on the bits of all
+  /// public registers (the register half of ≃pub).
+  bool lowEquivalent(const RegisterFile &Other) const;
+
+private:
+  std::vector<Value> Values;
+};
+
+} // namespace sct
+
+#endif // SCT_CORE_REGISTERFILE_H

@@ -1,0 +1,16 @@
+//===- core/ReorderBuffer.cpp - The reorder buffer --------------------------===//
+
+#include "core/ReorderBuffer.h"
+
+namespace sct {
+
+std::string dumpReorderBuffer(const ReorderBuffer &Buf, const Program &P) {
+  std::string Out;
+  if (Buf.empty())
+    return "  (empty)\n";
+  for (BufIdx I = Buf.minIndex(); I <= Buf.maxIndex(); ++I)
+    Out += "  " + std::to_string(I) + " -> " + Buf.at(I).str(P) + "\n";
+  return Out;
+}
+
+} // namespace sct

@@ -1,0 +1,101 @@
+//===- core/ReorderBuffer.h - The reorder buffer ---------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reorder buffer `buf : N ⇀ TransInstr` (§3).  The paper's rules
+/// "add and remove indices in a way that ensures that buf's domain will
+/// always be contiguous"; this class makes that invariant structural: a
+/// deque of entries plus the index of the first one.  Unlike the paper's
+/// convention MIN(∅) = MAX(∅) = 0 (which makes indices restart at 1 after
+/// a drain), indices here increase monotonically over a whole run and are
+/// never reused — semantically equivalent (every rule compares indices
+/// relatively) and unambiguous for recorded schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CORE_REORDERBUFFER_H
+#define SCT_CORE_REORDERBUFFER_H
+
+#include "core/TransientInstr.h"
+
+#include <deque>
+
+namespace sct {
+
+/// The reorder buffer.
+class ReorderBuffer {
+public:
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+
+  /// MIN(buf); asserts non-empty.
+  BufIdx minIndex() const {
+    assert(!empty() && "minIndex of empty buffer");
+    return Base;
+  }
+
+  /// MAX(buf); asserts non-empty.
+  BufIdx maxIndex() const {
+    assert(!empty() && "maxIndex of empty buffer");
+    return Base + Entries.size() - 1;
+  }
+
+  /// The index the next push will occupy (MAX(buf) + 1).
+  BufIdx nextIndex() const { return Base + Entries.size(); }
+
+  bool contains(BufIdx I) const { return I >= Base && I < nextIndex(); }
+
+  const TransientInstr &at(BufIdx I) const {
+    assert(contains(I) && "buffer index out of range");
+    return Entries[I - Base];
+  }
+
+  TransientInstr &at(BufIdx I) {
+    assert(contains(I) && "buffer index out of range");
+    return Entries[I - Base];
+  }
+
+  /// Appends \p T at MAX+1 and returns its index.  The entry's GroupLeader
+  /// defaults to its own index if the caller left it unset (0).
+  BufIdx push(TransientInstr T) {
+    BufIdx I = nextIndex();
+    if (T.GroupLeader == 0)
+      T.GroupLeader = I;
+    Entries.push_back(std::move(T));
+    return I;
+  }
+
+  /// Removes the oldest entry (retire).
+  void popFront() {
+    assert(!empty() && "popFront of empty buffer");
+    Entries.pop_front();
+    ++Base;
+  }
+
+  /// Removes every entry with index >= \p I (rollback); \p I may be past
+  /// the end, in which case nothing happens.
+  void truncateFrom(BufIdx I) {
+    if (empty() || I >= nextIndex())
+      return;
+    BufIdx Cut = I < Base ? Base : I;
+    Entries.erase(Entries.begin() + (Cut - Base), Entries.end());
+  }
+
+  bool operator==(const ReorderBuffer &Other) const = default;
+
+private:
+  std::deque<TransientInstr> Entries;
+  BufIdx Base = 1; // The paper's examples number entries from 1.
+};
+
+/// Renders the buffer one entry per line, "i -> <transient>", mirroring
+/// the paper's figure layout.
+std::string dumpReorderBuffer(const ReorderBuffer &Buf, const Program &P);
+
+} // namespace sct
+
+#endif // SCT_CORE_REORDERBUFFER_H

@@ -1,0 +1,43 @@
+//===- core/ReturnStackBuffer.cpp - The RSB σ -------------------------------===//
+
+#include "core/ReturnStackBuffer.h"
+
+using namespace sct;
+
+std::optional<PC> ReturnStackBuffer::top() const {
+  // Replay the journal into a stack (the paper's JσK), then take the top.
+  std::vector<PC> Stack;
+  for (const Entry &E : Journal) {
+    if (E.IsPush) {
+      Stack.push_back(E.Target);
+      continue;
+    }
+    if (!Stack.empty())
+      Stack.pop_back();
+  }
+  if (Stack.empty())
+    return std::nullopt;
+  return Stack.back();
+}
+
+PC ReturnStackBuffer::topCircular(unsigned Size) const {
+  assert(Size > 0 && "circular RSB needs at least one slot");
+  std::vector<PC> Ring(Size, 0);
+  unsigned Ptr = 0;
+  for (const Entry &E : Journal) {
+    if (E.IsPush) {
+      Ptr = (Ptr + 1) % Size;
+      Ring[Ptr] = E.Target;
+      continue;
+    }
+    Ptr = (Ptr + Size - 1) % Size;
+  }
+  // The next pop reads the slot the pointer rests on; on underflow the
+  // pointer has wrapped and exposes a stale (or zero) entry.
+  return Ring[Ptr];
+}
+
+void ReturnStackBuffer::rollbackFrom(BufIdx I) {
+  while (!Journal.empty() && Journal.back().Idx >= I)
+    Journal.pop_back();
+}

@@ -1,0 +1,79 @@
+//===- core/ReturnStackBuffer.h - The RSB σ --------------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The return stack buffer σ of Appendix A.2.  σ is a journal of
+/// push/pop commands indexed by reorder-buffer indices; `top(σ)` replays
+/// the journal into a stack and returns its top.  Journalling (rather than
+/// a plain stack) is what lets σ roll back together with the reorder
+/// buffer on misspeculation ("Similar to the reorder buffer, we address
+/// the RSB through indices and roll it back").
+///
+/// The paper describes three hardware behaviours for `ret` with an empty
+/// RSB; all three are selectable (MachineOptions::RsbOnEmpty):
+///  - AttackerChoice: the schedule supplies the target (ret-fetch-rsb-empty);
+///  - Stall: refuse to speculate (AMD);
+///  - Circular: replay over a fixed-size circular buffer that wraps on
+///    underflow ("most" Intel parts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CORE_RETURNSTACKBUFFER_H
+#define SCT_CORE_RETURNSTACKBUFFER_H
+
+#include "core/TransientInstr.h"
+
+#include <optional>
+#include <vector>
+
+namespace sct {
+
+/// RSB behaviour when `top(σ)` would be ⊥.
+enum class RsbPolicy : unsigned char {
+  AttackerChoice, ///< fetch: n' supplies the prediction (paper default).
+  Stall,          ///< ret cannot fetch until the RSB refills (AMD).
+  Circular,       ///< fixed-size circular buffer; wraps on underflow.
+};
+
+/// The return stack buffer σ.
+class ReturnStackBuffer {
+public:
+  /// Records "σ[i ↦ push n]" (call fetch).
+  void push(BufIdx I, PC Target) { Journal.push_back({I, Target, true}); }
+
+  /// Records "σ[i ↦ pop]" (ret fetch).
+  void pop(BufIdx I) { Journal.push_back({I, 0, false}); }
+
+  /// top(σ) under the standard stack replay; std::nullopt encodes ⊥.
+  std::optional<PC> top() const;
+
+  /// top(σ) replayed over a \p Size -entry circular buffer (never ⊥;
+  /// underflow wraps around, initially reading program point 0).
+  PC topCircular(unsigned Size) const;
+
+  /// Rolls back: drops every journal entry with index >= \p I.
+  void rollbackFrom(BufIdx I);
+
+  /// Number of journal entries (for tests).
+  size_t journalSize() const { return Journal.size(); }
+
+  bool operator==(const ReturnStackBuffer &Other) const = default;
+
+private:
+  struct Entry {
+    BufIdx Idx;
+    PC Target;
+    bool IsPush;
+
+    bool operator==(const Entry &Other) const = default;
+  };
+  std::vector<Entry> Journal;
+};
+
+} // namespace sct
+
+#endif // SCT_CORE_RETURNSTACKBUFFER_H

@@ -1,0 +1,161 @@
+//===- core/TransientInstr.h - Transient instructions ----------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transient instructions — the right column of the paper's Table 1.  A
+/// physical instruction becomes one (or, for call/ret, several) transient
+/// instructions when fetched into the reorder buffer, then mutates through
+/// partially- and fully-resolved forms as it executes:
+///
+///   (r = op(op, rv⃗))              unresolved op
+///   (r = v_ℓ)                     resolved value
+///   br(op, rv⃗, n0, (nt, nf))      unresolved conditional
+///   jump n0                       resolved conditional / indirect jump
+///   (r = load(rv⃗))_n              unresolved load
+///   (r = load(rv⃗, (v_ℓ, j)))_n    partially resolved load (§3.5)
+///   (r = v_ℓ{⊥, a})_n             resolved load from memory
+///   (r = v_ℓ{j, a})_n             resolved load forwarded from store j
+///   store(rv, rv⃗)                 store; value and address resolve
+///   store(v_ℓ, a_ℓa)              independently (§3.4)
+///   jmpi(rv⃗, n0)                  unresolved indirect jump
+///   call / ret                    markers for the A.2 expansions
+///   fence                         speculation barrier
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CORE_TRANSIENTINSTR_H
+#define SCT_CORE_TRANSIENTINSTR_H
+
+#include "core/Value.h"
+#include "isa/Program.h"
+
+#include <optional>
+
+namespace sct {
+
+/// Index into the reorder buffer (the paper's natural-number buffer
+/// indices).  Indices are monotonically increasing across a run and never
+/// reused, which preserves the paper's contiguous-domain invariant while
+/// keeping schedules unambiguous.
+using BufIdx = uint64_t;
+
+/// Kinds of transient instructions.
+enum class TransientKind : unsigned char {
+  Op,            ///< (r = op(op, rv⃗)) — unresolved op
+  ResolvedValue, ///< (r = v_ℓ) — resolved op
+  Branch,        ///< br(op, rv⃗, n0, (ntrue, nfalse)) — unresolved
+  Jump,          ///< jump n0 — resolved branch / indirect jump
+  Load,          ///< (r = load(rv⃗))_n — unresolved load
+  LoadGuessed,   ///< (r = load(rv⃗, (v_ℓ, j)))_n — alias-predicted (§3.5)
+  LoadResolved,  ///< (r = v_ℓ{j|⊥, a})_n — resolved load
+  Store,         ///< store(rv|v_ℓ, rv⃗|a_ℓa)
+  JumpI,         ///< jmpi(rv⃗, n0) — unresolved indirect jump
+  CallMarker,    ///< call
+  RetMarker,     ///< ret
+  Fence,         ///< fence
+};
+
+/// One reorder-buffer entry.  A single tagged struct; which fields are
+/// meaningful depends on Kind (see the factory functions).
+struct TransientInstr {
+  TransientKind Kind = TransientKind::Fence;
+
+  /// Destination register (Op, ResolvedValue, Load*).
+  Reg Dest;
+  /// Op opcode or Branch condition.
+  Opcode Opc = Opcode::True;
+  /// Operand list rv⃗ (Op args, Branch condition args, Load/Store/JumpI
+  /// address args).
+  std::vector<Operand> Args;
+
+  /// Resolved value: ResolvedValue and LoadResolved carry the assigned
+  /// value; LoadGuessed carries the speculatively forwarded value.
+  Value Val;
+
+  /// Store value operand rv (unresolved form).
+  Operand StoreVal = Operand::imm(0);
+  /// Whether the store's value has resolved into StoreResolvedVal.
+  bool StoreValIsResolved = false;
+  Value StoreResolvedVal;
+  /// Whether the store's address has resolved into StoreAddr.
+  bool StoreAddrIsResolved = false;
+  Value StoreAddr;
+
+  /// LoadResolved: the address annotation a of (r = v{j,a}).
+  uint64_t LoadAddr = 0;
+  /// LoadResolved: originating store index j, or nullopt for ⊥ (memory).
+  /// LoadGuessed: the predicted originating store index j.
+  std::optional<BufIdx> Dep;
+
+  /// Branch: speculatively chosen target n0.  Jump: resolved target.
+  /// JumpI: predicted target n0.
+  PC N0 = 0;
+  /// Branch: the two static targets.
+  PC NTrue = 0;
+  PC NFalse = 0;
+
+  /// Program point of the originating physical instruction (the paper's
+  /// load annotation `(...)_n`, kept for every transient for diagnostics
+  /// and hazard rollback).
+  PC Origin = 0;
+
+  /// Index of the leading transient of this instruction's fetch group.
+  /// Equals the entry's own index except for the call/ret expansions of
+  /// Appendix A.2, whose members all point at the call/ret marker so a
+  /// rollback into the middle of a group widens to the whole group.
+  BufIdx GroupLeader = 0;
+
+  // --- Factories -----------------------------------------------------------
+  static TransientInstr makeOp(Reg Dest, Opcode Opc, std::vector<Operand> Args,
+                               PC Origin);
+  static TransientInstr makeResolvedValue(Reg Dest, Value V, PC Origin);
+  static TransientInstr makeBranch(Opcode Cond, std::vector<Operand> Args,
+                                   PC Chosen, PC NTrue, PC NFalse, PC Origin);
+  static TransientInstr makeJump(PC Target, PC Origin);
+  static TransientInstr makeLoad(Reg Dest, std::vector<Operand> AddrArgs,
+                                 PC Origin);
+  static TransientInstr makeStore(Operand Val, std::vector<Operand> AddrArgs,
+                                  PC Origin);
+  static TransientInstr makeJumpI(std::vector<Operand> AddrArgs, PC Predicted,
+                                  PC Origin);
+  static TransientInstr makeCallMarker(PC Origin);
+  static TransientInstr makeRetMarker(PC Origin);
+  static TransientInstr makeFence(PC Origin);
+
+  // --- Queries -------------------------------------------------------------
+  bool is(TransientKind K) const { return Kind == K; }
+
+  /// True iff this entry assigns register \p R when (fully or partially)
+  /// resolved — the "(r = _)" shapes of the register-resolve function
+  /// (Figure 3 and its §3.5 extension).
+  bool assignsReg(Reg R) const;
+
+  /// True iff this is a store whose resolved address equals \p Addr — the
+  /// "buf(j) = store(_, a)" premise of the load rules.
+  bool isStoreToAddr(uint64_t Addr) const {
+    return Kind == TransientKind::Store && StoreAddrIsResolved &&
+           StoreAddr.Bits == Addr;
+  }
+
+  /// True iff this is a fully-resolved store store(v_ℓ, a_ℓa).
+  bool isResolvedStore() const {
+    return Kind == TransientKind::Store && StoreValIsResolved &&
+           StoreAddrIsResolved;
+  }
+
+  /// True iff this entry is fully resolved (retirable shape).
+  bool isResolved() const;
+
+  bool operator==(const TransientInstr &Other) const = default;
+
+  /// Renders the paper's notation, e.g. "(rb = load([0x40, ra]))".
+  std::string str(const Program &P) const;
+};
+
+} // namespace sct
+
+#endif // SCT_CORE_TRANSIENTINSTR_H

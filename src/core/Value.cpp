@@ -1,0 +1,13 @@
+//===- core/Value.cpp - Labelled machine values ----------------------------===//
+
+#include "core/Value.h"
+
+#include "support/Printing.h"
+
+using namespace sct;
+
+std::string Value::str() const {
+  std::string Body =
+      Bits >= 0x40 ? toHex(Bits) : std::to_string(Bits);
+  return Body + "_" + Taint.str();
+}

@@ -1,0 +1,55 @@
+//===- core/Value.h - Labelled machine values ------------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine values `v_ℓ`: a 64-bit word annotated with a security label
+/// (§3, "Values and labels").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CORE_VALUE_H
+#define SCT_CORE_VALUE_H
+
+#include "support/Label.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sct {
+
+/// A labelled 64-bit machine value.
+struct Value {
+  uint64_t Bits = 0;
+  Label Taint;
+
+  constexpr Value() = default;
+  constexpr Value(uint64_t Bits, Label Taint) : Bits(Bits), Taint(Taint) {}
+
+  /// A public value.
+  static constexpr Value pub(uint64_t Bits) {
+    return Value(Bits, Label::publicLabel());
+  }
+
+  /// A value tainted by secret source \p Source.
+  static Value sec(uint64_t Bits, unsigned Source = 0) {
+    return Value(Bits, Label::secret(Source));
+  }
+
+  bool isPublic() const { return Taint.isPublic(); }
+  bool isSecret() const { return Taint.isSecret(); }
+
+  /// Full equality: both bits and label (used by the §3.5 memory-match
+  /// rule, which compares v'_ℓ' against v_ℓ).
+  constexpr bool operator==(const Value &Other) const = default;
+
+  /// Renders e.g. "9_pub" or "0x48_sec".
+  std::string str() const;
+};
+
+} // namespace sct
+
+#endif // SCT_CORE_VALUE_H

@@ -1,0 +1,617 @@
+//===- isa/AsmParser.cpp - Textual assembler -------------------------------===//
+
+#include "isa/AsmParser.h"
+
+#include "isa/ProgramBuilder.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace sct;
+
+namespace {
+
+/// A lexed token within one source line.
+struct Token {
+  enum class Kind { Ident, Number, Punct, End } K = Kind::End;
+  std::string Text;    // Ident text or punct spelling.
+  uint64_t Value = 0;  // Number value.
+};
+
+/// A trivial per-line lexer.
+class LineLexer {
+public:
+  explicit LineLexer(std::string_view Line) : Line(Line) {}
+
+  Token peek() {
+    if (!Lookahead)
+      Lookahead = lex();
+    return *Lookahead;
+  }
+
+  Token next() {
+    Token T = peek();
+    Lookahead.reset();
+    return T;
+  }
+
+  bool atEnd() { return peek().K == Token::Kind::End; }
+
+  bool Failed = false;
+
+private:
+  std::string_view Line;
+  size_t Pos = 0;
+  std::optional<Token> Lookahead;
+
+  Token lex() {
+    while (Pos < Line.size() && std::isspace((unsigned char)Line[Pos]))
+      ++Pos;
+    if (Pos >= Line.size())
+      return {};
+
+    char C = Line[Pos];
+    Token T;
+    if (std::isalpha((unsigned char)C) || C == '_' || C == '.' || C == '@') {
+      size_t Start = Pos;
+      ++Pos;
+      while (Pos < Line.size() &&
+             (std::isalnum((unsigned char)Line[Pos]) || Line[Pos] == '_' ||
+              Line[Pos] == '.'))
+        ++Pos;
+      T.K = Token::Kind::Ident;
+      T.Text = std::string(Line.substr(Start, Pos - Start));
+      return T;
+    }
+    if (std::isdigit((unsigned char)C) ||
+        (C == '-' && Pos + 1 < Line.size() &&
+         std::isdigit((unsigned char)Line[Pos + 1]))) {
+      bool Negative = C == '-';
+      if (Negative)
+        ++Pos;
+      size_t Start = Pos;
+      int Base = 10;
+      if (Line[Pos] == '0' && Pos + 1 < Line.size() &&
+          (Line[Pos + 1] == 'x' || Line[Pos + 1] == 'X')) {
+        Base = 16;
+        Pos += 2;
+        Start = Pos;
+      }
+      while (Pos < Line.size() &&
+             (std::isalnum((unsigned char)Line[Pos])))
+        ++Pos;
+      std::string Digits(Line.substr(Start, Pos - Start));
+      char *End = nullptr;
+      uint64_t V = std::strtoull(Digits.c_str(), &End, Base);
+      if (End == nullptr || *End != '\0' || Digits.empty())
+        Failed = true;
+      T.K = Token::Kind::Number;
+      T.Value = Negative ? uint64_t(0) - V : V;
+      return T;
+    }
+    // Punctuation; "->" is a single token.
+    if (C == '-' && Pos + 1 < Line.size() && Line[Pos + 1] == '>') {
+      Pos += 2;
+      T.K = Token::Kind::Punct;
+      T.Text = "->";
+      return T;
+    }
+    ++Pos;
+    T.K = Token::Kind::Punct;
+    T.Text = std::string(1, C);
+    return T;
+  }
+};
+
+/// Parser state shared between the two passes.
+class Parser {
+public:
+  explicit Parser(std::string_view Source) { splitLines(Source); }
+
+  ParseResult run() {
+    pass1();
+    if (!Errors.empty())
+      return {std::nullopt, std::move(Errors)};
+    pass2();
+    if (!Errors.empty())
+      return {std::nullopt, std::move(Errors)};
+    Program P = Builder.build();
+    for (const std::string &Problem : P.validate())
+      error(0, "validation: " + Problem);
+    if (!Errors.empty())
+      return {std::nullopt, std::move(Errors)};
+    return {std::move(P), {}};
+  }
+
+private:
+  struct SourceLine {
+    unsigned Number;
+    std::string Text;
+  };
+
+  std::vector<SourceLine> Lines;
+  std::map<std::string, PC> LabelPCs;
+  ProgramBuilder Builder;
+  std::vector<ParseError> Errors;
+  std::string EntryLabel;
+
+  void splitLines(std::string_view Source) {
+    unsigned Number = 1;
+    size_t Start = 0;
+    while (Start <= Source.size()) {
+      size_t NewLine = Source.find('\n', Start);
+      std::string_view Raw = Source.substr(
+          Start, NewLine == std::string_view::npos ? std::string_view::npos
+                                                   : NewLine - Start);
+      // Strip comments.
+      size_t Comment = Raw.find_first_of(";#");
+      if (Comment != std::string_view::npos)
+        Raw = Raw.substr(0, Comment);
+      Lines.push_back({Number, std::string(Raw)});
+      if (NewLine == std::string_view::npos)
+        break;
+      Start = NewLine + 1;
+      ++Number;
+    }
+  }
+
+  void error(unsigned Line, std::string Message) {
+    Errors.push_back({Line, std::move(Message)});
+  }
+
+  /// Splits an optional `label:` prefix off the line; returns the rest.
+  /// A line may carry several label definitions.
+  std::string stripLabels(const SourceLine &L,
+                          std::vector<std::string> *LabelsOut) {
+    std::string Rest = L.Text;
+    for (;;) {
+      LineLexer Lex(Rest);
+      Token First = Lex.next();
+      if (First.K != Token::Kind::Ident || First.Text[0] == '.' ||
+          First.Text[0] == '@')
+        return Rest;
+      Token Second = Lex.next();
+      if (Second.K != Token::Kind::Punct || Second.Text != ":")
+        return Rest;
+      if (LabelsOut)
+        LabelsOut->push_back(First.Text);
+      // Remove everything up to and including the colon.
+      size_t Colon = Rest.find(':');
+      Rest = Rest.substr(Colon + 1);
+    }
+  }
+
+  /// True iff the statement text holds an instruction (vs. blank/directive).
+  static bool isInstructionText(const std::string &Text) {
+    for (char C : Text)
+      if (!std::isspace((unsigned char)C))
+        return true;
+    return false;
+  }
+
+  // --- Pass 1: assign program points to code labels. ---------------------
+  void pass1() {
+    PC Here = 0;
+    for (const SourceLine &L : Lines) {
+      std::string Trimmed = L.Text;
+      LineLexer Probe(Trimmed);
+      if (Probe.atEnd())
+        continue;
+      Token First = Probe.peek();
+      if (First.K == Token::Kind::Ident && First.Text[0] == '.')
+        continue; // Directive.
+      std::vector<std::string> Labels;
+      std::string Rest = stripLabels(L, &Labels);
+      for (const std::string &Name : Labels) {
+        if (LabelPCs.count(Name)) {
+          error(L.Number, "duplicate code label '" + Name + "'");
+          continue;
+        }
+        LabelPCs[Name] = Here;
+      }
+      if (isInstructionText(Rest))
+        ++Here;
+    }
+  }
+
+  // --- Pass 2: parse directives and instructions. -------------------------
+  void pass2() {
+    for (const SourceLine &L : Lines) {
+      LineLexer Probe(L.Text);
+      if (Probe.atEnd())
+        continue;
+      Token First = Probe.peek();
+      if (First.K == Token::Kind::Ident && First.Text[0] == '.') {
+        parseDirective(L);
+        continue;
+      }
+      std::vector<std::string> Labels;
+      std::string Rest = stripLabels(L, &Labels);
+      for (const std::string &Name : Labels)
+        Builder.labelAtPC(Name, LabelPCs[Name]);
+      if (!isInstructionText(Rest))
+        continue;
+      parseInstruction(L.Number, Rest);
+    }
+    if (!EntryLabel.empty()) {
+      auto It = LabelPCs.find(EntryLabel);
+      if (It == LabelPCs.end())
+        error(0, "unknown entry label '" + EntryLabel + "'");
+      else
+        Builder.entryPC(It->second);
+    }
+  }
+
+  bool expectPunct(LineLexer &Lex, unsigned Line, const char *Spelling) {
+    Token T = Lex.next();
+    if (T.K == Token::Kind::Punct && T.Text == Spelling)
+      return true;
+    error(Line, std::string("expected '") + Spelling + "'");
+    return false;
+  }
+
+  std::optional<std::string> expectIdent(LineLexer &Lex, unsigned Line,
+                                         const char *What) {
+    Token T = Lex.next();
+    if (T.K == Token::Kind::Ident)
+      return T.Text;
+    error(Line, std::string("expected ") + What);
+    return std::nullopt;
+  }
+
+  std::optional<uint64_t> expectNumber(LineLexer &Lex, unsigned Line,
+                                       const char *What) {
+    Token T = Lex.next();
+    if (T.K == Token::Kind::Number)
+      return T.Value;
+    error(Line, std::string("expected ") + What);
+    return std::nullopt;
+  }
+
+  std::optional<PC> resolveLabel(unsigned Line, const std::string &Name) {
+    auto It = LabelPCs.find(Name);
+    if (It == LabelPCs.end()) {
+      error(Line, "unknown code label '" + Name + "'");
+      return std::nullopt;
+    }
+    return It->second;
+  }
+
+  /// Parses one operand: register, number, or @label.
+  std::optional<Operand> parseOperand(LineLexer &Lex, unsigned Line) {
+    Token T = Lex.next();
+    if (T.K == Token::Kind::Number)
+      return Operand::imm(T.Value);
+    if (T.K == Token::Kind::Ident) {
+      if (T.Text[0] == '@') {
+        auto Target = resolveLabel(Line, T.Text.substr(1));
+        if (!Target)
+          return std::nullopt;
+        return Operand::imm(*Target);
+      }
+      // Must be a declared register (rsp/rtmp are always declared).
+      if (auto R = Builder.lookupReg(T.Text))
+        return Operand::reg(*R);
+      error(Line, "unknown register '" + T.Text +
+                      "' (declare it with .reg, or use @label)");
+      return std::nullopt;
+    }
+    error(Line, "expected operand");
+    return std::nullopt;
+  }
+
+  /// Parses a comma-separated operand list until end-of-line or a stop
+  /// punct (not consumed).
+  std::optional<std::vector<Operand>>
+  parseOperandList(LineLexer &Lex, unsigned Line, const char *Stop = nullptr) {
+    std::vector<Operand> Ops;
+    if (Lex.atEnd() || (Stop && Lex.peek().K == Token::Kind::Punct &&
+                        Lex.peek().Text == Stop))
+      return Ops;
+    for (;;) {
+      auto Op = parseOperand(Lex, Line);
+      if (!Op)
+        return std::nullopt;
+      Ops.push_back(*Op);
+      if (Lex.atEnd())
+        return Ops;
+      Token P = Lex.peek();
+      if (P.K == Token::Kind::Punct && P.Text == ",") {
+        Lex.next();
+        continue;
+      }
+      return Ops;
+    }
+  }
+
+  /// Parses `[ a, b, ... ]`.
+  std::optional<std::vector<Operand>> parseAddr(LineLexer &Lex,
+                                                unsigned Line) {
+    if (!expectPunct(Lex, Line, "["))
+      return std::nullopt;
+    auto Ops = parseOperandList(Lex, Line, "]");
+    if (!Ops)
+      return std::nullopt;
+    if (!expectPunct(Lex, Line, "]"))
+      return std::nullopt;
+    if (Ops->empty()) {
+      error(Line, "empty address operand list");
+      return std::nullopt;
+    }
+    return Ops;
+  }
+
+  void expectLineEnd(LineLexer &Lex, unsigned Line) {
+    if (!Lex.atEnd())
+      error(Line, "trailing tokens after instruction");
+  }
+
+  void parseDirective(const SourceLine &L) {
+    LineLexer Lex(L.Text);
+    std::string Name = Lex.next().Text;
+    if (Name == ".reg") {
+      while (!Lex.atEnd()) {
+        Token T = Lex.next();
+        if (T.K != Token::Kind::Ident) {
+          error(L.Number, ".reg expects register names");
+          return;
+        }
+        Builder.reg(T.Text);
+      }
+      return;
+    }
+    if (Name == ".init") {
+      auto RegName = expectIdent(Lex, L.Number, "register name");
+      if (!RegName)
+        return;
+      std::optional<uint64_t> V;
+      Token ValTok = Lex.next();
+      if (ValTok.K == Token::Kind::Number) {
+        V = ValTok.Value;
+      } else if (ValTok.K == Token::Kind::Ident && ValTok.Text[0] == '@') {
+        auto Target = resolveLabel(L.Number, ValTok.Text.substr(1));
+        if (!Target)
+          return;
+        V = *Target;
+      } else {
+        error(L.Number, "expected initial value (number or @label)");
+        return;
+      }
+      auto R = Builder.lookupReg(*RegName);
+      if (!R) {
+        error(L.Number, "unknown register '" + *RegName + "' in .init");
+        return;
+      }
+      Builder.init(*R, *V);
+      expectLineEnd(Lex, L.Number);
+      return;
+    }
+    if (Name == ".region") {
+      auto RegionName = expectIdent(Lex, L.Number, "region name");
+      auto Base = RegionName ? expectNumber(Lex, L.Number, "region base")
+                             : std::nullopt;
+      auto Size =
+          Base ? expectNumber(Lex, L.Number, "region size") : std::nullopt;
+      auto Vis = Size ? expectIdent(Lex, L.Number, "'public' or 'secret'")
+                      : std::nullopt;
+      if (!Vis)
+        return;
+      Label RegionLabel = Label::publicLabel();
+      if (*Vis == "secret") {
+        uint64_t Src = 0;
+        if (!Lex.atEnd()) {
+          auto Explicit = expectNumber(Lex, L.Number, "taint source id");
+          if (!Explicit)
+            return;
+          Src = *Explicit;
+        }
+        if (Src >= Label::MaxSources) {
+          error(L.Number, "taint source id out of range");
+          return;
+        }
+        RegionLabel = Label::secret(static_cast<unsigned>(Src));
+      } else if (*Vis != "public") {
+        error(L.Number, "region visibility must be 'public' or 'secret'");
+        return;
+      }
+      Builder.region(*RegionName, *Base, *Size, RegionLabel);
+      expectLineEnd(Lex, L.Number);
+      return;
+    }
+    if (Name == ".data") {
+      auto Base = expectNumber(Lex, L.Number, "base address");
+      if (!Base)
+        return;
+      uint64_t Addr = *Base;
+      while (!Lex.atEnd()) {
+        Token T = Lex.next();
+        uint64_t W = 0;
+        if (T.K == Token::Kind::Number) {
+          W = T.Value;
+        } else if (T.K == Token::Kind::Ident && T.Text[0] == '@') {
+          auto Target = resolveLabel(L.Number, T.Text.substr(1));
+          if (!Target)
+            return;
+          W = *Target;
+        } else {
+          error(L.Number, ".data expects word values");
+          return;
+        }
+        Builder.data(Addr++, {W});
+      }
+      return;
+    }
+    if (Name == ".entry") {
+      auto LabelName = expectIdent(Lex, L.Number, "entry label");
+      if (!LabelName)
+        return;
+      EntryLabel = *LabelName;
+      expectLineEnd(Lex, L.Number);
+      return;
+    }
+    error(L.Number, "unknown directive '" + Name + "'");
+  }
+
+  void parseInstruction(unsigned Line, const std::string &Text) {
+    LineLexer Lex(Text);
+    Token First = Lex.next();
+    if (First.K != Token::Kind::Ident) {
+      error(Line, "expected instruction");
+      return;
+    }
+    const std::string &Head = First.Text;
+
+    if (Head == "store") {
+      auto Val = parseOperand(Lex, Line);
+      if (!Val || !expectPunct(Lex, Line, ","))
+        return;
+      auto Addr = parseAddr(Lex, Line);
+      if (!Addr)
+        return;
+      Builder.store(*Val, std::move(*Addr));
+      expectLineEnd(Lex, Line);
+      return;
+    }
+    if (Head == "br") {
+      auto CondName = expectIdent(Lex, Line, "branch condition");
+      if (!CondName)
+        return;
+      auto Cond = parseOpcode(*CondName);
+      if (!Cond || !isCondition(*Cond)) {
+        error(Line, "unknown branch condition '" + *CondName + "'");
+        return;
+      }
+      auto Args = parseOperandList(Lex, Line, "->");
+      if (!Args)
+        return;
+      if (!expectPunct(Lex, Line, "->"))
+        return;
+      auto TrueName = expectIdent(Lex, Line, "true-branch label");
+      if (!TrueName || !expectPunct(Lex, Line, ","))
+        return;
+      auto FalseName = expectIdent(Lex, Line, "false-branch label");
+      if (!FalseName)
+        return;
+      auto TruePC = resolveLabel(Line, *TrueName);
+      auto FalsePC = resolveLabel(Line, *FalseName);
+      if (!TruePC || !FalsePC)
+        return;
+      if (Args->size() != opcodeArity(*Cond)) {
+        error(Line, "operand count mismatch for condition '" + *CondName +
+                        "'");
+        return;
+      }
+      Builder.brPC(*Cond, std::move(*Args), *TruePC, *FalsePC);
+      expectLineEnd(Lex, Line);
+      return;
+    }
+    if (Head == "jmp") {
+      auto Target = expectIdent(Lex, Line, "jump label");
+      if (!Target)
+        return;
+      auto TargetPC = resolveLabel(Line, *Target);
+      if (!TargetPC)
+        return;
+      Builder.brPC(Opcode::True, {}, *TargetPC, *TargetPC);
+      expectLineEnd(Lex, Line);
+      return;
+    }
+    if (Head == "jmpi") {
+      auto Addr = parseAddr(Lex, Line);
+      if (!Addr)
+        return;
+      Builder.jmpi(std::move(*Addr));
+      expectLineEnd(Lex, Line);
+      return;
+    }
+    if (Head == "calli") {
+      auto Addr = parseAddr(Lex, Line);
+      if (!Addr)
+        return;
+      Builder.calli(std::move(*Addr));
+      expectLineEnd(Lex, Line);
+      return;
+    }
+    if (Head == "call") {
+      auto Callee = expectIdent(Lex, Line, "callee label");
+      if (!Callee)
+        return;
+      auto CalleePC = resolveLabel(Line, *Callee);
+      if (!CalleePC)
+        return;
+      Builder.callPC(*CalleePC);
+      expectLineEnd(Lex, Line);
+      return;
+    }
+    if (Head == "ret") {
+      Builder.ret();
+      expectLineEnd(Lex, Line);
+      return;
+    }
+    if (Head == "fence") {
+      Builder.fence();
+      expectLineEnd(Lex, Line);
+      return;
+    }
+
+    // Remaining form: `reg = load [...]` or `reg = OPC args`.
+    auto Dest = Builder.lookupReg(Head);
+    if (!Dest) {
+      error(Line, "unknown instruction or register '" + Head + "'");
+      return;
+    }
+    if (!expectPunct(Lex, Line, "="))
+      return;
+    auto OpName = expectIdent(Lex, Line, "opcode or 'load'");
+    if (!OpName)
+      return;
+    if (*OpName == "load") {
+      auto Addr = parseAddr(Lex, Line);
+      if (!Addr)
+        return;
+      Builder.load(*Dest, std::move(*Addr));
+      expectLineEnd(Lex, Line);
+      return;
+    }
+    auto Opc = parseOpcode(*OpName);
+    if (!Opc) {
+      error(Line, "unknown opcode '" + *OpName + "'");
+      return;
+    }
+    auto Args = parseOperandList(Lex, Line);
+    if (!Args)
+      return;
+    if (Args->size() != opcodeArity(*Opc)) {
+      error(Line, "operand count mismatch for opcode '" + *OpName + "'");
+      return;
+    }
+    Builder.op(*Dest, *Opc, std::move(*Args));
+    expectLineEnd(Lex, Line);
+  }
+};
+
+} // namespace
+
+std::string ParseResult::errorText() const {
+  std::string Result;
+  for (const ParseError &E : Errors) {
+    Result += "line " + std::to_string(E.Line) + ": " + E.Message + "\n";
+  }
+  return Result;
+}
+
+ParseResult sct::parseAsm(std::string_view Source) {
+  Parser P(Source);
+  return P.run();
+}
+
+Program sct::parseAsmOrDie(std::string_view Source) {
+  ParseResult R = parseAsm(Source);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parseAsmOrDie failed:\n%s", R.errorText().c_str());
+    std::abort();
+  }
+  return std::move(*R.Prog);
+}

@@ -1,0 +1,82 @@
+//===- isa/Instruction.cpp - Physical instructions ------------------------===//
+
+#include "isa/Instruction.h"
+
+using namespace sct;
+
+Instruction Instruction::makeOp(Reg Dest, Opcode Opc,
+                                std::vector<Operand> Args) {
+  assert(opcodeArity(Opc) == Args.size() && "operand count mismatch");
+  Instruction I;
+  I.Kind = InstrKind::Op;
+  I.Dest = Dest;
+  I.Opc = Opc;
+  I.Args = std::move(Args);
+  return I;
+}
+
+Instruction Instruction::makeBranch(Opcode Cond, std::vector<Operand> Args,
+                                    PC NTrue, PC NFalse) {
+  assert(isCondition(Cond) && "branch operator must be a condition");
+  assert(opcodeArity(Cond) == Args.size() && "operand count mismatch");
+  Instruction I;
+  I.Kind = InstrKind::Branch;
+  I.Opc = Cond;
+  I.Args = std::move(Args);
+  I.NTrue = NTrue;
+  I.NFalse = NFalse;
+  return I;
+}
+
+Instruction Instruction::makeLoad(Reg Dest, std::vector<Operand> AddrArgs) {
+  assert(!AddrArgs.empty() && "load needs address operands");
+  Instruction I;
+  I.Kind = InstrKind::Load;
+  I.Dest = Dest;
+  I.Args = std::move(AddrArgs);
+  return I;
+}
+
+Instruction Instruction::makeStore(Operand Val, std::vector<Operand> AddrArgs) {
+  assert(!AddrArgs.empty() && "store needs address operands");
+  Instruction I;
+  I.Kind = InstrKind::Store;
+  I.StoreVal = Val;
+  I.Args = std::move(AddrArgs);
+  return I;
+}
+
+Instruction Instruction::makeJumpI(std::vector<Operand> AddrArgs) {
+  assert(!AddrArgs.empty() && "jmpi needs target operands");
+  Instruction I;
+  I.Kind = InstrKind::JumpI;
+  I.Args = std::move(AddrArgs);
+  return I;
+}
+
+Instruction Instruction::makeCall(PC Callee) {
+  Instruction I;
+  I.Kind = InstrKind::Call;
+  I.Callee = Callee;
+  return I;
+}
+
+Instruction Instruction::makeCallI(std::vector<Operand> TargetArgs) {
+  assert(!TargetArgs.empty() && "calli needs target operands");
+  Instruction I;
+  I.Kind = InstrKind::CallI;
+  I.Args = std::move(TargetArgs);
+  return I;
+}
+
+Instruction Instruction::makeRet() {
+  Instruction I;
+  I.Kind = InstrKind::Ret;
+  return I;
+}
+
+Instruction Instruction::makeFence() {
+  Instruction I;
+  I.Kind = InstrKind::Fence;
+  return I;
+}

@@ -1,0 +1,77 @@
+//===- isa/Opcode.h - Operation codes for `op` and `br` --------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcodes for the paper's `op` instruction ("op specifies opcode", Table 1)
+/// and for the Boolean operator of conditional branches.  The paper leaves
+/// the operation set abstract; we provide the operations needed to express
+/// the paper's examples plus the masking/selection idioms used by real
+/// constant-time cryptographic code (the §4.2 case studies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_ISA_OPCODE_H
+#define SCT_ISA_OPCODE_H
+
+#include <optional>
+#include <string_view>
+
+namespace sct {
+
+/// Operation codes usable in `op` instructions and as branch conditions.
+enum class Opcode : unsigned char {
+  // Arithmetic / logic.
+  Add,
+  Sub,
+  Mul,
+  UDiv, // Division by zero yields 0 (total semantics).
+  URem, // Remainder by zero yields the dividend.
+  And,
+  Or,
+  Xor,
+  Shl, // Shift amounts are taken modulo 64.
+  Shr,
+  Not,
+  Neg,
+  Mov,
+  Select, // select(c, a, b) = c != 0 ? a : b — constant-time select.
+  // Comparisons (produce 0 or 1); also the Boolean operators of `br`.
+  Eq,
+  Ne,
+  Ult,
+  Ule,
+  Ugt,
+  Uge,
+  Slt,
+  Sle,
+  Sgt,
+  Sge,
+  // Nullary conditions: `br true -> n, n` encodes a direct jump.
+  True,
+  False,
+  // Abstract stack-pointer successor/predecessor used by call/ret
+  // expansion (Appendix A.2 keeps succ/pred abstract; see MachineOptions).
+  Succ,
+  Pred,
+};
+
+/// Number of operands \p Opc consumes.
+unsigned opcodeArity(Opcode Opc);
+
+/// True iff \p Opc is a comparison or nullary condition, i.e. is valid as
+/// the Boolean operator of a conditional branch.
+bool isCondition(Opcode Opc);
+
+/// Lower-case mnemonic for \p Opc.
+std::string_view opcodeName(Opcode Opc);
+
+/// Parses a mnemonic; returns std::nullopt for unknown names.
+std::optional<Opcode> parseOpcode(std::string_view Name);
+
+} // namespace sct
+
+#endif // SCT_ISA_OPCODE_H

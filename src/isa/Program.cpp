@@ -1,0 +1,111 @@
+//===- isa/Program.cpp - A complete program image --------------------------===//
+
+#include "isa/Program.h"
+
+#include "support/Printing.h"
+
+using namespace sct;
+
+std::optional<Reg> Program::regByName(std::string_view Name) const {
+  for (size_t I = 0; I < RegNames.size(); ++I)
+    if (RegNames[I] == Name)
+      return Reg(static_cast<uint16_t>(I));
+  return std::nullopt;
+}
+
+const MemRegion *Program::regionByName(std::string_view Name) const {
+  for (const MemRegion &R : Regions)
+    if (R.Name == Name)
+      return &R;
+  return nullptr;
+}
+
+Label Program::labelForAddr(uint64_t Addr) const {
+  for (const MemRegion &R : Regions)
+    if (Addr >= R.Base && Addr - R.Base < R.Size)
+      return R.RegionLabel;
+  return Label::publicLabel();
+}
+
+std::optional<std::string> Program::labelAt(PC N) const {
+  for (const auto &[Name, Point] : CodeLabels)
+    if (Point == N)
+      return Name;
+  return std::nullopt;
+}
+
+std::vector<std::string> Program::validate() const {
+  std::vector<std::string> Problems;
+  auto CheckPC = [&](PC N, size_t At, const char *What) {
+    if (N > Text.size())
+      Problems.push_back("instruction " + std::to_string(At) + ": " + What +
+                         " target " + std::to_string(N) + " is out of range");
+  };
+  auto CheckOperand = [&](const Operand &Op, size_t At) {
+    if (Op.isReg() && Op.getReg().id() >= RegNames.size())
+      Problems.push_back("instruction " + std::to_string(At) +
+                         ": undeclared register id " +
+                         std::to_string(Op.getReg().id()));
+  };
+
+  for (size_t At = 0; At < Text.size(); ++At) {
+    const Instruction &I = Text[At];
+    for (const Operand &Op : I.args())
+      CheckOperand(Op, At);
+    switch (I.kind()) {
+    case InstrKind::Op:
+      if (opcodeArity(I.opcode()) != I.args().size())
+        Problems.push_back("instruction " + std::to_string(At) +
+                           ": operand count mismatch for op");
+      if (I.dest().id() >= RegNames.size())
+        Problems.push_back("instruction " + std::to_string(At) +
+                           ": undeclared destination register");
+      break;
+    case InstrKind::Branch:
+      if (!isCondition(I.opcode()))
+        Problems.push_back("instruction " + std::to_string(At) +
+                           ": branch operator is not a condition");
+      CheckPC(I.trueTarget(), At, "branch true");
+      CheckPC(I.falseTarget(), At, "branch false");
+      break;
+    case InstrKind::Load:
+      if (I.dest().id() >= RegNames.size())
+        Problems.push_back("instruction " + std::to_string(At) +
+                           ": undeclared destination register");
+      break;
+    case InstrKind::Store:
+      CheckOperand(I.storeValue(), At);
+      break;
+    case InstrKind::Call:
+      CheckPC(I.callee(), At, "call");
+      break;
+    case InstrKind::JumpI:
+    case InstrKind::CallI:
+    case InstrKind::Ret:
+    case InstrKind::Fence:
+      break;
+    }
+    CheckPC(I.next(), At, "successor");
+  }
+
+  for (const auto &[R, V] : RegInits) {
+    (void)V;
+    if (R.id() >= RegNames.size())
+      Problems.push_back("initial value for undeclared register id " +
+                         std::to_string(R.id()));
+  }
+
+  for (size_t I = 0; I < Regions.size(); ++I)
+    for (size_t J = I + 1; J < Regions.size(); ++J) {
+      const MemRegion &A = Regions[I];
+      const MemRegion &B = Regions[J];
+      bool Disjoint = A.Base + A.Size <= B.Base || B.Base + B.Size <= A.Base;
+      if (!Disjoint)
+        Problems.push_back("memory regions '" + A.Name + "' and '" + B.Name +
+                           "' overlap");
+    }
+
+  if (Entry > Text.size())
+    Problems.push_back("entry point out of range");
+  return Problems;
+}

@@ -1,0 +1,83 @@
+//===- sched/Executor.cpp - Big-step execution C ⇓_D C' ---------------------===//
+
+#include "sched/Executor.h"
+
+#include "support/Printing.h"
+
+using namespace sct;
+
+std::vector<Observation> RunResult::observations() const {
+  std::vector<Observation> O;
+  for (const StepRecord &R : Trace)
+    if (!R.Obs.isNone())
+      O.push_back(R.Obs);
+  return O;
+}
+
+bool RunResult::hasSecretObservation() const {
+  for (const StepRecord &R : Trace)
+    if (R.Obs.isSecret())
+      return true;
+  return false;
+}
+
+bool RunResult::sameObservations(const RunResult &Other) const {
+  std::vector<Observation> A = observations();
+  std::vector<Observation> B = Other.observations();
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (!A[I].observablyEquals(B[I]))
+      return false;
+  return true;
+}
+
+RunResult sct::runSchedule(const Machine &M, Configuration Init,
+                           const Schedule &D) {
+  RunResult R;
+  R.Final = std::move(Init);
+  R.Trace.reserve(D.size());
+  for (size_t I = 0; I < D.size(); ++I) {
+    std::string Why;
+    auto Outcome = M.step(R.Final, D[I], &Why);
+    if (!Outcome) {
+      R.Stuck = true;
+      R.StuckAt = I;
+      R.StuckReason = std::move(Why);
+      return R;
+    }
+    R.Trace.push_back({D[I], Outcome->Obs, Outcome->Rule});
+    if (D[I].isRetire())
+      ++R.Retires;
+  }
+  return R;
+}
+
+std::string sct::printRun(const Machine &M, const Configuration &Init,
+                          const Schedule &D) {
+  Configuration C = Init;
+  std::vector<std::vector<std::string>> Rows;
+  for (const Directive &Dir : D) {
+    std::string Why;
+    auto Outcome = M.step(C, Dir, &Why);
+    if (!Outcome) {
+      Rows.push_back({Dir.str(), "<inapplicable: " + Why + ">", ""});
+      break;
+    }
+    std::string Effect;
+    if (Dir.isFetch() || Dir.isExecute()) {
+      // Show the buffer entry the directive affected, when still present.
+      BufIdx I = Dir.isFetch()
+                     ? (C.Buf.empty() ? 0 : C.Buf.maxIndex())
+                     : Dir.Idx;
+      if (!C.Buf.empty() && C.Buf.contains(I))
+        Effect = std::to_string(I) + " -> " + C.Buf.at(I).str(M.program());
+      else
+        Effect = "(rolled back)";
+    } else {
+      Effect = "(retired)";
+    }
+    Rows.push_back({Dir.str(), Effect, Outcome->Obs.str()});
+  }
+  return renderTable({"Directive", "Effect on buf", "Leakage"}, Rows);
+}

@@ -1,0 +1,47 @@
+//===- sched/RandomScheduler.cpp - Random well-formed schedules -------------===//
+
+#include "sched/RandomScheduler.h"
+
+#include <random>
+
+using namespace sct;
+
+RunResult sct::runRandom(const Machine &M, Configuration Init,
+                         const RandomRunOptions &Opts) {
+  std::mt19937_64 Rng(Opts.Seed);
+  RunResult R;
+  R.Final = std::move(Init);
+
+  for (size_t Step = 0; Step < Opts.MaxSteps; ++Step) {
+    std::vector<Directive> Choices = M.applicableDirectives(R.Final);
+
+    // Apply the speculation window and alias-prediction filters.
+    std::vector<Directive> Filtered;
+    for (const Directive &D : Choices) {
+      if (D.isFetch() && R.Final.Buf.size() >= Opts.SpeculationWindow)
+        continue;
+      if (D.K == Directive::Kind::ExecuteFwd && !Opts.AllowAliasPrediction)
+        continue;
+      Filtered.push_back(D);
+    }
+    if (Filtered.empty())
+      return R; // Final or stalled.
+
+    // Weighted choice: fetches get FetchWeight tickets each.
+    std::vector<size_t> Tickets;
+    for (size_t I = 0; I < Filtered.size(); ++I) {
+      size_t Weight = Filtered[I].isFetch() ? Opts.FetchWeight : 1;
+      for (size_t W = 0; W < Weight; ++W)
+        Tickets.push_back(I);
+    }
+    const Directive &D =
+        Filtered[Tickets[Rng() % Tickets.size()]];
+
+    auto Outcome = M.step(R.Final, D);
+    assert(Outcome && "applicable directive failed to step");
+    R.Trace.push_back({D, Outcome->Obs, Outcome->Rule});
+    if (D.isRetire())
+      ++R.Retires;
+  }
+  return R;
+}

@@ -1,0 +1,46 @@
+//===- sched/RandomScheduler.h - Random well-formed schedules --*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random *well-formed* schedules by repeatedly sampling from
+/// the machine's applicable directives.  Used by the property tests to
+/// exercise the metatheory: any well-formed schedule must satisfy
+/// sequential equivalence (Theorem B.7), and no random schedule may find a
+/// leak the worst-case explorer misses (Theorem B.20, scoped).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_SCHED_RANDOMSCHEDULER_H
+#define SCT_SCHED_RANDOMSCHEDULER_H
+
+#include "sched/Executor.h"
+
+namespace sct {
+
+/// Knobs for random schedule generation.
+struct RandomRunOptions {
+  uint64_t Seed = 1;
+  /// Stop after this many directives even if the run could continue.
+  size_t MaxSteps = 2000;
+  /// Suppress fetches once the buffer holds this many entries.
+  size_t SpeculationWindow = 16;
+  /// Include execute i : fwd j (alias prediction, §3.5) choices.
+  bool AllowAliasPrediction = false;
+  /// Weight of fetch directives relative to others (higher = deeper
+  /// speculation).
+  unsigned FetchWeight = 3;
+};
+
+/// Runs a freshly sampled random schedule; the schedule is recorded in the
+/// result's trace.  The run ends at a final configuration, a stalled one
+/// (no applicable directive), or the step bound.
+RunResult runRandom(const Machine &M, Configuration Init,
+                    const RandomRunOptions &Opts);
+
+} // namespace sct
+
+#endif // SCT_SCHED_RANDOMSCHEDULER_H

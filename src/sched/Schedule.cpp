@@ -1,0 +1,23 @@
+//===- sched/Schedule.cpp - Directive schedules ------------------------------===//
+
+#include "sched/Schedule.h"
+
+using namespace sct;
+
+size_t sct::retireCount(const Schedule &D) {
+  size_t N = 0;
+  for (const Directive &Dir : D)
+    if (Dir.isRetire())
+      ++N;
+  return N;
+}
+
+std::string sct::printSchedule(const Schedule &D) {
+  std::string Out;
+  for (size_t I = 0; I < D.size(); ++I) {
+    if (I != 0)
+      Out += "; ";
+    Out += D[I].str();
+  }
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- sched/Schedule.h - Directive schedules ------------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A schedule D is a sequence of attacker directives; the big-step
+/// judgement C ⇓_D C' runs one (§3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_SCHED_SCHEDULE_H
+#define SCT_SCHED_SCHEDULE_H
+
+#include "core/Directive.h"
+
+#include <string>
+#include <vector>
+
+namespace sct {
+
+/// A directive schedule.
+using Schedule = std::vector<Directive>;
+
+/// Number of retire directives in \p D — the paper's N (retired
+/// instruction count of a big step).
+size_t retireCount(const Schedule &D);
+
+/// Renders "fetch; execute 1; retire; ..." (the paper's list notation).
+std::string printSchedule(const Schedule &D);
+
+} // namespace sct
+
+#endif // SCT_SCHED_SCHEDULE_H

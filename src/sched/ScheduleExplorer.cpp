@@ -1,0 +1,465 @@
+//===- sched/ScheduleExplorer.cpp - Worst-case schedule exploration ---------===//
+
+#include "sched/ScheduleExplorer.h"
+
+#include <set>
+
+using namespace sct;
+
+namespace {
+
+/// Depth-first exploration of the DT(n) schedule tree.  Each path carries
+/// its own configuration and schedule prefix; forks recurse on copies.
+class Explorer {
+public:
+  Explorer(const Machine &M, const ExplorerOptions &Opts)
+      : M(M), P(M.program()), Opts(Opts) {}
+
+  ExploreResult take(Configuration Init) {
+    explorePath(std::move(Init), {}, 0);
+    return std::move(Result);
+  }
+
+private:
+  const Machine &M;
+  const Program &P;
+  const ExplorerOptions &Opts;
+  ExploreResult Result;
+  std::set<uint64_t> SeenLeaks;
+  bool Done = false;
+
+  bool budgetExceeded(size_t PathSteps) {
+    if (Done)
+      return true;
+    if (Result.TotalSteps >= Opts.MaxTotalSteps ||
+        PathSteps >= Opts.MaxStepsPerSchedule ||
+        Result.SchedulesCompleted >= Opts.MaxSchedules) {
+      Result.Truncated = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Program point responsible for a directive's observation (read before
+  /// stepping; rollbacks may remove the entry).
+  PC originOf(const Configuration &C, const Directive &D) const {
+    if (D.isExecute() && C.Buf.contains(D.Idx))
+      return C.Buf.at(D.Idx).Origin;
+    if (D.isRetire() && !C.Buf.empty())
+      return C.Buf.at(C.Buf.minIndex()).Origin;
+    return C.N;
+  }
+
+  /// Issues one directive that must be applicable; records leaks.
+  void mustStep(Configuration &C, Schedule &Sched, size_t &PathSteps,
+                const Directive &D) {
+    [[maybe_unused]] bool Ok = tryStep(C, Sched, PathSteps, D);
+    assert(Ok && "explorer issued an inapplicable directive");
+  }
+
+  /// Issues one directive if applicable; returns false otherwise.
+  bool tryStep(Configuration &C, Schedule &Sched, size_t &PathSteps,
+               const Directive &D) {
+    PC Origin = originOf(C, D);
+    std::string Why;
+    auto Outcome = M.step(C, D, &Why);
+    if (!Outcome)
+      return false;
+    Sched.push_back(D);
+    ++PathSteps;
+    ++Result.TotalSteps;
+    if (Outcome->Obs.isSecret())
+      recordLeak(Sched, Outcome->Obs, Origin, Outcome->Rule);
+    return true;
+  }
+
+  void recordLeak(const Schedule &Sched, const Observation &Obs, PC Origin,
+                  RuleId Rule) {
+    ++Result.LeakEvents;
+    LeakRecord L{Sched, Obs, Origin, Rule};
+    if (SeenLeaks.insert(L.key()).second &&
+        Result.Leaks.size() < Opts.MaxLeaks)
+      Result.Leaks.push_back(std::move(L));
+    if (Opts.StopAtFirstLeak)
+      Done = true;
+  }
+
+  /// Number of unresolved branches / indirect jumps in flight (the
+  /// current nesting depth of speculation).
+  unsigned branchDepth(const Configuration &C) const {
+    if (C.Buf.empty())
+      return 0;
+    unsigned Depth = 0;
+    for (BufIdx J = C.Buf.minIndex(); J <= C.Buf.maxIndex(); ++J) {
+      TransientKind K = C.Buf.at(J).Kind;
+      if (K == TransientKind::Branch || K == TransientKind::JumpI)
+        ++Depth;
+    }
+    return Depth;
+  }
+
+  /// True iff buffer entry \p S sits in the shadow of unresolved control
+  /// flow (a rollback may squash it before retirement).
+  bool inSpeculativeShadow(const Configuration &C, BufIdx S) const {
+    for (BufIdx J = C.Buf.minIndex(); J < S; ++J) {
+      TransientKind K = C.Buf.at(J).Kind;
+      if (K == TransientKind::Branch || K == TransientKind::JumpI)
+        return true;
+    }
+    return false;
+  }
+
+  /// Probes whether guessing \p Guess for the branch at C.N is the correct
+  /// prediction.  Returns std::nullopt when the branch cannot be executed
+  /// yet (e.g. a fence is in flight) and correctness is unknowable.
+  std::optional<bool> probeBranchCorrect(const Configuration &C) {
+    Configuration T = C;
+    BufIdx I = T.Buf.nextIndex();
+    if (!M.step(T, Directive::fetchBool(true)))
+      return std::nullopt;
+    auto Out = M.step(T, Directive::execute(I));
+    if (!Out)
+      return std::nullopt;
+    return Out->Rule == RuleId::CondExecuteCorrect;
+  }
+
+  /// Best-effort resolution of an indirect jump's target at fetch time.
+  std::optional<PC> peekJumpTarget(const Configuration &C,
+                                   const std::vector<Operand> &Args) {
+    auto Vals = M.resolveOperands(C, C.Buf.nextIndex(), Args);
+    if (!Vals)
+      return std::nullopt;
+    return static_cast<PC>(evalAddr(*Vals, M.options()).Bits);
+  }
+
+  /// Best-effort architectural return target for a ret with an empty RSB:
+  /// the newest in-flight store to [rsp] or, failing that, memory.
+  PC peekReturnTarget(const Configuration &C) {
+    auto Sp = M.resolveReg(C, C.Buf.nextIndex(), Reg::sp());
+    if (!Sp)
+      return 0;
+    uint64_t A = Sp->Bits;
+    if (!C.Buf.empty())
+      for (BufIdx J = C.Buf.maxIndex() + 1; J > C.Buf.minIndex();) {
+        --J;
+        const TransientInstr &T = C.Buf.at(J);
+        if (T.isStoreToAddr(A) && T.StoreValIsResolved)
+          return static_cast<PC>(T.StoreResolvedVal.Bits);
+      }
+    return static_cast<PC>(C.Mem.load(A).Bits);
+  }
+
+  /// The DFS driver: runs one path, forking at decision points.
+  void explorePath(Configuration C, Schedule Sched, size_t PathSteps) {
+    for (;;) {
+      if (budgetExceeded(PathSteps))
+        return;
+      if (C.isFinal(P)) {
+        ++Result.SchedulesCompleted;
+        return;
+      }
+
+      bool CanFetch =
+          C.Buf.size() < Opts.SpeculationBound && P.contains(C.N);
+      if (CanFetch) {
+        if (!fetchAndDecide(C, Sched, PathSteps))
+          return; // Path ended (stalled machine or pruned).
+        continue;
+      }
+      forceOldest(C, Sched, PathSteps);
+    }
+  }
+
+  /// Phase A: fetch the next instruction eagerly, forking where B.18
+  /// branches the schedule set.  Returns false iff the path is over.
+  bool fetchAndDecide(Configuration &C, Schedule &Sched, size_t &PathSteps) {
+    const Instruction &I = P.at(C.N);
+    BufIdx Next = C.Buf.nextIndex();
+
+    switch (I.kind()) {
+    case InstrKind::Op:
+      mustStep(C, Sched, PathSteps, Directive::fetch());
+      tryStep(C, Sched, PathSteps, Directive::execute(Next));
+      return true;
+
+    case InstrKind::Fence:
+      mustStep(C, Sched, PathSteps, Directive::fetch());
+      return true;
+
+    case InstrKind::Load: {
+      mustStep(C, Sched, PathSteps, Directive::fetch());
+
+      // Alias-prediction forks (§3.5): guess a forward from any earlier
+      // value-resolved store whose address is still unknown.
+      if (Opts.ExploreAliasPrediction && !C.Buf.empty()) {
+        for (BufIdx J = C.Buf.minIndex(); J < Next; ++J) {
+          const TransientInstr &S = C.Buf.at(J);
+          if (!S.is(TransientKind::Store) || !S.StoreValIsResolved ||
+              S.StoreAddrIsResolved)
+            continue;
+          Configuration C2 = C;
+          Schedule S2 = Sched;
+          size_t Steps2 = PathSteps;
+          if (tryStep(C2, S2, Steps2, Directive::executeFwd(Next, J))) {
+            tryStep(C2, S2, Steps2, Directive::execute(Next));
+            explorePath(std::move(C2), std::move(S2), Steps2);
+          }
+          if (Done)
+            return false;
+        }
+      }
+
+      // Store-forwarding forks (§4.1): for every earlier store with an
+      // unresolved address, one schedule resolves exactly that store's
+      // address before this load executes — Pitchfork's
+      // [execute s_i : addr; execute l] schedules.  The fall-through
+      // schedule executes the load with no extra resolution (the "none
+      // resolved" schedule: memory reads may be stale, Spectre v4).
+      if (Opts.ExploreForwardingHazards && !C.Buf.empty()) {
+        for (BufIdx S = C.Buf.minIndex(); S < Next; ++S) {
+          const TransientInstr &St = C.Buf.at(S);
+          if (!St.is(TransientKind::Store) || St.StoreAddrIsResolved)
+            continue;
+          // Architectural-path stores are covered by forced resolution
+          // and its hazard re-execution; fork only where a rollback would
+          // squash the store first (unless exhaustive forks were asked
+          // for).
+          if (!Opts.ExhaustiveForwardForks && !inSpeculativeShadow(C, S))
+            continue;
+          Configuration C2 = C;
+          Schedule S2 = Sched;
+          size_t Steps2 = PathSteps;
+          if (!tryStep(C2, S2, Steps2, Directive::executeAddr(S)))
+            continue;
+          if (tryStep(C2, S2, Steps2, Directive::execute(Next))) {
+            // Keep the fork only if this store actually forwarded; other
+            // outcomes coincide with the fall-through schedule.
+            const ReorderBuffer &B2 = C2.Buf;
+            if (!B2.contains(Next) ||
+                !B2.at(Next).is(TransientKind::LoadResolved) ||
+                !(B2.at(Next).Dep && *B2.at(Next).Dep == S))
+              continue;
+          }
+          explorePath(std::move(C2), std::move(S2), Steps2);
+          if (Done)
+            return false;
+        }
+      }
+
+      tryStep(C, Sched, PathSteps, Directive::execute(Next));
+      return true;
+    }
+
+    case InstrKind::Store: {
+      mustStep(C, Sched, PathSteps, Directive::fetch());
+      if (!C.Buf.at(Next).StoreValIsResolved)
+        tryStep(C, Sched, PathSteps, Directive::executeValue(Next));
+      // With forwarding-hazard exploration the address stays unresolved —
+      // younger loads fork over its resolution; the retire stage forces
+      // it at the latest (B.18).  Without it, resolve eagerly.
+      if (!Opts.ExploreForwardingHazards)
+        tryStep(C, Sched, PathSteps, Directive::executeAddr(Next));
+      return true;
+    }
+
+    case InstrKind::Branch: {
+      std::optional<bool> TrueCorrect = probeBranchCorrect(C);
+      if (!TrueCorrect) {
+        // Condition not executable yet (fence in flight): fork both
+        // guesses unresolved; forceOldest() executes them later.
+        Configuration C2 = C;
+        Schedule S2 = Sched;
+        size_t Steps2 = PathSteps;
+        mustStep(C2, S2, Steps2, Directive::fetchBool(false));
+        explorePath(std::move(C2), std::move(S2), Steps2);
+        if (Done)
+          return false;
+        mustStep(C, Sched, PathSteps, Directive::fetchBool(true));
+        return true;
+      }
+      bool Correct = *TrueCorrect;
+      // Mispredicted fork: fetch the wrong guess and delay its resolution
+      // as long as possible (B.18).  Nesting is bounded: wrong-path loops
+      // would otherwise unroll a fresh fork per iteration.
+      if (branchDepth(C) < Opts.MaxBranchDepth) {
+        Configuration C2 = C;
+        Schedule S2 = Sched;
+        size_t Steps2 = PathSteps;
+        mustStep(C2, S2, Steps2, Directive::fetchBool(!Correct));
+        explorePath(std::move(C2), std::move(S2), Steps2);
+        if (Done)
+          return false;
+      }
+      // Correct-guess path: resolve immediately.
+      mustStep(C, Sched, PathSteps, Directive::fetchBool(Correct));
+      mustStep(C, Sched, PathSteps, Directive::execute(Next));
+      return true;
+    }
+
+    case InstrKind::JumpI: {
+      std::optional<PC> Correct = peekJumpTarget(C, I.args());
+      // Mistraining forks (Spectre v2), when requested.
+      for (PC T : Opts.IndirectTargets) {
+        if (Correct && T == *Correct)
+          continue;
+        if (branchDepth(C) >= Opts.MaxBranchDepth)
+          break;
+        Configuration C2 = C;
+        Schedule S2 = Sched;
+        size_t Steps2 = PathSteps;
+        mustStep(C2, S2, Steps2, Directive::fetchTarget(T));
+        // Leave unresolved: wrong-path execution proceeds until forced.
+        explorePath(std::move(C2), std::move(S2), Steps2);
+        if (Done)
+          return false;
+      }
+      mustStep(C, Sched, PathSteps,
+               Directive::fetchTarget(Correct.value_or(0)));
+      tryStep(C, Sched, PathSteps, Directive::execute(Next));
+      return true;
+    }
+
+    case InstrKind::Call: {
+      mustStep(C, Sched, PathSteps, Directive::fetch());
+      tryStep(C, Sched, PathSteps, Directive::execute(Next + 1));
+      // The return-address store to [rsp] delays like any store when
+      // hazard exploration is on — exactly the gadget behind the FaCT
+      // MEE finding (§4.2.2).
+      if (!Opts.ExploreForwardingHazards)
+        tryStep(C, Sched, PathSteps, Directive::executeAddr(Next + 2));
+      return true;
+    }
+
+    case InstrKind::CallI: {
+      // Indirect call: mistraining forks like jmpi (Spectre v2 via
+      // function pointers), then the correct-prediction path; the group's
+      // return-address store follows the usual forwarding regime.
+      std::optional<PC> Correct = peekJumpTarget(C, I.args());
+      for (PC T : Opts.IndirectTargets) {
+        if (Correct && T == *Correct)
+          continue;
+        if (branchDepth(C) >= Opts.MaxBranchDepth)
+          break;
+        Configuration C2 = C;
+        Schedule S2 = Sched;
+        size_t Steps2 = PathSteps;
+        mustStep(C2, S2, Steps2, Directive::fetchTarget(T));
+        tryStep(C2, S2, Steps2, Directive::execute(Next + 1));
+        explorePath(std::move(C2), std::move(S2), Steps2);
+        if (Done)
+          return false;
+      }
+      mustStep(C, Sched, PathSteps,
+               Directive::fetchTarget(Correct.value_or(0)));
+      tryStep(C, Sched, PathSteps, Directive::execute(Next + 1));
+      if (!Opts.ExploreForwardingHazards)
+        tryStep(C, Sched, PathSteps, Directive::executeAddr(Next + 2));
+      tryStep(C, Sched, PathSteps, Directive::execute(Next + 3));
+      return true;
+    }
+
+    case InstrKind::Ret: {
+      bool RsbPredicts =
+          M.options().RsbOnEmpty == RsbPolicy::Circular || C.Rsb.top();
+      if (!RsbPredicts && M.options().RsbOnEmpty == RsbPolicy::Stall) {
+        // The machine refuses to speculate.  Drain what is in flight; if
+        // nothing is, the machine has stalled for good — a complete (if
+        // unproductive) schedule.
+        if (C.Buf.empty()) {
+          ++Result.SchedulesCompleted;
+          return false;
+        }
+        forceOldest(C, Sched, PathSteps);
+        return true;
+      }
+
+      if (RsbPredicts) {
+        mustStep(C, Sched, PathSteps, Directive::fetch());
+      } else {
+        // RSB underflow: fork over attacker targets (ret2spec), then
+        // continue with the best-effort architectural target.
+        for (PC T : Opts.RsbUnderflowTargets) {
+          if (branchDepth(C) >= Opts.MaxBranchDepth)
+            break;
+          Configuration C2 = C;
+          Schedule S2 = Sched;
+          size_t Steps2 = PathSteps;
+          mustStep(C2, S2, Steps2, Directive::fetchTarget(T));
+          explorePath(std::move(C2), std::move(S2), Steps2);
+          if (Done)
+            return false;
+        }
+        mustStep(C, Sched, PathSteps,
+                 Directive::fetchTarget(peekReturnTarget(C)));
+      }
+      tryStep(C, Sched, PathSteps, Directive::execute(Next + 1));
+      tryStep(C, Sched, PathSteps, Directive::execute(Next + 2));
+      tryStep(C, Sched, PathSteps, Directive::execute(Next + 3));
+      return true;
+    }
+    }
+    return true;
+  }
+
+  /// Phase B: the buffer is full (or nothing is fetchable).  In order:
+  ///  1. retire the oldest entry if it is ready;
+  ///  2. execute any pending *data* instruction (ops, loads, store
+  ///     values) — entries that were blocked by a fence become executable
+  ///     once it retires, and wrong-path work keeps running while delayed
+  ///     control flow stays unresolved (maximal speculation, §4.1);
+  ///  3. only then force the front-most delayed decision: a store's
+  ///     address (possibly raising a forwarding hazard) or a mispredicted
+  ///     branch / indirect jump (rolling back).
+  void forceOldest(Configuration &C, Schedule &Sched, size_t &PathSteps) {
+    assert(!C.Buf.empty() && "nothing to force");
+    if (tryStep(C, Sched, PathSteps, Directive::retire()))
+      return;
+
+    // Step 2: oldest-first, try pending data work.
+    for (BufIdx K = C.Buf.minIndex(); K <= C.Buf.maxIndex(); ++K) {
+      const TransientInstr &T = C.Buf.at(K);
+      switch (T.Kind) {
+      case TransientKind::Op:
+      case TransientKind::Load:
+      case TransientKind::LoadGuessed:
+        if (tryStep(C, Sched, PathSteps, Directive::execute(K)))
+          return;
+        break;
+      case TransientKind::Store:
+        if (!T.StoreValIsResolved &&
+            tryStep(C, Sched, PathSteps, Directive::executeValue(K)))
+          return;
+        break;
+      default:
+        break;
+      }
+      if (C.Buf.empty() || K >= C.Buf.maxIndex())
+        break;
+    }
+
+    // Step 3: force the first remaining unresolved entry (a delayed store
+    // address or speculation-delayed control flow).
+    for (BufIdx K = C.Buf.minIndex(); K <= C.Buf.maxIndex(); ++K) {
+      const TransientInstr &T = C.Buf.at(K);
+      if (T.isResolved())
+        continue;
+      bool Ok;
+      if (T.is(TransientKind::Store))
+        Ok = tryStep(C, Sched, PathSteps, Directive::executeAddr(K));
+      else
+        Ok = tryStep(C, Sched, PathSteps, Directive::execute(K));
+      assert(Ok && "first unresolved entry must be executable");
+      (void)Ok;
+      return;
+    }
+    assert(false && "buffer unretirable yet fully resolved");
+  }
+};
+
+} // namespace
+
+ExploreResult sct::explore(const Machine &M, Configuration Init,
+                           const ExplorerOptions &Opts) {
+  Explorer E(M, Opts);
+  return E.take(std::move(Init));
+}

@@ -1,0 +1,117 @@
+//===- sched/ScheduleExplorer.h - Worst-case schedule exploration -*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pitchfork's schedule generation (§4.1, Definition B.18): a bounded set
+/// of *worst-case attacker schedules* that is sound — if any well-formed
+/// schedule exhibits a secret-labelled observation, some explored schedule
+/// does too (Theorem B.20).
+///
+/// The schedules eagerly fetch until the reorder buffer holds
+/// `SpeculationBound` entries, execute everything as soon as data allows,
+/// and fork at the genuine decision points:
+///  - both guesses of every conditional branch (the mispredicted guess is
+///    resolved as late as possible, maximising wrong-path execution);
+///  - for every store, resolving its address eagerly vs. delaying it past
+///    younger loads (the §3.4 store-forwarding hazards; Spectre v4);
+///  - optionally, alias-predicted forwards `execute i : fwd j` (§3.5);
+///  - optionally, attacker-chosen indirect-jump targets (Spectre v2) and
+///    RSB-underflow return targets (ret2spec), which the original
+///    Pitchfork does not explore (§4, "Pitchfork only exercises a subset
+///    of our semantics").
+///
+/// Every step's observation is checked for a secret label; each finding is
+/// reported with the complete directive schedule that reaches it, so a
+/// violation is a replayable witness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_SCHED_SCHEDULEEXPLORER_H
+#define SCT_SCHED_SCHEDULEEXPLORER_H
+
+#include "sched/Executor.h"
+
+namespace sct {
+
+/// Exploration knobs (§4.2.1's two configurations are:
+/// {Bound=250, Hazards=false} and {Bound=20, Hazards=true}).
+struct ExplorerOptions {
+  /// Reorder-buffer size limit; bounds the depth of speculation.
+  unsigned SpeculationBound = 20;
+  /// Delay store-address resolution and explore forwarding hazards
+  /// (Spectre v4).  The paper's "forwarding hazard detection": stores
+  /// resolve their addresses as late as possible, younger loads read
+  /// stale memory, and the forced resolution raises hazards that roll
+  /// back and re-execute with the forwarded value — so both the stale and
+  /// the fresh outcome of every store/load pair are explored.
+  bool ExploreForwardingHazards = true;
+  /// Fork Pitchfork's explicit [execute s_i : addr; execute l] schedules
+  /// (§4.1) for *every* earlier unresolved store.  By default the forks
+  /// are taken only for stores sitting in the shadow of unresolved
+  /// control flow — stores a rollback would squash before their forced
+  /// resolution, i.e. exactly the cases the forced-resolution rollbacks
+  /// cannot cover (Spectre v1.1).  Architectural-path stores are covered
+  /// by the forced resolution's hazard re-execution, so skipping their
+  /// forks loses no leaks and avoids exponential blow-up on store-heavy
+  /// straight-line code.
+  bool ExhaustiveForwardForks = false;
+  /// Mispredict/mistrain forks stop once this many unresolved branches or
+  /// indirect jumps are in flight, bounding nested wrong-path loop
+  /// unrolling (the paper's "explosion in state space", §4.2).
+  unsigned MaxBranchDepth = 4;
+  /// Fork on alias-predicted forwards (§3.5's hypothetical predictor).
+  bool ExploreAliasPrediction = false;
+  /// Extra attacker-chosen targets for indirect jumps (Spectre v2
+  /// mistraining).  Empty = predict correctly, as Pitchfork does.
+  std::vector<PC> IndirectTargets;
+  /// Extra attacker-chosen targets for ret on RSB underflow (ret2spec).
+  std::vector<PC> RsbUnderflowTargets;
+  /// Budgets.
+  uint64_t MaxSchedules = 1 << 20;
+  uint64_t MaxStepsPerSchedule = 1 << 14;
+  uint64_t MaxTotalSteps = 8ull << 20;
+  size_t MaxLeaks = 4096;
+  /// Stop the whole exploration at the first leak.
+  bool StopAtFirstLeak = false;
+};
+
+/// One secret-labelled observation with its replayable witness schedule.
+struct LeakRecord {
+  Schedule Sched;    ///< Directives up to and including the leaking step.
+  Observation Obs;   ///< The secret-labelled observation.
+  PC Origin;         ///< Program point of the leaking instruction.
+  RuleId Rule;       ///< Rule that produced the observation.
+
+  /// Key used to deduplicate leaks across schedules.
+  uint64_t key() const {
+    return (uint64_t(Origin) << 24) ^ (uint64_t(Obs.K) << 16) ^
+           (uint64_t(Rule) << 8) ^ Obs.Payload.Taint.mask();
+  }
+};
+
+/// Result of an exploration.
+struct ExploreResult {
+  /// Unique leaks (deduplicated by origin/kind/rule/taint).
+  std::vector<LeakRecord> Leaks;
+  /// Total secret observations seen, including duplicates.
+  uint64_t LeakEvents = 0;
+  /// Number of complete schedules driven to a final configuration.
+  uint64_t SchedulesCompleted = 0;
+  uint64_t TotalSteps = 0;
+  /// True iff some budget was exhausted (exploration incomplete).
+  bool Truncated = false;
+
+  bool secure() const { return Leaks.empty(); }
+};
+
+/// Explores the worst-case schedules of \p M from \p Init.
+ExploreResult explore(const Machine &M, Configuration Init,
+                      const ExplorerOptions &Opts);
+
+} // namespace sct
+
+#endif // SCT_SCHED_SCHEDULEEXPLORER_H

@@ -1,0 +1,26 @@
+//===- support/Label.cpp - Security label lattice -------------------------===//
+
+#include "support/Label.h"
+
+#include <bit>
+
+using namespace sct;
+
+std::string Label::str() const {
+  if (isPublic())
+    return "pub";
+  if (std::popcount(Bits) == 1 && (Bits & 1))
+    return "sec";
+  std::string Result = "sec{";
+  bool First = true;
+  for (unsigned I = 0; I < MaxSources; ++I) {
+    if (!contains(I))
+      continue;
+    if (!First)
+      Result += ",";
+    Result += std::to_string(I);
+    First = false;
+  }
+  Result += "}";
+  return Result;
+}

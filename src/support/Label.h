@@ -1,0 +1,87 @@
+//===- support/Label.h - Security label lattice ----------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Security labels drawn from a join-semilattice, as required by the paper's
+/// semantics ("Each value is annotated with a label from a lattice of
+/// security labels with join operator ⊔", §3).
+///
+/// The lattice implemented here is the powerset of up to 64 distinct secret
+/// *taint sources*, ordered by inclusion, with join = set union.  The
+/// classical two-point lattice {public ⊑ secret} of the paper's examples is
+/// the special case with a single source; using a powerset instead lets
+/// violation reports name exactly which secret reached an observation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_SUPPORT_LABEL_H
+#define SCT_SUPPORT_LABEL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace sct {
+
+/// A security label: a set of secret taint sources (empty set = public).
+class Label {
+public:
+  /// Maximum number of distinct taint sources.
+  static constexpr unsigned MaxSources = 64;
+
+  /// Constructs the bottom element (public).
+  constexpr Label() = default;
+
+  /// Returns the bottom lattice element: no taint, i.e. public data.
+  static constexpr Label publicLabel() { return Label(); }
+
+  /// Returns the label carrying the single taint source \p SourceId.
+  static Label secret(unsigned SourceId = 0) {
+    assert(SourceId < MaxSources && "taint source id out of range");
+    return Label(uint64_t(1) << SourceId);
+  }
+
+  /// Returns a label from a raw source bitmask.
+  static constexpr Label fromMask(uint64_t Mask) { return Label(Mask); }
+
+  /// True iff this is the bottom element (no secret taint).
+  constexpr bool isPublic() const { return Bits == 0; }
+
+  /// True iff at least one secret source taints this label.
+  constexpr bool isSecret() const { return Bits != 0; }
+
+  /// Lattice join (⊔): union of taint sources.
+  constexpr Label join(Label Other) const { return Label(Bits | Other.Bits); }
+
+  /// Lattice partial order: true iff this ⊑ \p Other (subset of sources).
+  constexpr bool flowsTo(Label Other) const {
+    return (Bits & ~Other.Bits) == 0;
+  }
+
+  /// True iff taint source \p SourceId is present in this label.
+  bool contains(unsigned SourceId) const {
+    assert(SourceId < MaxSources && "taint source id out of range");
+    return (Bits >> SourceId) & 1;
+  }
+
+  /// Raw bitmask of taint sources.
+  constexpr uint64_t mask() const { return Bits; }
+
+  constexpr bool operator==(const Label &Other) const = default;
+
+  /// Renders "pub", "sec", or "sec{i,j,...}" for multi-source labels.
+  std::string str() const;
+
+private:
+  explicit constexpr Label(uint64_t Bits) : Bits(Bits) {}
+
+  uint64_t Bits = 0;
+};
+
+} // namespace sct
+
+#endif // SCT_SUPPORT_LABEL_H

@@ -1,0 +1,69 @@
+//===- support/Printing.cpp - Small string formatting helpers ------------===//
+
+#include "support/Printing.h"
+
+#include <algorithm>
+
+using namespace sct;
+
+std::string sct::toHex(uint64_t V) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Body;
+  do {
+    Body.push_back(Digits[V & 0xF]);
+    V >>= 4;
+  } while (V != 0);
+  std::reverse(Body.begin(), Body.end());
+  return "0x" + Body;
+}
+
+std::string sct::join(const std::vector<std::string> &Parts,
+                      std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string sct::padLeft(std::string S, size_t Width) {
+  if (S.size() < Width)
+    S.insert(S.begin(), Width - S.size(), ' ');
+  return S;
+}
+
+std::string sct::padRight(std::string S, size_t Width) {
+  if (S.size() < Width)
+    S.append(Width - S.size(), ' ');
+  return S;
+}
+
+std::string sct::renderTable(const std::vector<std::string> &Header,
+                             const std::vector<std::vector<std::string>> &Rows) {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size() && C < Widths.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line = "|";
+    for (size_t C = 0; C < Widths.size(); ++C) {
+      std::string Cell = C < Row.size() ? Row[C] : std::string();
+      Line += " " + padRight(std::move(Cell), Widths[C]) + " |";
+    }
+    return Line + "\n";
+  };
+
+  std::string Result = RenderRow(Header);
+  std::string Rule = "|";
+  for (size_t C = 0; C < Widths.size(); ++C)
+    Rule += std::string(Widths[C] + 2, '-') + "|";
+  Result += Rule + "\n";
+  for (const auto &Row : Rows)
+    Result += RenderRow(Row);
+  return Result;
+}

@@ -1,0 +1,43 @@
+//===- support/Printing.h - Small string formatting helpers ----*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers used by the pretty-printers across the library.  Library
+/// code renders into std::string; only tools/tests/benches perform I/O.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_SUPPORT_PRINTING_H
+#define SCT_SUPPORT_PRINTING_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sct {
+
+/// Renders \p V as "0x.." hexadecimal (no leading zeros beyond one digit).
+std::string toHex(uint64_t V);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Left-pads (right-aligns) \p S to width \p Width with spaces.
+std::string padLeft(std::string S, size_t Width);
+
+/// Right-pads (left-aligns) \p S to width \p Width with spaces.
+std::string padRight(std::string S, size_t Width);
+
+/// Renders a simple ASCII table: header row + data rows, columns sized to
+/// the widest cell.  Used by the bench harnesses to print paper-style rows.
+std::string renderTable(const std::vector<std::string> &Header,
+                        const std::vector<std::vector<std::string>> &Rows);
+
+} // namespace sct
+
+#endif // SCT_SUPPORT_PRINTING_H

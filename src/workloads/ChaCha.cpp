@@ -1,0 +1,171 @@
+//===- workloads/ChaCha.cpp - ARX cipher kernel workload --------------------===//
+
+#include "workloads/ChaCha.h"
+
+#include "isa/AsmParser.h"
+#include "isa/ProgramBuilder.h"
+
+using namespace sct;
+
+namespace {
+
+constexpr uint64_t StateBase = 0x300; // 16-word working state.
+constexpr uint64_t InitBase = 0x320;  // Initial state copy (for feed-forward).
+constexpr uint64_t OutBase = 0x340;   // Keystream block.
+constexpr uint64_t Mask32 = 0xFFFFFFFF;
+
+/// Emits a 32-bit left-rotation of \p X by \p Amount into \p X, using
+/// \p Tmp as scratch (ARX kernels are exactly add/rotate/xor).
+void emitRotl32(ProgramBuilder &B, Reg X, Reg Tmp, unsigned Amount) {
+  auto Imm = ProgramBuilder::imm;
+  auto R = ProgramBuilder::r;
+  B.op(Tmp, Opcode::Shr, {R(X), Imm(32 - Amount)});
+  B.op(X, Opcode::Shl, {R(X), Imm(Amount)});
+  B.op(X, Opcode::Or, {R(X), R(Tmp)});
+  B.op(X, Opcode::And, {R(X), Imm(Mask32)});
+}
+
+/// One ChaCha quarter-round over state words a, b, c, d (in registers).
+void emitQuarterRound(ProgramBuilder &B, Reg A, Reg Bq, Reg C, Reg D,
+                      Reg Tmp) {
+  auto Imm = ProgramBuilder::imm;
+  auto R = ProgramBuilder::r;
+  auto AddMasked = [&](Reg Dst, Reg Src) {
+    B.op(Dst, Opcode::Add, {R(Dst), R(Src)});
+    B.op(Dst, Opcode::And, {R(Dst), Imm(Mask32)});
+  };
+  AddMasked(A, Bq);
+  B.op(D, Opcode::Xor, {R(D), R(A)});
+  emitRotl32(B, D, Tmp, 16);
+  AddMasked(C, D);
+  B.op(Bq, Opcode::Xor, {R(Bq), R(C)});
+  emitRotl32(B, Bq, Tmp, 12);
+  AddMasked(A, Bq);
+  B.op(D, Opcode::Xor, {R(D), R(A)});
+  emitRotl32(B, D, Tmp, 8);
+  AddMasked(C, D);
+  B.op(Bq, Opcode::Xor, {R(Bq), R(C)});
+  emitRotl32(B, Bq, Tmp, 7);
+}
+
+/// Loads state words i0..i3 into the four registers, runs a quarter
+/// round, stores them back.
+void emitQuarterRoundOnWords(ProgramBuilder &B, Reg A, Reg Bq, Reg C, Reg D,
+                             Reg Tmp, unsigned I0, unsigned I1, unsigned I2,
+                             unsigned I3) {
+  auto Imm = ProgramBuilder::imm;
+  auto R = ProgramBuilder::r;
+  B.load(A, {Imm(StateBase + I0)});
+  B.load(Bq, {Imm(StateBase + I1)});
+  B.load(C, {Imm(StateBase + I2)});
+  B.load(D, {Imm(StateBase + I3)});
+  emitQuarterRound(B, A, Bq, C, D, Tmp);
+  B.store(R(A), {Imm(StateBase + I0)});
+  B.store(R(Bq), {Imm(StateBase + I1)});
+  B.store(R(C), {Imm(StateBase + I2)});
+  B.store(R(D), {Imm(StateBase + I3)});
+}
+
+Program buildChaCha(unsigned DoubleRounds) {
+  ProgramBuilder B;
+  Reg A = B.reg("a"), Bq = B.reg("b"), C = B.reg("c"), D = B.reg("d"),
+      Tmp = B.reg("tmp"), T2 = B.reg("t2");
+
+  // State layout: words 0-3 constants (public), 4-11 key (secret),
+  // 12 counter + 13-15 nonce (public).  The copy at InitBase feeds the
+  // final addition.
+  B.region("st_const", StateBase, 4, Label::publicLabel());
+  B.data(StateBase, {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574});
+  B.region("st_key", StateBase + 4, 8, Label::secret());
+  B.data(StateBase + 4, {0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88});
+  B.region("st_ctr", StateBase + 12, 4, Label::publicLabel());
+  B.data(StateBase + 12, {1, 0x9A, 0x9B, 0x9C});
+  B.region("st_init", InitBase, 16, Label::publicLabel());
+  B.region("out", OutBase, 16, Label::publicLabel());
+
+  auto Imm = ProgramBuilder::imm;
+  auto R = ProgramBuilder::r;
+
+  // Copy the initial state for the feed-forward.
+  for (unsigned W = 0; W < 16; ++W) {
+    B.load(A, {Imm(StateBase + W)});
+    B.store(R(A), {Imm(InitBase + W)});
+  }
+
+  for (unsigned Round = 0; Round < DoubleRounds; ++Round) {
+    // Column rounds.
+    emitQuarterRoundOnWords(B, A, Bq, C, D, Tmp, 0, 4, 8, 12);
+    emitQuarterRoundOnWords(B, A, Bq, C, D, Tmp, 1, 5, 9, 13);
+    emitQuarterRoundOnWords(B, A, Bq, C, D, Tmp, 2, 6, 10, 14);
+    emitQuarterRoundOnWords(B, A, Bq, C, D, Tmp, 3, 7, 11, 15);
+    // Diagonal rounds.
+    emitQuarterRoundOnWords(B, A, Bq, C, D, Tmp, 0, 5, 10, 15);
+    emitQuarterRoundOnWords(B, A, Bq, C, D, Tmp, 1, 6, 11, 12);
+    emitQuarterRoundOnWords(B, A, Bq, C, D, Tmp, 2, 7, 8, 13);
+    emitQuarterRoundOnWords(B, A, Bq, C, D, Tmp, 3, 4, 9, 14);
+  }
+
+  // Feed-forward and keystream output.
+  for (unsigned W = 0; W < 16; ++W) {
+    B.load(A, {Imm(StateBase + W)});
+    B.load(T2, {Imm(InitBase + W)});
+    B.op(A, Opcode::Add, {R(A), R(T2)});
+    B.op(A, Opcode::And, {R(A), Imm(Mask32)});
+    B.store(R(A), {Imm(OutBase + W)});
+  }
+  return B.build();
+}
+
+} // namespace
+
+SuiteCase sct::chachaKernel(unsigned DoubleRounds) {
+  SuiteCase C;
+  C.Id = "chacha-kernel";
+  C.Description = "ChaCha-style ARX block function (" +
+                  std::to_string(DoubleRounds) +
+                  " double-rounds): pure add/rotate/xor, no branches";
+  C.Prog = buildChaCha(DoubleRounds);
+  return C; // Clean everywhere by construction.
+}
+
+SuiteCase sct::chachaWithLeakyWrapper() {
+  SuiteCase C;
+  C.Id = "chacha-leaky-wrapper";
+  C.Description = "the same clean primitive behind a C-style caller whose "
+                  "length dispatch can be speculatively bypassed into the "
+                  "key schedule";
+  // The wrapper alone carries the gadget; the kernel's cleanliness is
+  // established by chachaKernel() and the checker localises the leak to
+  // the wrapper (like the secretbox finding, §4.2.2).
+  C.Prog = parseAsmOrDie(R"(
+    .reg len i b z acc
+    .region blk  0x340 8 public    ; keystream block prefix
+    .data 0x340 1 2 3 4 5 6 7 8
+    .region ksch 0x348 8 secret    ; key schedule sits right after
+    .data 0x348 41 42 43 44 45 46 47 48
+    .region tab  0x380 64 public
+    .region meta 0xA0 1 public
+    .data 0xA0 8
+    wrapper:
+      len = load [0xA0]
+      acc = mov 0
+      i = mov 0
+    copy:
+      br ult i, 12 -> chk, out     ; fixed scan over a max-size block
+    chk:
+      br ult i, len -> rd, next    ; the bypassable per-word bound
+    rd:
+      b = load [0x340, i]
+      b = and b, 63
+      z = load [0x380, b]
+      acc = xor acc, z
+    next:
+      i = add i, 1
+      jmp copy
+    out:
+  )");
+  C.ExpectSeqLeak = false;
+  C.ExpectV1V11Leak = true;
+  C.ExpectV4Leak = true;
+  return C;
+}

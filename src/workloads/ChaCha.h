@@ -1,0 +1,40 @@
+//===- workloads/ChaCha.h - ARX cipher kernel workload ---------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ChaCha-style ARX (add/rotate/xor) kernel: the other major family of
+/// constant-time crypto cores alongside donna's ladder.  ARX code has no
+/// secret-dependent branches or addresses by construction, so it must be
+/// speculative constant-time out of the box — a scalability and
+/// true-negative workload for the checker on realistic straight-line code
+/// (§4.2.2's intuition that "crypto primitives will not themselves be
+/// vulnerable to Spectre attacks").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_WORKLOADS_CHACHA_H
+#define SCT_WORKLOADS_CHACHA_H
+
+#include "workloads/SuiteCase.h"
+
+namespace sct {
+
+/// The kernel: loads a 16-word state (key words secret, constants and
+/// counter public), runs \p DoubleRounds column+diagonal double-rounds of
+/// quarter-rounds, adds the initial state back, and stores the keystream
+/// block.  Clean in every checker mode.
+SuiteCase chachaKernel(unsigned DoubleRounds = 2);
+
+/// The same kernel wrapped in a leaky wrapper: after producing the
+/// block, a C-style length dispatch branches on a public length and a
+/// bounds-check bypass reaches the key schedule — the "clean primitive,
+/// leaky caller" pattern of the paper's secretbox finding.
+SuiteCase chachaWithLeakyWrapper();
+
+} // namespace sct
+
+#endif // SCT_WORKLOADS_CHACHA_H

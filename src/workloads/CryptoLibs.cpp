@@ -1,0 +1,402 @@
+//===- workloads/CryptoLibs.cpp - §4.2 crypto case-study models -------------===//
+
+#include "workloads/CryptoLibs.h"
+
+#include "isa/AsmParser.h"
+#include "isa/ProgramBuilder.h"
+
+using namespace sct;
+
+//===----------------------------------------------------------------------===//
+// curve25519-donna
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds the donna model: a Montgomery-ladder fragment over 4-limb field
+/// elements.  The scalar is secret; limb values become secret through the
+/// mask-based cswap, but every address and branch stays public — the
+/// defining property of the real library (§4.2.2: "a straightforward
+/// implementation of crypto primitives").
+Program buildDonna(bool Unrolled) {
+  ProgramBuilder B;
+  Reg Bit = B.reg("bit"), Mask = B.reg("mask"), A = B.reg("a"),
+      Cl = B.reg("cl"), Td = B.reg("td"), T1 = B.reg("t1"),
+      T2 = B.reg("t2"), Acc = B.reg("acc"), I = B.reg("i"),
+      X2b = B.reg("x2b"), X3b = B.reg("x3b"), Z2b = B.reg("z2b"),
+      Z3b = B.reg("z3b"), Tb = B.reg("tb");
+
+  const uint64_t Scalar = 0x200, X2 = 0x210, Z2 = 0x220, X3 = 0x230,
+                 Z3 = 0x240, X1 = 0x250, Tmp = 0x260;
+  B.region("scalar", Scalar, 4, Label::secret());
+  B.data(Scalar, {1, 0, 1, 1});
+  B.region("x2", X2, 4, Label::publicLabel());
+  B.data(X2, {1, 0, 0, 0});
+  B.region("z2", Z2, 4, Label::publicLabel());
+  B.region("x3", X3, 4, Label::publicLabel());
+  B.data(X3, {9, 1, 2, 3});
+  B.region("z3", Z3, 4, Label::publicLabel());
+  B.data(Z3, {1, 0, 0, 0});
+  B.region("x1", X1, 4, Label::publicLabel());
+  B.data(X1, {9, 1, 2, 3});
+  B.region("tmp", Tmp, 4, Label::publicLabel());
+
+  auto Imm = ProgramBuilder::imm;
+  auto R = ProgramBuilder::r;
+
+  // Limb base pointers live in registers so stores use register-relative
+  // addresses (late-resolving in the v4 checker mode, like compiled code).
+  B.movi(X2b, X2).movi(X3b, X3).movi(Z2b, Z2).movi(Z3b, Z3).movi(Tb, Tmp);
+
+  auto EmitRound = [&](Operand BitIndex) {
+    // mask = 0 - (scalar[bit] & 1): all-ones or all-zeros, secret.
+    B.load(Bit, {Imm(Scalar), BitIndex});
+    B.op(Bit, Opcode::And, {R(Bit), Imm(1)});
+    B.op(Mask, Opcode::Neg, {R(Bit)});
+    // Constant-time conditional swap of (x2, x3) and (z2, z3).
+    const std::pair<std::pair<uint64_t, Reg>, std::pair<uint64_t, Reg>>
+        Pairs[] = {{{X2, X2b}, {X3, X3b}}, {{Z2, Z2b}, {Z3, Z3b}}};
+    for (const auto &[P1, P2] : Pairs)
+      for (uint64_t J = 0; J < 4; ++J) {
+        B.load(A, {Imm(P1.first + J)});
+        B.load(Cl, {Imm(P2.first + J)});
+        B.op(Td, Opcode::Xor, {R(A), R(Cl)});
+        B.op(Td, Opcode::And, {R(Td), R(Mask)});
+        B.op(T1, Opcode::Xor, {R(A), R(Td)});
+        B.store(R(T1), {R(P1.second), Imm(J)});
+        B.op(T2, Opcode::Xor, {R(Cl), R(Td)});
+        B.store(R(T2), {R(P2.second), Imm(J)});
+      }
+    // tmp = x2 + z2 (carry-free model of fe_add).
+    for (uint64_t J = 0; J < 4; ++J) {
+      B.load(A, {Imm(X2 + J)});
+      B.load(Cl, {Imm(Z2 + J)});
+      B.op(T1, Opcode::Add, {R(A), R(Cl)});
+      B.store(R(T1), {R(Tb), Imm(J)});
+    }
+    // z2 = tmp ⊛ x1 (schoolbook cross terms, carry-free).
+    B.load(T1, {Imm(Tmp)});
+    B.load(T2, {Imm(X1)});
+    for (uint64_t J = 0; J < 4; ++J) {
+      B.load(A, {Imm(Tmp + J)});
+      B.load(Cl, {Imm(X1 + J)});
+      B.op(A, Opcode::Mul, {R(A), R(T2)});
+      B.op(Cl, Opcode::Mul, {R(Cl), R(T1)});
+      B.op(Acc, Opcode::Add, {R(A), R(Cl)});
+      B.op(Acc, Opcode::And, {R(Acc), Imm(0xFFFF)});
+      B.store(R(Acc), {R(Z2b), Imm(J)});
+    }
+    // x2 = tmp - z2.
+    for (uint64_t J = 0; J < 4; ++J) {
+      B.load(A, {Imm(Tmp + J)});
+      B.load(Cl, {Imm(Z2 + J)});
+      B.op(T1, Opcode::Sub, {R(A), R(Cl)});
+      B.store(R(T1), {R(X2b), Imm(J)});
+    }
+  };
+
+  if (Unrolled) {
+    // FaCT style: fully unrolled, no control flow at all.
+    EmitRound(Imm(0));
+    EmitRound(Imm(1));
+  } else {
+    // C style: public-counter ladder loop.
+    B.movi(I, 0);
+    B.label("ladder");
+    EmitRound(R(I));
+    B.op(I, Opcode::Add, {R(I), Imm(1)});
+    B.br(Opcode::Ult, {R(I), Imm(2)}, "ladder", "done");
+    B.label("done");
+    B.movi(Acc, 0);
+  }
+  return B.build();
+}
+
+} // namespace
+
+SuiteCase sct::donnaC() {
+  SuiteCase C;
+  C.Id = "donna-c";
+  C.Description = "curve25519-donna, C build: looped Montgomery ladder "
+                  "with cswap masks";
+  C.Prog = buildDonna(/*Unrolled=*/false);
+  return C; // Clean everywhere.
+}
+
+SuiteCase sct::donnaFact() {
+  SuiteCase C;
+  C.Id = "donna-fact";
+  C.Description = "curve25519-donna, FaCT build: unrolled straight-line "
+                  "ladder";
+  C.Prog = buildDonna(/*Unrolled=*/true);
+  return C; // Clean everywhere.
+}
+
+//===----------------------------------------------------------------------===//
+// libsodium crypto_secretbox
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The stream-cipher core both secretbox variants share: out[i] = msg[i]
+/// xor keystream[i], public addresses throughout.
+constexpr const char *SecretboxKernel = R"(
+  .reg m k o cn node val t i
+  .region msg  0x100 4 secret
+  .data 0x100 10 20 30 40
+  .region key  0x110 4 secret
+  .data 0x110 77 66 55 44
+  .region out  0x120 4 public
+  .region misc 0x130 9 public
+  .data 0x130 0x1234      ; stack canary
+  .data 0x134 0xE0        ; __libc_message iovec list head
+  .region nodes 0xE0 4 public
+  .data 0xE0 0xF0 0xE2    ; node0 = {str, next}
+  .data 0xE2 0xF1 0x110   ; node1 = {str, next -> runs into the key!}
+  .region strs 0xF0 2 public
+  start:
+    m = load [0x100]
+    k = load [0x110]
+    o = xor m, k
+    store o, [0x120]
+    m = load [0x101]
+    k = load [0x111]
+    o = xor m, k
+    store o, [0x121]
+    m = load [0x102]
+    k = load [0x112]
+    o = xor m, k
+    store o, [0x122]
+    m = load [0x103]
+    k = load [0x113]
+    o = xor m, k
+    store o, [0x123]
+)";
+
+} // namespace
+
+SuiteCase sct::secretboxC() {
+  SuiteCase C;
+  C.Id = "secretbox-c";
+  C.Description = "libsodium secretbox, C build: XOR core plus the "
+                  "stack-protector epilogue whose __libc_message error "
+                  "path walks the iovec list into the key (Figure 9)";
+  C.Prog = parseAsmOrDie(std::string(SecretboxKernel) + R"(
+    ; Stack-protector epilogue: canary intact -> done.
+    cn = load [0x130]
+    br eq cn, 0x1234 -> done, smash
+  smash:
+    ; __libc_message(): for (cnt...) { iov[cnt].iov_base = list->str;
+    ;                                  list = list->next; }
+    node = load [0x134]      ; list head
+    val  = load [node]       ; node0->str
+    store val, [0x138]
+    node = load [node, 1]    ; node0->next
+    val  = load [node]       ; node1->str
+    store val, [0x139]
+    node = load [node, 1]    ; node1->next — now points into the key
+    val  = load [node]       ; "str" = key word (secret value)
+    store val, [0x138]
+    node = load [node, 1]    ; next = key word: the pointer IS a secret
+    val  = load [node]       ; secret-dependent dereference: the leak
+  done:
+    t = mov 0
+  )");
+  C.ExpectSeqLeak = false;
+  C.ExpectV1V11Leak = true;
+  C.ExpectV4Leak = true;
+  return C;
+}
+
+SuiteCase sct::secretboxFact() {
+  SuiteCase C;
+  C.Id = "secretbox-fact";
+  C.Description = "libsodium secretbox, FaCT build: the XOR core alone "
+                  "(no stack-protector machinery)";
+  C.Prog = parseAsmOrDie(std::string(SecretboxKernel) + R"(
+    t = mov 0
+  )");
+  return C; // Clean everywhere.
+}
+
+//===----------------------------------------------------------------------===//
+// OpenSSL ssl3 record validation
+//===----------------------------------------------------------------------===//
+
+SuiteCase sct::ssl3C() {
+  SuiteCase C;
+  C.Id = "ssl3-c";
+  C.Description = "OpenSSL ssl3 record validate, C build: the per-byte "
+                  "bounds check in the padding scan is bypassed and the "
+                  "MAC key is read out of bounds";
+  C.Prog = parseAsmOrDie(R"(
+    .reg len acc i b z
+    .region rec    0x100 4 public
+    .data 0x100 3 1 2 0
+    .region mackey 0x104 4 secret
+    .data 0x104 61 62 63 64
+    .region tab    0x140 64 public
+    .region meta   0xA0 1 public
+    .data 0xA0 4             ; record length
+    start:
+      len = load [0xA0]
+      acc = mov 0
+      i = mov 0
+    scan:
+      br ult i, 6 -> body, out    ; fixed maxpad-style scan bound
+    body:
+      br ult i, len -> rd, next   ; per-byte guard (the bypassed check)
+    rd:
+      b = load [0x100, i]
+      b = and b, 63
+      z = load [0x140, b]         ; rotated-MAC table access
+      acc = xor acc, z
+    next:
+      i = add i, 1
+      jmp scan
+    out:
+  )");
+  C.ExpectSeqLeak = false;
+  C.ExpectV1V11Leak = true;
+  C.ExpectV4Leak = true;
+  return C;
+}
+
+SuiteCase sct::ssl3Fact() {
+  SuiteCase C;
+  C.Id = "ssl3-fact";
+  C.Description = "OpenSSL ssl3 record validate, FaCT build: branchless "
+                  "masked scan, but a cleansed scratch cell is re-read "
+                  "before the zeroing store resolves (stale secret, v4)";
+  C.Prog = parseAsmOrDie(R"(
+    .reg len acc i b z c idx sb
+    .region rec     0x100 4 public
+    .data 0x100 3 1 2 0
+    .region mackey  0x104 4 secret
+    .data 0x104 61 62 63 64
+    .region tab     0x140 64 public
+    .region scratch 0x190 1 secret  ; stale MAC byte of the last record
+    .region meta    0xA0 1 public
+    .data 0xA0 4
+    start:
+      len = load [0xA0]
+      acc = mov 0
+      ; FaCT-style masked scan: idx = i < len ? i : 0 — never OOB, no
+      ; branches.
+      i = mov 0
+      c = ult i, len
+      idx = select c, i, 0
+      b = load [0x100, idx]
+      b = and b, 63
+      z = load [0x140, b]
+      acc = xor acc, z
+      i = mov 1
+      c = ult i, len
+      idx = select c, i, 0
+      b = load [0x100, idx]
+      b = and b, 63
+      z = load [0x140, b]
+      acc = xor acc, z
+      ; Scratch-cell reuse: cleanse, then read back for the rotation
+      ; offset of the next block.
+      sb = mov 0x190
+      store 0, [sb]            ; the cleansing store (address via register)
+      b = load [0x190]         ; may execute before the store resolves
+      b = and b, 63
+      z = load [0x140, b]      ; stale secret reaches the address
+      acc = xor acc, z
+  )");
+  C.ExpectSeqLeak = false;
+  C.ExpectV1V11Leak = false;
+  C.ExpectV4Leak = true; // Table 2's `f`.
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// OpenSSL MAC-then-encrypt CBC
+//===----------------------------------------------------------------------===//
+
+SuiteCase sct::meeC() {
+  SuiteCase C;
+  C.Id = "mee-c";
+  C.Description = "OpenSSL MEE-CBC, C build: the record-length check on "
+                  "the MAC copy loop is bypassed and key material is read "
+                  "out of bounds";
+  C.Prog = parseAsmOrDie(R"(
+    .reg len i b z acc
+    .region rec    0x100 4 public
+    .data 0x100 7 5 3 1
+    .region macsec 0x104 4 secret
+    .data 0x104 51 52 53 54
+    .region tab    0x140 64 public
+    .region meta   0xA0 1 public
+    .data 0xA0 4
+    start:
+      len = load [0xA0]
+      acc = mov 0
+      i = mov 5
+    scan:                         ; downward maxpad-style scan
+      br ult i, len -> rd, next   ; bypassable per-byte bound
+    rd:
+      b = load [0x100, i]
+      b = and b, 63
+      z = load [0x140, b]
+      acc = xor acc, z
+    next:
+      br ugt i, 0 -> dec, out
+    dec:
+      i = sub i, 1
+      jmp scan
+    out:
+  )");
+  C.ExpectSeqLeak = false;
+  C.ExpectV1V11Leak = true;
+  C.ExpectV4Leak = true;
+  return C;
+}
+
+SuiteCase sct::meeFact() {
+  SuiteCase C;
+  C.Id = "mee-fact";
+  C.Description = "OpenSSL MEE-CBC, FaCT build: the Figure 10 gadget — a "
+                  "delayed return-address store lets sha1_update's ret "
+                  "land after the *previous* call, re-executing the "
+                  "record access with the secret-derived pad flag in r14";
+  C.Prog = parseAsmOrDie(R"(
+    .reg r14 pad maxpad cmp acc tmp
+    .init rsp 0x3A
+    .region stack  0x34 7 public
+    .region hidden 0x58 8 secret   ; _out[-1] neighbourhood
+    .region out    0x60 8 secret   ; decrypted record
+    .data 0x60 1 2 3 4 5 6 7 8
+    .region tabs   0x80 16 public
+    main:
+      r14 = mov 8                  ; len _out (public)
+      call aes                     ; aesni_cbc_encrypt(...)
+    L1:
+      pad = load [0x5F, r14]       ; pad = _out[len-1] (secret value)
+      maxpad = mov 3
+      cmp = ugt pad, maxpad        ; secret comparison ...
+      r14 = select cmp, 0, 1       ; ... handled in constant time (FaCT)
+      call sha                     ; _sha1_update(...)
+    L2:
+      acc = mov 0
+      jmp done
+    aes:
+      tmp = mov 1
+      ret
+    sha:
+      tmp = mov 2
+      ret
+    done:
+  )");
+  C.ExpectSeqLeak = false;
+  C.ExpectV1V11Leak = false;
+  C.ExpectV4Leak = true; // Table 2's `f`.
+  return C;
+}
+
+std::vector<SuiteCase> sct::cryptoCases() {
+  return {donnaC(), donnaFact(),   secretboxC(), secretboxFact(),
+          ssl3C(),  ssl3Fact(),    meeC(),       meeFact()};
+}

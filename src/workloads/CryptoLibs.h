@@ -1,0 +1,73 @@
+//===- workloads/CryptoLibs.h - §4.2 crypto case-study models --*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR models of the paper's four crypto case studies (§4.2.1, Table 2),
+/// each in a C-style and a FaCT-style variant.  The models reproduce the
+/// exact leak gadgets §4.2.2 describes — and the clean implementations
+/// contain none — so the Table 2 detection matrix reproduces:
+///
+///   case study        |  C   | FaCT
+///   ------------------+------+------
+///   curve25519-donna  |  —   |  —
+///   libsodium         |  ✓   |  —     (stack-protector __libc_message
+///     secretbox       |      |         list walk, Figure 9)
+///   OpenSSL ssl3      |  ✓   |  f     (C: padding-loop bounds bypass;
+///     record validate |      |         FaCT: stale scratch reuse, v4)
+///   OpenSSL MEE-CBC   |  ✓   |  f     (C: length-check bypass; FaCT:
+///                     |      |         ret-forwarding gadget, Figure 10)
+///
+///   ✓ = flagged without forwarding-hazard detection (v1/v1.1 mode)
+///   f = flagged only with forwarding-hazard detection (v4 mode)
+///   — = clean in both modes
+///
+/// What the paper analysed were x86-64 binaries of the real libraries; the
+/// models here are the paper-ISA programs with the same control/data-flow
+/// skeletons (see DESIGN.md §2 for the substitution argument).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_WORKLOADS_CRYPTOLIBS_H
+#define SCT_WORKLOADS_CRYPTOLIBS_H
+
+#include "workloads/SuiteCase.h"
+
+namespace sct {
+
+/// curve25519-donna: a Montgomery-ladder step over 4-limb field elements
+/// with mask-based cswap.  The C variant drives the ladder with a
+/// public-counter loop; the FaCT variant is fully unrolled straight-line
+/// code.  Both are clean.
+SuiteCase donnaC();
+SuiteCase donnaFact();
+
+/// libsodium crypto_secretbox: a stream-cipher XOR core plus, in the C
+/// variant, the stack-protector epilogue whose error path walks an iovec
+/// list off the rails (Figure 9).
+SuiteCase secretboxC();
+SuiteCase secretboxFact();
+
+/// OpenSSL ssl3 record validation: MAC-and-padding handling.  The C
+/// variant guards per-byte record reads with a bounds check the attacker
+/// bypasses; the FaCT variant is branchless but re-reads a cleansed
+/// scratch cell whose stale content is secret (v4).
+SuiteCase ssl3C();
+SuiteCase ssl3Fact();
+
+/// OpenSSL MAC-then-encrypt CBC.  The C variant has a length-check bypass;
+/// the FaCT variant contains the Figure 10 gadget: a delayed return-
+/// address store lets `ret` return to the previous call site, re-executing
+/// the record access with a secret-derived length register.
+SuiteCase meeC();
+SuiteCase meeFact();
+
+/// All eight, in Table 2 order (C/FaCT interleaved per case study).
+std::vector<SuiteCase> cryptoCases();
+
+} // namespace sct
+
+#endif // SCT_WORKLOADS_CRYPTOLIBS_H

@@ -1,0 +1,337 @@
+//===- workloads/Figures.cpp - The paper's figure programs ------------------===//
+
+#include "workloads/Figures.h"
+
+#include "checker/Retpoline.h"
+#include "checker/SctChecker.h"
+#include "isa/AsmParser.h"
+
+using namespace sct;
+
+namespace {
+
+Directive F() { return Directive::fetch(); }
+Directive FB(bool B) { return Directive::fetchBool(B); }
+Directive FT(PC N) { return Directive::fetchTarget(N); }
+Directive X(BufIdx I) { return Directive::execute(I); }
+Directive XV(BufIdx I) { return Directive::executeValue(I); }
+Directive XA(BufIdx I) { return Directive::executeAddr(I); }
+Directive XF(BufIdx I, BufIdx J) { return Directive::executeFwd(I, J); }
+Directive R() { return Directive::retire(); }
+
+} // namespace
+
+FigureCase sct::figure1() {
+  FigureCase C;
+  C.Name = "Figure 1";
+  C.Description = "Spectre v1: the branch acts as a bounds check for array "
+                  "A; speculation ignores it and leaks a byte of Key";
+  C.Prog = parseAsmOrDie(R"(
+    ; ra = 9 is out of bounds for the 4-element array A.
+    .reg ra rb rc
+    .init ra 9
+    .region A   0x40 4 public
+    .region B   0x44 4 public
+    .region Key 0x48 4 secret
+    .data 0x40 1 2 3 4
+    .data 0x48 11 22 33 44
+    start:
+      br ult ra, 4 -> body, end
+    body:
+      rb = load [0x40, ra]
+      rc = load [0x44, rb]
+    end:
+  )");
+  // Figure 1's directive column: mispredict the bounds check, then execute
+  // both loads out of order.
+  C.PaperSchedule = {FB(true), F(), F(), X(2), X(3)};
+  C.CheckOpts = ExplorerOptions{};
+  C.ExpectLeak = true;
+  return C;
+}
+
+FigureCase sct::figure2() {
+  FigureCase C;
+  C.Name = "Figure 2";
+  C.Description = "hypothetical aliasing predictor: a load is guessed to "
+                  "alias an unresolved store and receives a secret (§3.5)";
+  C.Prog = parseAsmOrDie(R"(
+    .reg ra rb rc
+    .init ra 2
+    .region Key 0x40 4 secret
+    .region A   0x44 4 public
+    .region B   0x48 4 public
+    .data 0x40 9 8 7 6
+    .data 0x44 0 0 0 0
+    start:
+      rb = load [0x40]        ; rb = x_sec
+      store rb, [0x40, ra]    ; secretKey[ra]; address resolves late
+      rc = load [0x45]        ; guessed to alias the store
+      rc = load [0x48, rc]    ; leaks the forwarded secret
+  )");
+  // The figure's walkthrough: value-resolve the store, alias-predict the
+  // first load, leak through the second, then detect the mismatch.
+  C.PaperSchedule = {F(),      F(),   F(),  F(),   X(1),
+                     XV(2),    XF(3, 2),    X(4),  XA(2), X(3)};
+  C.CheckOpts = ExplorerOptions{};
+  C.CheckOpts.ExploreAliasPrediction = true;
+  C.ExpectLeak = true;
+  return C;
+}
+
+namespace {
+
+Program figure4Program() {
+  return parseAsmOrDie(R"(
+    .reg ra rb rc rg rh rd
+    .init ra 3
+    start:
+      rb = mov 4
+      br ult ra, 2 -> then, else
+    then:
+      rc = add rb, 1
+      jmp end
+    else:
+      rd = mul rg, rh
+    end:
+  )");
+}
+
+} // namespace
+
+FigureCase sct::figure4a() {
+  FigureCase C;
+  C.Name = "Figure 4a";
+  C.Description = "branch predicted correctly: the branch resolves to a "
+                  "jump and execution proceeds";
+  C.Prog = figure4Program();
+  C.PaperSchedule = {F(), FB(false), F(), X(2)};
+  C.CheckOpts = ExplorerOptions{};
+  C.ExpectLeak = false;
+  return C;
+}
+
+FigureCase sct::figure4b() {
+  FigureCase C;
+  C.Name = "Figure 4b";
+  C.Description = "branch predicted incorrectly: the misprediction rolls "
+                  "the buffer back to the branch";
+  C.Prog = figure4Program();
+  C.PaperSchedule = {F(), FB(true), F(), X(2)};
+  C.CheckOpts = ExplorerOptions{};
+  C.ExpectLeak = false;
+  return C;
+}
+
+FigureCase sct::figure5() {
+  FigureCase C;
+  C.Name = "Figure 5";
+  C.Description = "store hazard: a load forwards from the wrong store "
+                  "because a newer store's address resolves late";
+  C.Prog = parseAsmOrDie(R"(
+    .reg ra rc
+    .init ra 0x40
+    .region D 0x40 8 public
+    .data 0x40 1 2 3 4 5 6 7 8
+    start:
+      store 12, [0x43]
+      store 20, [3, ra]
+      rc = load [0x43]
+  )");
+  C.PaperSchedule = {F(), F(), F(), X(3), XA(2)};
+  C.CheckOpts = ExplorerOptions{};
+  C.ExpectLeak = false; // All data public; the figure shows the machinery.
+  return C;
+}
+
+FigureCase sct::figure6() {
+  FigureCase C;
+  C.Name = "Figure 6";
+  C.Description = "Spectre v1.1: a speculative out-of-bounds store forwards "
+                  "a secret to a benign load, which then leaks it";
+  C.Prog = parseAsmOrDie(R"(
+    ; ra = 5 is out of bounds for the 4-word secretKey.
+    .reg ra rb rc
+    .init ra 5
+    .region Key 0x40 4 secret
+    .region A   0x44 4 public
+    .region B   0x48 4 public
+    .data 0x40 9 8 7 6
+    start:
+      rb = load [0x43]          ; rb = x_sec
+      br ule ra, 3 -> st, skip  ; bounds check for the store
+    st:
+      store rb, [0x40, ra]      ; lands on pubArrA[1] = 0x45
+    skip:
+      rc = load [0x45]          ; normally benign
+      rc = load [0x48, rc]      ; leaks the forwarded secret
+  )");
+  C.PaperSchedule = {F(),   X(1),  R(),  FB(true), F(),  F(),  F(),
+                     XV(3), XA(3), X(4), X(5),     X(2)};
+  C.CheckOpts = v1v11Mode(); // Found *without* forwarding-hazard forks.
+  C.ExpectLeak = true;
+  return C;
+}
+
+FigureCase sct::figure7() {
+  FigureCase C;
+  C.Name = "Figure 7";
+  C.Description = "Spectre v4: the zeroing store executes too late and the "
+                  "load reads (and leaks) the stale secret";
+  C.Prog = parseAsmOrDie(R"(
+    .reg ra rc
+    .init ra 0x40
+    .region Key 0x40 4 secret
+    .region A   0x44 4 public
+    .data 0x40 11 22 33 44
+    start:
+      store 0, [3, ra]       ; zeroes secretKey[3]
+      rc = load [0x43]       ; stale read while the address is unresolved
+      rc = load [0x44, rc]   ; leaks the stale secret
+  )");
+  C.PaperSchedule = {F(), F(), F(), X(2), X(3), XA(1)};
+  C.CheckOpts = v4Mode(); // Needs forwarding-hazard exploration.
+  C.ExpectLeak = true;
+  return C;
+}
+
+FigureCase sct::figure8() {
+  FigureCase C;
+  C.Name = "Figure 8";
+  C.Description = "fence mitigation: the fence after the bounds check "
+                  "keeps the Figure 1 loads from executing";
+  C.Prog = parseAsmOrDie(R"(
+    .reg ra rb rc
+    .init ra 9
+    .region A   0x40 4 public
+    .region B   0x44 4 public
+    .region Key 0x48 4 secret
+    .data 0x48 11 22 33 44
+    start:
+      br ult ra, 4 -> body, end
+    body:
+      fence
+      rb = load [0x40, ra]
+      rc = load [0x44, rb]
+    end:
+  )");
+  // Executing the branch exposes the misprediction; the loads (and the
+  // fence) roll back without ever executing.
+  C.PaperSchedule = {FB(true), F(), F(), F(), X(1)};
+  C.CheckOpts = ExplorerOptions{};
+  C.CheckOpts.ExploreAliasPrediction = true;
+  C.ExpectLeak = false;
+  return C;
+}
+
+FigureCase sct::figure11() {
+  FigureCase C;
+  C.Name = "Figure 11";
+  C.Description = "Spectre v2: a mistrained indirect branch sends "
+                  "speculation to a gadget; fences do not help";
+  C.Prog = parseAsmOrDie(R"(
+    .reg ra rb rc rd
+    .init ra 1
+    .init rb @legit
+    .region B   0x44 4 public
+    .region Key 0x48 4 secret
+    .data 0x48 5 6 7 8
+    start:
+      rc = load [0x48, ra]   ; rc = Key[1] (public address, secret value)
+      fence
+      jmpi [rb]              ; legitimate target: legit
+    gadget:
+      rd = load [0x44, rc]   ; leaks rc
+    legit:
+      rd = mov 0
+  )");
+  PC GadgetPC = C.Prog.codeLabels().at("gadget");
+  // The figure's schedule: the fence retires before the gadget load
+  // executes, so it delays but does not prevent the leak.
+  C.PaperSchedule = {F(), F(), X(1), FT(GadgetPC), F(), R(), R(), X(4)};
+  C.CheckOpts = ExplorerOptions{};
+  C.CheckOpts.IndirectTargets = {GadgetPC};
+  C.ExpectLeak = true;
+  return C;
+}
+
+FigureCase sct::figure12() {
+  FigureCase C;
+  C.Name = "Figure 12";
+  C.Description = "ret2spec: an unmatched ret underflows the RSB and the "
+                  "attacker supplies the speculative return target";
+  C.Prog = parseAsmOrDie(R"(
+    .reg rc rd
+    .init rsp 0x20
+    .region Stack 0x10 17 public
+    .region B     0x44 4  public
+    .region Key   0x48 4  secret
+    .data 0x48 5 6 7 8
+    .data 0x20 @end
+    main:
+      call f
+      ret                    ; RSB is empty here: underflow
+    f:
+      ret
+    gadget:
+      rc = load [0x48]
+      rd = load [0x44, rc]   ; leaks Key[0]
+    end:
+      rd = mov 0
+  )");
+  PC GadgetPC = C.Prog.codeLabels().at("gadget");
+  // call f (group 1-3); f's ret predicted via RSB (group 4-7); the final
+  // ret underflows: the attacker sends speculation to the gadget.
+  C.PaperSchedule = {
+      F(),  X(2), XA(3), R(),              // call f
+      F(),  X(5), X(6),  X(7), R(),        // ret from f (RSB correct)
+      FT(GadgetPC),                        // ret underflow -> gadget
+      F(),  F(),                           // fetch the gadget loads
+      X(12), X(13),                        // leak
+      X(9), X(10), X(11)                   // resolve; jump rolls back
+  };
+  C.CheckOpts = ExplorerOptions{};
+  C.CheckOpts.RsbUnderflowTargets = {GadgetPC};
+  C.ExpectLeak = true;
+  return C;
+}
+
+FigureCase sct::figure13() {
+  FigureCase C;
+  C.Name = "Figure 13";
+  C.Description = "retpoline: the indirect jump of a v2 gadget becomes a "
+                  "call/fence-trap/ret sequence; speculation only ever "
+                  "reaches the trap";
+  Program Original = parseAsmOrDie(R"(
+    .reg ra rb rc rd
+    .init ra 1
+    .init rsp 0x38
+    .region Stack 0x32 8 public
+    .region T   0x30 1 public
+    .data 0x30 @legit            ; the jump table holding the real target
+    .region B   0x44 4 public
+    .region Key 0x48 4 secret
+    .data 0x48 5 6 7 8
+    start:
+      rc = load [0x48, ra]
+      rb = load [0x30]
+      jmpi [rb]
+    gadget:
+      rd = load [0x44, rc]
+    legit:
+      rd = mov 0
+  )");
+  RetpolineResult RP = retpolineTransform(Original, {0x30});
+  C.Prog = std::move(RP.Prog);
+  C.CheckOpts = ExplorerOptions{};
+  C.CheckOpts.IndirectTargets = {C.Prog.codeLabels().at("gadget")};
+  C.CheckOpts.RsbUnderflowTargets = {C.Prog.codeLabels().at("gadget")};
+  C.ExpectLeak = false;
+  return C;
+}
+
+std::vector<FigureCase> sct::allFigures() {
+  return {figure1(), figure2(),  figure4a(), figure4b(), figure5(),
+          figure6(), figure7(),  figure8(),  figure11(), figure12(),
+          figure13()};
+}

@@ -1,0 +1,69 @@
+//===- workloads/Figures.h - The paper's figure programs -------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable reconstructions of every worked figure in the paper, each
+/// bundling the program, the figure's attacker-directive walkthrough, the
+/// checker options that expose it, and the expected verdicts:
+///
+///   Figure 1  — Spectre v1 bounds-check bypass
+///   Figure 2  — hypothetical aliasing-predictor attack (§3.5)
+///   Figure 4  — correct vs incorrect branch prediction
+///   Figure 5  — store hazard from late store-address resolution
+///   Figure 6  — Spectre v1.1 store-to-load forward
+///   Figure 7  — Spectre v4 stale load
+///   Figure 8  — fence mitigation of Figure 1
+///   Figure 11 — Spectre v2 mistrained indirect branch (fences useless)
+///   Figure 12 — ret2spec RSB underflow
+///   Figure 13 — retpoline defeating Figure 11's attack
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_WORKLOADS_FIGURES_H
+#define SCT_WORKLOADS_FIGURES_H
+
+#include "sched/ScheduleExplorer.h"
+
+#include <string>
+
+namespace sct {
+
+/// One figure: program + paper walkthrough + expected verdicts.
+struct FigureCase {
+  std::string Name;
+  std::string Description;
+  Program Prog;
+  /// The figure's directive column, adapted to this program's buffer
+  /// indices (empty when the figure demonstrates machinery, not leakage).
+  Schedule PaperSchedule;
+  /// Checker options under which the expectation below holds.
+  ExplorerOptions CheckOpts;
+  /// Expected SCT verdict under CheckOpts.
+  bool ExpectLeak = false;
+  /// Expected verdict of the classical sequential-CT baseline (every
+  /// figure program is sequentially constant-time — that is the point).
+  bool ExpectSequentialLeak = false;
+};
+
+FigureCase figure1();
+FigureCase figure2();
+FigureCase figure4a();
+FigureCase figure4b();
+FigureCase figure5();
+FigureCase figure6();
+FigureCase figure7();
+FigureCase figure8();
+FigureCase figure11();
+FigureCase figure12();
+FigureCase figure13();
+
+/// All figures, in paper order.
+std::vector<FigureCase> allFigures();
+
+} // namespace sct
+
+#endif // SCT_WORKLOADS_FIGURES_H

@@ -1,0 +1,317 @@
+//===- workloads/Kocher.cpp - Kocher Spectre v1 test cases ------------------===//
+
+#include "workloads/Kocher.h"
+
+#include "isa/AsmParser.h"
+
+using namespace sct;
+
+namespace {
+
+/// Shared declarations: registers, memory map, attacker index.
+constexpr const char *Prelude = R"(
+  .reg x y z t sz i c d p
+  .init x 9
+  .region arr1   0x40 4  public
+  .data 0x40 1 0 2 3
+  .region secret 0x44 16 secret
+  .data 0x44 21 22 23 24 25 26 27 28 29 30 31 32 33 34 35 36
+  .region arr2   0x60 64 public
+  .region meta   0xA0 4  public
+  .data 0xA0 4 0xA0
+  .init rsp 0x38
+  .region stack  0x30 9  public
+)";
+
+SuiteCase speculativeOnly(std::string Id, std::string Description,
+                          const std::string &Body) {
+  SuiteCase C;
+  C.Id = std::move(Id);
+  C.Description = std::move(Description);
+  C.Prog = parseAsmOrDie(std::string(Prelude) + Body);
+  C.ExpectSeqLeak = false;
+  C.ExpectV1V11Leak = true;
+  C.ExpectV4Leak = true;
+  return C;
+}
+
+} // namespace
+
+std::vector<SuiteCase> sct::kocherCases() {
+  std::vector<SuiteCase> Cases;
+
+  Cases.push_back(speculativeOnly(
+      "kocher-01", "baseline bounds-check bypass (Kocher ex. 1)", R"(
+    start:
+      sz = load [0xA0]
+      br ult x, sz -> in, out
+    in:
+      y = load [0x40, x]
+      t = load [0x60, y]
+    out:
+  )"));
+
+  Cases.push_back(speculativeOnly(
+      "kocher-02", "leak combined into an accumulator with AND", R"(
+    start:
+      sz = load [0xA0]
+      t = mov 0xFF
+      br ult x, sz -> in, out
+    in:
+      y = load [0x40, x]
+      z = load [0x60, y]
+      t = and t, z
+    out:
+  )"));
+
+  Cases.push_back(speculativeOnly(
+      "kocher-03", "access moved into a called function", R"(
+    start:
+      sz = load [0xA0]
+      br ult x, sz -> in, out
+    in:
+      call leakfn
+    out:
+      jmp done
+    leakfn:
+      y = load [0x40, x]
+      t = load [0x60, y]
+      ret
+    done:
+  )"));
+
+  Cases.push_back(speculativeOnly(
+      "kocher-04", "bounds check written as x <= size-1", R"(
+    start:
+      sz = load [0xA0]
+      d = sub sz, 1
+      br ule x, d -> in, out
+    in:
+      y = load [0x40, x]
+      t = load [0x60, y]
+    out:
+  )"));
+
+  Cases.push_back(speculativeOnly(
+      "kocher-05", "guarded two-element strided read", R"(
+    start:
+      sz = load [0xA0]
+      i = mov 0
+    loop:
+      br ult i, 2 -> body, out
+    body:
+      d = add x, i
+      br ult d, sz -> in, next
+    in:
+      y = load [0x40, d]
+      t = load [0x60, y]
+    next:
+      i = add i, 1
+      jmp loop
+    out:
+  )"));
+
+  Cases.push_back(speculativeOnly(
+      "kocher-06", "array1_size reached through a pointer indirection",
+      R"(
+    start:
+      p = load [0xA1]
+      sz = load [p]
+      br ult x, sz -> in, out
+    in:
+      y = load [0x40, x]
+      t = load [0x60, y]
+    out:
+  )"));
+
+  Cases.push_back(speculativeOnly(
+      "kocher-07", "index xor-perturbed before check and use", R"(
+    start:
+      sz = load [0xA0]
+      d = xor x, 1
+      br ult d, sz -> in, out
+    in:
+      y = load [0x40, d]
+      t = load [0x60, y]
+    out:
+  )"));
+
+  // Case 08 uses a constant-time select instead of a branch: the index is
+  // clamped data-dependently, there is nothing to mispredict, and the
+  // program is secure — the checker must NOT flag it.
+  {
+    SuiteCase C;
+    C.Id = "kocher-08";
+    C.Description = "ternary-operator masking via constant-time select "
+                    "(secure: no branch to mispredict)";
+    C.Prog = parseAsmOrDie(std::string(Prelude) + R"(
+      start:
+        sz = load [0xA0]
+        c = ult x, sz
+        d = select c, x, 0
+        y = load [0x40, d]
+        t = load [0x60, y]
+    )");
+    C.ExpectSeqLeak = false;
+    C.ExpectV1V11Leak = false;
+    C.ExpectV4Leak = false;
+    Cases.push_back(C);
+  }
+
+  Cases.push_back(speculativeOnly(
+      "kocher-09", "redundant double bounds check still bypassable", R"(
+    start:
+      sz = load [0xA0]
+      br ult x, sz -> chk2, out
+    chk2:
+      br ult x, sz -> in, out
+    in:
+      y = load [0x40, x]
+      t = load [0x60, y]
+    out:
+  )"));
+
+  Cases.push_back(speculativeOnly(
+      "kocher-10", "leak through a branch on the out-of-bounds value",
+      R"(
+    start:
+      sz = load [0xA0]
+      br ult x, sz -> in, out
+    in:
+      y = load [0x40, x]
+      br eq y, 42 -> hit, out
+    hit:
+      t = load [0x60]
+    out:
+  )"));
+
+  // Case 11 leaks through a *store address*.  Worst-case schedules resolve
+  // wrong-path store addresses eagerly only in the no-forwarding-hazard
+  // mode (with hazard exploration the address resolves at retire, which a
+  // squashed wrong-path store never reaches) — the two §4.2.1 modes
+  // together cover it.
+  {
+    SuiteCase C;
+    C.Id = "kocher-11";
+    C.Description = "leak through the address of a guarded store";
+    C.Prog = parseAsmOrDie(std::string(Prelude) + R"(
+      start:
+        sz = load [0xA0]
+        br ult x, sz -> in, out
+      in:
+        y = load [0x40, x]
+        store 1, [0x60, y]
+      out:
+    )");
+    C.ExpectSeqLeak = false;
+    C.ExpectV1V11Leak = true;
+    C.ExpectV4Leak = false;
+    Cases.push_back(C);
+  }
+
+  Cases.push_back(speculativeOnly(
+      "kocher-12", "index reassembled from two attacker-controlled halves",
+      R"(
+    start:
+      sz = load [0xA0]
+      d = shr x, 2
+      z = and x, 3
+      d = shl d, 2
+      d = or d, z
+      br ult d, sz -> in, out
+    in:
+      y = load [0x40, d]
+      t = load [0x60, y]
+    out:
+  )"));
+
+  Cases.push_back(speculativeOnly(
+      "kocher-13", "base and index operands swapped in the address", R"(
+    start:
+      sz = load [0xA0]
+      br ult x, sz -> in, out
+    in:
+      y = load [x, 0x40]
+      t = load [0x60, y]
+    out:
+  )"));
+
+  Cases.push_back(speculativeOnly(
+      "kocher-14", "loop-exit misprediction overruns the array", R"(
+    start:
+      i = mov 0
+    loop:
+      y = load [0x40, i]
+      t = load [0x60, y]
+      i = add i, 1
+      br ult i, 4 -> loop, out
+    out:
+  )"));
+
+  Cases.push_back(speculativeOnly(
+      "kocher-15", "two levels of dependent indexing", R"(
+    start:
+      sz = load [0xA0]
+      br ult x, sz -> in, out
+    in:
+      y = load [0x40, x]
+      z = load [0x60, y]
+      t = load [0x60, z]
+    out:
+  )"));
+
+  return Cases;
+}
+
+std::vector<SuiteCase> sct::kocherOriginalCases() {
+  auto Sequential = [](std::string Id, std::string Description,
+                       const std::string &Body) {
+    SuiteCase C;
+    C.Id = std::move(Id);
+    C.Description = std::move(Description);
+    C.Prog = parseAsmOrDie(std::string(Prelude) + Body);
+    C.ExpectSeqLeak = true;
+    C.ExpectV1V11Leak = true;
+    C.ExpectV4Leak = true;
+    return C;
+  };
+
+  std::vector<SuiteCase> Cases;
+  Cases.push_back(Sequential(
+      "kocher-orig-01",
+      "in-bounds table lookup indexed by a secret byte", R"(
+    start:
+      y = load [0x44]
+      t = load [0x60, y]
+  )"));
+  Cases.push_back(Sequential(
+      "kocher-orig-02", "direct branch on a secret comparison", R"(
+    start:
+      y = load [0x44]
+      br eq y, 7 -> a, b
+    a:
+      t = mov 1
+    b:
+  )"));
+  Cases.push_back(Sequential(
+      "kocher-orig-03", "loop whose trip count is a secret", R"(
+    start:
+      z = load [0x45]
+      z = and z, 3
+      i = mov 0
+    loop:
+      br ult i, z -> body, out
+    body:
+      i = add i, 1
+      jmp loop
+    out:
+  )"));
+  Cases.push_back(Sequential(
+      "kocher-orig-04", "store whose address depends on a secret", R"(
+    start:
+      y = load [0x46]
+      y = and y, 31
+      store 3, [0x60, y]
+  )"));
+  return Cases;
+}

@@ -1,0 +1,43 @@
+//===- workloads/Kocher.h - Kocher Spectre v1 test cases -------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Spectre v1 test suite of §4.2: fifteen gadgets adapted from Paul
+/// Kocher's well-known MSVC examples [19], rebuilt in the paper's ISA so
+/// that they violate SCT *only speculatively* (the paper's own "new set of
+/// Spectre v1 test cases which only exhibit violations when executed
+/// speculatively"), plus four "original-style" cases that already violate
+/// the classical sequential discipline, mirroring the paper's remark that
+/// "many of the Kocher examples exhibit violations even during sequential
+/// execution".
+///
+/// Every case shares the memory map
+///   array1  0x40..0x43  public (in-bounds data)
+///   secret  0x44..0x53  secret (adjacent; out-of-bounds reads land here)
+///   array2  0x60..0x9F  public (the cache side-channel surface)
+///   meta    0xA0..0xA3  public (array1_size and a pointer to it)
+/// and the attacker-controlled index x = 9 (out of bounds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_WORKLOADS_KOCHER_H
+#define SCT_WORKLOADS_KOCHER_H
+
+#include "workloads/SuiteCase.h"
+
+namespace sct {
+
+/// The fifteen speculative-only cases, "kocher-01" .. "kocher-15".
+std::vector<SuiteCase> kocherCases();
+
+/// The four original-style sequentially-leaky cases, "kocher-orig-01" ..
+/// "kocher-orig-04".
+std::vector<SuiteCase> kocherOriginalCases();
+
+} // namespace sct
+
+#endif // SCT_WORKLOADS_KOCHER_H

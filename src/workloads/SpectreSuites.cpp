@@ -1,0 +1,267 @@
+//===- workloads/SpectreSuites.cpp - v1.1 and v4 suites ---------------------===//
+
+#include "workloads/SpectreSuites.h"
+
+#include "isa/AsmParser.h"
+
+using namespace sct;
+
+namespace {
+
+/// Shared memory map: a 4-word secret buffer with public arrays around it
+/// and a small stack for the call-based variants.
+constexpr const char *Prelude = R"(
+  .reg x y z t i c idx
+  .init x 9
+  .region key  0x40 4  secret
+  .data 0x40 9 8 7 6
+  .region bufA 0x44 4  public
+  .data 0x44 0 0 0 0
+  .region bufB 0x48 16 public
+  .region tab  0x60 64 public
+  .region meta 0xA0 2  public
+  .data 0xA0 4 2
+  .init rsp 0x38
+  .region stack 0x30 9 public
+)";
+
+SuiteCase v11Case(std::string Id, std::string Description,
+                  const std::string &Body) {
+  SuiteCase C;
+  C.Id = std::move(Id);
+  C.Description = std::move(Description);
+  C.Prog = parseAsmOrDie(std::string(Prelude) + Body);
+  C.ExpectSeqLeak = false;
+  C.ExpectV1V11Leak = true; // Store-forwarding itself needs no hazard forks.
+  C.ExpectV4Leak = true;
+  return C;
+}
+
+SuiteCase v4Case(std::string Id, std::string Description,
+                 const std::string &Body) {
+  SuiteCase C;
+  C.Id = std::move(Id);
+  C.Description = std::move(Description);
+  C.Prog = parseAsmOrDie(std::string(Prelude) + Body);
+  C.ExpectSeqLeak = false;
+  C.ExpectV1V11Leak = false; // Invisible without forwarding hazards.
+  C.ExpectV4Leak = true;
+  return C;
+}
+
+} // namespace
+
+std::vector<SuiteCase> sct::spectreV11Cases() {
+  std::vector<SuiteCase> Cases;
+
+  Cases.push_back(v11Case("v1.1-01",
+                          "out-of-bounds store forwards a secret to a "
+                          "benign load (Figure 6 shape)",
+                          R"(
+    start:
+      y = load [0x43]          ; y = secret
+      c = load [0xA0]
+      br ule x, 3 -> st, skip  ; bounds check for key[x] write
+    st:
+      store y, [0x40, x]       ; x = 9: lands on bufB
+    skip:
+      t = load [0x49]          ; normally public
+      t = load [0x60, t]       ; leaks the forwarded secret
+  )"));
+
+  Cases.push_back(v11Case("v1.1-02",
+                          "forwarded secret overwrites an index cell",
+                          R"(
+    start:
+      y = load [0x42]
+      br ule x, 3 -> st, skip
+    st:
+      store y, [0x40, x]       ; overwrites bufB[1] = the index cell
+    skip:
+      idx = load [0x49]
+      t = load [0x60, idx]
+  )"));
+
+  Cases.push_back(v11Case("v1.1-03",
+                          "forward skips one intervening unrelated store",
+                          R"(
+    start:
+      y = load [0x41]
+      br ule x, 3 -> st, skip
+    st:
+      store y, [0x40, x]
+      store 5, [0x44]          ; unrelated, different address
+    skip:
+      t = load [0x49]
+      t = load [0x60, t]
+  )"));
+
+  Cases.push_back(v11Case("v1.1-04",
+                          "one speculative store forwards to two loads",
+                          R"(
+    start:
+      y = load [0x40]
+      br ule x, 3 -> st, skip
+    st:
+      store y, [0x40, x]
+    skip:
+      z = load [0x49]
+      t = load [0x49]
+      t = load [0x60, t]
+  )"));
+
+  Cases.push_back(v11Case("v1.1-05",
+                          "forwarded secret becomes a branch condition",
+                          R"(
+    start:
+      y = load [0x43]
+      br ule x, 3 -> st, skip
+    st:
+      store y, [0x40, x]
+    skip:
+      z = load [0x49]
+      br eq z, 0 -> a, b
+    a:
+      t = mov 1
+    b:
+  )"));
+
+  Cases.push_back(v11Case("v1.1-06",
+                          "aliasing through distinct address expressions",
+                          R"(
+    start:
+      y = load [0x42]
+      br ule x, 3 -> st, skip
+    st:
+      store y, [0x40, x]       ; 0x40 + 9
+    skip:
+      i = mov 5
+      t = load [0x44, i]       ; 0x44 + 5 — the same cell
+      t = load [0x60, t]
+  )"));
+
+  Cases.push_back(v11Case("v1.1-07",
+                          "speculative store poisons the return-address "
+                          "slot; the return target leaks the secret",
+                          R"(
+    start:
+      y = load [0x43]
+      call f
+    after:
+      t = mov 0
+      jmp done
+    f:
+      z = add x, 30            ; z = 39: 0x10 + 39 = 0x37, the slot
+                               ; holding the saved return address
+      c = ugt z, 40            ; architectural guard (false: 39 <= 40)
+      br eq c, 1 -> wr, fret
+    wr:
+      store y, [0x10, z]       ; poisons the return-address slot
+    fret:
+      ret
+    done:
+  )"));
+
+  Cases.push_back(v11Case("v1.1-08",
+                          "double-indexed forward through two cells",
+                          R"(
+    start:
+      y = load [0x40]
+      z = load [0x41]
+      br ule x, 3 -> st, skip
+    st:
+      store y, [0x40, x]
+      store z, [0x41, x]
+    skip:
+      t = load [0x49]
+      i = load [0x4A]
+      t = add t, i
+      t = load [0x60, t]
+  )"));
+
+  return Cases;
+}
+
+std::vector<SuiteCase> sct::spectreV4Cases() {
+  std::vector<SuiteCase> Cases;
+
+  Cases.push_back(v4Case("v4-01",
+                         "late zeroing store; stale secret leaks "
+                         "(Figure 7 shape)",
+                         R"(
+    start:
+      i = mov 0x40
+      store 0, [3, i]          ; zeroes key[3]
+      t = load [0x43]          ; stale while the address is unresolved
+      t = load [0x60, t]
+  )"));
+
+  Cases.push_back(v4Case("v4-02",
+                         "stale read separated by unrelated arithmetic",
+                         R"(
+    start:
+      i = mov 0x40
+      store 0, [3, i]
+      z = mov 7
+      z = add z, 1
+      t = load [0x43]
+      t = load [0x60, t]
+  )"));
+
+  Cases.push_back(v4Case("v4-03",
+                         "two late stores to the same cell; the load sees "
+                         "the original secret",
+                         R"(
+    start:
+      i = mov 0x40
+      store 0, [3, i]
+      store 1, [3, i]
+      t = load [0x43]
+      t = load [0x60, t]
+  )"));
+
+  Cases.push_back(v4Case("v4-04",
+                         "interleaved cleansing of two cells; one load "
+                         "slips ahead",
+                         R"(
+    start:
+      i = mov 0x40
+      store 0, [2, i]
+      store 0, [3, i]
+      z = load [0x42]
+      t = load [0x43]
+      t = add t, z
+      t = load [0x60, t]
+  )"));
+
+  Cases.push_back(v4Case("v4-05",
+                         "stale secret becomes a branch condition",
+                         R"(
+    start:
+      i = mov 0x40
+      store 0, [3, i]
+      z = load [0x43]
+      br eq z, 0 -> a, b
+    a:
+      t = mov 1
+    b:
+  )"));
+
+  Cases.push_back(v4Case("v4-06",
+                         "callee cleanses a slot; the caller's load "
+                         "overtakes the store",
+                         R"(
+    start:
+      call wipe
+      t = load [0x43]
+      t = load [0x60, t]
+      jmp done
+    wipe:
+      i = mov 0x40
+      store 0, [3, i]
+      ret
+    done:
+  )"));
+
+  return Cases;
+}

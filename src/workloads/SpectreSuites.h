@@ -1,0 +1,33 @@
+//===- workloads/SpectreSuites.h - v1.1 and v4 suites ----------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's own additional suites (§4.2): Spectre v1.1 data attacks
+/// (speculative out-of-bounds stores whose values forward to younger
+/// loads) and Spectre v4 attacks (loads executing before an older store's
+/// address resolves, reading stale secrets).  Every case is sequentially
+/// constant-time; the v1.1 cases are flagged without forwarding-hazard
+/// detection, the v4 cases only with it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_WORKLOADS_SPECTRESUITES_H
+#define SCT_WORKLOADS_SPECTRESUITES_H
+
+#include "workloads/SuiteCase.h"
+
+namespace sct {
+
+/// Spectre v1.1 store-forwarding cases, "v1.1-01" .. "v1.1-08".
+std::vector<SuiteCase> spectreV11Cases();
+
+/// Spectre v4 stale-load cases, "v4-01" .. "v4-06".
+std::vector<SuiteCase> spectreV4Cases();
+
+} // namespace sct
+
+#endif // SCT_WORKLOADS_SPECTRESUITES_H

@@ -1,0 +1,40 @@
+//===- workloads/SuiteCase.h - Shared test-suite case type -----*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common shape of a checker test case: a program plus expected verdicts
+/// under the classical sequential baseline and the two §4.2.1 checker
+/// modes (without / with forwarding-hazard detection).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_WORKLOADS_SUITECASE_H
+#define SCT_WORKLOADS_SUITECASE_H
+
+#include "isa/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace sct {
+
+/// One suite entry.
+struct SuiteCase {
+  std::string Id;
+  std::string Description;
+  Program Prog;
+  /// Expected verdict of the classical (sequential) constant-time check.
+  bool ExpectSeqLeak = false;
+  /// Expected verdict in v1v11Mode (bound 250, no forwarding hazards).
+  bool ExpectV1V11Leak = false;
+  /// Expected verdict in v4Mode (bound 20, forwarding hazards).
+  bool ExpectV4Leak = false;
+};
+
+} // namespace sct
+
+#endif // SCT_WORKLOADS_SUITECASE_H

@@ -1,0 +1,251 @@
+//===- tests/AsmTest.cpp - Assembler, printer, builder, validation ----------===//
+
+#include "isa/AsmParser.h"
+#include "isa/AsmPrinter.h"
+#include "isa/ProgramBuilder.h"
+
+#include "workloads/CryptoLibs.h"
+#include "workloads/Figures.h"
+#include "workloads/Kocher.h"
+#include "workloads/SpectreSuites.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace sct;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Parser basics
+//===----------------------------------------------------------------------===//
+
+TEST(AsmParser, ParsesEveryStatementForm) {
+  ParseResult R = parseAsm(R"(
+    ; comment and # comment styles
+    .reg ra rb          # trailing comment
+    .init ra 0x40
+    .init rsp 0x20
+    .region stack 0x18 9 public
+    .region key 0x50 4 secret 3
+    .data 0x50 1 2 3 4
+    .entry start
+    start:
+      ra = mov 1
+      rb = add ra, -1
+      rb = select ra, rb, 0
+      br ult ra, 4 -> start, next
+    next:
+      jmp next2
+    next2:
+      rb = load [0x40, ra]
+      store rb, [ra]
+      jmpi [ra, 2]
+      call fn
+      fence
+    fn:
+      ret
+  )");
+  ASSERT_TRUE(R.ok()) << R.errorText();
+  const Program &P = *R.Prog;
+  EXPECT_EQ(P.size(), 11u);
+  EXPECT_EQ(P.entry(), 0u);
+  EXPECT_EQ(P.regionByName("key")->RegionLabel, Label::secret(3));
+  EXPECT_TRUE(P.validate().empty());
+}
+
+TEST(AsmParser, NegativeNumbersAreTwosComplement) {
+  ParseResult R = parseAsm(R"(
+    .reg ra
+    start:
+      ra = add ra, -1
+  )");
+  ASSERT_TRUE(R.ok()) << R.errorText();
+  EXPECT_EQ(R.Prog->at(0).args()[1].getImm(), ~uint64_t(0));
+}
+
+TEST(AsmParser, LabelImmediatesResolveForward) {
+  ParseResult R = parseAsm(R"(
+    .reg ra
+    .init ra @target
+    .data 0x40 @target
+    start:
+      jmpi [ra]
+    target:
+      ra = mov 0
+  )");
+  ASSERT_TRUE(R.ok()) << R.errorText();
+  EXPECT_EQ(R.Prog->regInits()[0].second, 1u);
+  EXPECT_EQ(R.Prog->memInits()[0].second, 1u);
+}
+
+struct BadInput {
+  const char *Source;
+  const char *ExpectInMessage;
+};
+
+class AsmParserErrors : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(AsmParserErrors, ReportsWithLineNumbers) {
+  ParseResult R = parseAsm(GetParam().Source);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.errorText().find(GetParam().ExpectInMessage),
+            std::string::npos)
+      << R.errorText();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AsmParserErrors,
+    ::testing::Values(
+        BadInput{"start:\n  rz = mov 1\n", "unknown instruction or register"},
+        BadInput{".reg ra\nstart:\n  ra = bogus 1\n", "unknown opcode"},
+        BadInput{".reg ra\nstart:\n  ra = add 1\n", "operand count"},
+        BadInput{".reg ra\nstart:\n  br ult ra -> a, b\n",
+                 "unknown code label"},
+        BadInput{".reg ra\na:\n  ra = mov 1\na:\n  ra = mov 2\n",
+                 "duplicate code label"},
+        BadInput{".region k 0x40 4 hidden\nstart:\n  fence\n",
+                 "public' or 'secret"},
+        BadInput{".reg ra\nstart:\n  ra = load [ ]\n", "empty address"},
+        BadInput{".bogus 1\nstart:\n  fence\n", "unknown directive"},
+        BadInput{".init rz 4\nstart:\n  fence\n", "unknown register"},
+        BadInput{".reg ra\nstart:\n  jmp nowhere\n", "unknown code label"},
+        BadInput{".reg ra\nstart:\n  ra = mov 1 2\n", "trailing tokens"},
+        BadInput{".region a 0x40 4 public\n.region b 0x42 4 public\n"
+                 "start:\n  fence\n",
+                 "overlap"}));
+
+//===----------------------------------------------------------------------===//
+// Printer round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(AsmPrinter, RoundTripsAllWorkloads) {
+  std::vector<Program> Programs;
+  for (const FigureCase &C : allFigures())
+    Programs.push_back(C.Prog);
+  for (const SuiteCase &C : kocherCases())
+    Programs.push_back(C.Prog);
+  for (const SuiteCase &C : kocherOriginalCases())
+    Programs.push_back(C.Prog);
+  for (const SuiteCase &C : spectreV11Cases())
+    Programs.push_back(C.Prog);
+  for (const SuiteCase &C : spectreV4Cases())
+    Programs.push_back(C.Prog);
+  for (const SuiteCase &C : cryptoCases())
+    Programs.push_back(C.Prog);
+
+  for (const Program &P : Programs) {
+    std::string Once = printAsm(P);
+    ParseResult R = parseAsm(Once);
+    ASSERT_TRUE(R.ok()) << Once << "\n" << R.errorText();
+    EXPECT_EQ(printAsm(*R.Prog), Once);
+    EXPECT_EQ(R.Prog->size(), P.size());
+    EXPECT_EQ(R.Prog->entry(), P.entry());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Builder behaviours
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramBuilder, ForwardLabelsAndFallthroughSuccessors) {
+  ProgramBuilder B;
+  Reg Ra = B.reg("ra");
+  B.br(Opcode::True, {}, "later", "later");
+  B.movi(Ra, 1);
+  B.label("later").movi(Ra, 2);
+  Program P = B.build();
+  EXPECT_EQ(P.at(0).trueTarget(), 2u);
+  EXPECT_EQ(P.at(1).next(), 2u);
+  EXPECT_EQ(P.codeLabels().at("later"), 2u);
+}
+
+TEST(ProgramBuilder, ReservedRegistersAlwaysPresent) {
+  ProgramBuilder B;
+  Program P = B.build();
+  EXPECT_EQ(P.numRegs(), 2u);
+  EXPECT_EQ(P.regName(Reg::sp()), "rsp");
+  EXPECT_EQ(P.regName(Reg::tmp()), "rtmp");
+  EXPECT_EQ(P.regByName("rsp"), Reg::sp());
+}
+
+TEST(ProgramValidate, CatchesOutOfRangeTargets) {
+  ProgramBuilder B;
+  B.reg("ra");
+  B.brPC(Opcode::True, {}, 99, 0);
+  Program P = B.build();
+  std::vector<std::string> Problems = P.validate();
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("out of range"), std::string::npos);
+}
+
+TEST(Program, LabelForAddrFollowsRegions) {
+  ProgramBuilder B;
+  B.region("key", 0x40, 4, Label::secret(2));
+  B.fence();
+  Program P = B.build();
+  EXPECT_EQ(P.labelForAddr(0x41), Label::secret(2));
+  EXPECT_EQ(P.labelForAddr(0x44), Label::publicLabel());
+}
+
+} // namespace
+
+namespace {
+
+TEST(AsmParser, CallIRoundTrips) {
+  Program P = parseAsmOrDie(R"(
+    .reg rf
+    .init rf @f
+    .init rsp 0x20
+    .region stack 0x18 9 public
+    start:
+      calli [rf, 0]
+    f:
+      ret
+  )");
+  EXPECT_TRUE(P.at(0).is(InstrKind::CallI));
+  EXPECT_EQ(P.at(0).args().size(), 2u);
+  std::string Text = printAsm(P);
+  ParseResult R = parseAsm(Text);
+  ASSERT_TRUE(R.ok()) << R.errorText();
+  EXPECT_EQ(printAsm(*R.Prog), Text);
+}
+
+} // namespace
+
+namespace {
+
+TEST(AsmParser, SurvivesMutatedInputs) {
+  // Robustness: byte-level mutations of valid sources must produce clean
+  // diagnostics or a valid program — never a crash.
+  const std::string Seeds[] = {
+      ".reg ra rb\nstart:\n  ra = add ra, 1\n  br ult ra, 4 -> start, e\n"
+      "e:\n  store ra, [0x40, rb]\n",
+      ".region k 0x40 4 secret\n.init rsp 0x20\nstart:\n  call f\nf:\n"
+      "  ret\n",
+  };
+  std::mt19937_64 Rng(42);
+  const char Alphabet[] = "abxr01[]@.,:->=# \n";
+  unsigned Parsed = 0, Rejected = 0;
+  for (const std::string &Seed : Seeds)
+    for (int Round = 0; Round < 400; ++Round) {
+      std::string Mutated = Seed;
+      for (int Edit = 0; Edit < 3; ++Edit) {
+        size_t At = Rng() % Mutated.size();
+        Mutated[At] = Alphabet[Rng() % (sizeof(Alphabet) - 1)];
+      }
+      ParseResult R = parseAsm(Mutated);
+      if (R.ok()) {
+        ++Parsed;
+        EXPECT_TRUE(R.Prog->validate().empty()) << Mutated;
+      } else {
+        ++Rejected;
+        EXPECT_FALSE(R.Errors.empty());
+      }
+    }
+  EXPECT_GT(Rejected, 0u);
+  EXPECT_GT(Parsed, 0u); // Some mutations stay valid (comments etc.).
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+//===- tests/ChaChaTest.cpp - ARX kernel workload ----------------------------===//
+
+#include "workloads/ChaCha.h"
+
+#include "checker/SctChecker.h"
+#include "checker/SequentialCt.h"
+
+#include <gtest/gtest.h>
+
+using namespace sct;
+
+namespace {
+
+TEST(ChaCha, KernelComputesAKeystreamBlock) {
+  SuiteCase C = chachaKernel();
+  ASSERT_TRUE(C.Prog.validate().empty());
+  Machine M(C.Prog);
+  SequentialResult R = runSequential(M, Configuration::initial(C.Prog));
+  ASSERT_FALSE(R.Run.Stuck) << R.Run.StuckReason;
+  EXPECT_TRUE(R.Run.Final.isFinal(C.Prog));
+  // The block is the permuted state plus the initial state: every output
+  // word is 32-bit, key-tainted, and differs from the raw key.
+  for (uint64_t W = 0; W < 16; ++W) {
+    Value Out = R.Run.Final.Mem.load(0x340 + W);
+    EXPECT_LE(Out.Bits, 0xFFFFFFFFu);
+    EXPECT_TRUE(Out.isSecret()) << "word " << W;
+  }
+  // ARX diffusion: two different keys give different first words.
+  Configuration Other = Configuration::initial(C.Prog);
+  Other.Mem.store(0x304, Value::sec(0x99));
+  SequentialResult R2 = runSequential(M, Other);
+  ASSERT_FALSE(R2.Run.Stuck);
+  EXPECT_NE(R.Run.Final.Mem.load(0x340).Bits,
+            R2.Run.Final.Mem.load(0x340).Bits);
+}
+
+TEST(ChaCha, KernelIsSpeculativeConstantTimeInBothModes) {
+  SuiteCase C = chachaKernel();
+  EXPECT_TRUE(checkSequentialCt(C.Prog).secure());
+  SctReport NoFwd = checkSct(C.Prog, v1v11Mode());
+  EXPECT_TRUE(NoFwd.secure())
+      << describeResult(C.Prog, NoFwd.Exploration);
+  EXPECT_FALSE(NoFwd.Exploration.Truncated);
+  SctReport Fwd = checkSct(C.Prog, v4Mode());
+  EXPECT_TRUE(Fwd.secure()) << describeResult(C.Prog, Fwd.Exploration);
+}
+
+TEST(ChaCha, LeakyWrapperIsFlaggedButKernelStaysClean) {
+  SuiteCase C = chachaWithLeakyWrapper();
+  EXPECT_TRUE(checkSequentialCt(C.Prog).secure());
+  SctReport R = checkSct(C.Prog, v1v11Mode());
+  EXPECT_FALSE(R.secure());
+  // Every leak lies in the wrapper's guarded read, not the primitive.
+  PC Rd = C.Prog.codeLabels().at("rd");
+  for (const LeakRecord &L : R.Exploration.Leaks)
+    EXPECT_GE(L.Origin, Rd) << summarizeLeak(C.Prog, L);
+}
+
+TEST(ChaCha, KernelScalesWithRounds) {
+  // A bigger kernel stays clean and completes exploration — the checker
+  // is linear-ish on straight-line code (the tractability §4.2 relies
+  // on for the real crypto binaries).
+  SuiteCase C = chachaKernel(/*DoubleRounds=*/4);
+  EXPECT_GT(C.Prog.size(), 700u);
+  SctReport R = checkSct(C.Prog, v4Mode());
+  EXPECT_TRUE(R.secure());
+  EXPECT_FALSE(R.Exploration.Truncated);
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+//===- tests/CheckerTest.cpp - Checker presets and machine options ----------===//
+
+#include "checker/SctChecker.h"
+#include "checker/SequentialCt.h"
+#include "checker/Violation.h"
+
+#include "isa/AsmParser.h"
+#include "workloads/Figures.h"
+
+#include <gtest/gtest.h>
+
+using namespace sct;
+
+namespace {
+
+TEST(Presets, MatchSection421) {
+  ExplorerOptions NoFwd = v1v11Mode();
+  EXPECT_EQ(NoFwd.SpeculationBound, 250u);
+  EXPECT_FALSE(NoFwd.ExploreForwardingHazards);
+  ExplorerOptions Fwd = v4Mode();
+  EXPECT_EQ(Fwd.SpeculationBound, 20u);
+  EXPECT_TRUE(Fwd.ExploreForwardingHazards);
+}
+
+TEST(TwoModeReport, CellNotation) {
+  // x: flagged without forwarding; f: only with; -: clean.
+  FigureCase V1 = figure1();
+  EXPECT_EQ(checkSctBothModes(V1.Prog).cell(), "x");
+  FigureCase V4 = figure7();
+  EXPECT_EQ(checkSctBothModes(V4.Prog).cell(), "f");
+  FigureCase Fenced = figure8();
+  EXPECT_EQ(checkSctBothModes(Fenced.Prog).cell(), "-");
+}
+
+TEST(Violation, ReportsNameTheLeakSite) {
+  FigureCase C = figure1();
+  SctReport R = checkSct(C.Prog, C.CheckOpts);
+  ASSERT_FALSE(R.secure());
+  std::string Summary = summarizeLeak(C.Prog, R.Exploration.Leaks.front());
+  EXPECT_NE(Summary.find("load"), std::string::npos);
+  EXPECT_NE(Summary.find("read"), std::string::npos);
+  std::string Full = describeResult(C.Prog, R.Exploration);
+  EXPECT_NE(Full.find("VIOLATION"), std::string::npos);
+}
+
+TEST(MachineOptions, UpwardStackWorksEndToEnd) {
+  Program P = parseAsmOrDie(R"(
+    .reg rv
+    .init rsp 0x28
+    .region stack 0x28 9 public
+    start:
+      call f
+      jmp done
+    f:
+      rv = mov 7
+      ret
+    done:
+  )");
+  MachineOptions Opts;
+  Opts.StackGrowsDown = false; // succ(rsp) = rsp + step.
+  Machine M(P, Opts);
+  SequentialResult R = runSequential(M, Configuration::initial(P));
+  ASSERT_FALSE(R.Run.Stuck) << R.Run.StuckReason;
+  EXPECT_TRUE(R.Run.Final.isFinal(P));
+  EXPECT_EQ(R.Run.Final.Regs.get(*P.regByName("rv")).Bits, 7u);
+  // The return address went to 0x29 (upward growth).
+  EXPECT_EQ(R.Run.Final.Mem.load(0x29).Bits, 1u);
+}
+
+TEST(MachineOptions, WideStackStepSeparatesFrames) {
+  Program P = parseAsmOrDie(R"(
+    .reg rv
+    .init rsp 0x40
+    .region stack 0x20 33 public
+    start:
+      call f
+      jmp done
+    f:
+      ret
+    done:
+      rv = mov 1
+  )");
+  MachineOptions Opts;
+  Opts.StackStep = 8;
+  Machine M(P, Opts);
+  SequentialResult R = runSequential(M, Configuration::initial(P));
+  ASSERT_FALSE(R.Run.Stuck);
+  EXPECT_EQ(R.Run.Final.Mem.load(0x38).Bits, 1u); // 0x40 - 8.
+}
+
+TEST(MachineOptions, SpectreV1StillFoundUnderScaledAddressing) {
+  // The v1 gadget expressed with x86-style base+index*scale addressing;
+  // the checker options plumb MachineOptions through.
+  Program P = parseAsmOrDie(R"(
+    .reg ra rb rc
+    .init ra 9
+    .region A   0x40 8 public
+    .region Key 0x48 8 secret
+    .data 0x4A 33
+    start:
+      br ult ra, 4 -> body, end
+    body:
+      rb = load [0x40, ra, 1]    ; 0x40 + 9*1
+      rc = load [0x50, rb, 2]    ; leak: 0x50 + secret*2
+    end:
+  )");
+  MachineOptions MOpts;
+  MOpts.Addressing = AddrMode::BaseIndexScale;
+  EXPECT_TRUE(checkSequentialCt(P, MOpts).secure());
+  SctReport R = checkSct(P, ExplorerOptions{}, MOpts);
+  EXPECT_FALSE(R.secure());
+}
+
+TEST(MachineOptions, RsbStallPolicyKillsRet2Spec) {
+  // Under the AMD-style policy the machine refuses to speculate on RSB
+  // underflow; the Figure 12 attack disappears.
+  FigureCase C = figure12();
+  MachineOptions Stall;
+  Stall.RsbOnEmpty = RsbPolicy::Stall;
+  SctReport R = checkSct(C.Prog, C.CheckOpts, Stall);
+  EXPECT_TRUE(R.secure());
+  // And the program still runs sequentially... up to the underflow, where
+  // the canonical schedule also stalls (the machine genuinely refuses).
+  Machine M(C.Prog, Stall);
+  SequentialResult Seq = runSequential(M, Configuration::initial(C.Prog));
+  EXPECT_TRUE(Seq.Run.Stuck);
+}
+
+TEST(MachineOptions, CircularRsbPredictsStaleTargets) {
+  // Under the circular policy an underflowing ret predicts whatever the
+  // wrapped slot holds — stale but not attacker-chosen: the Figure 12
+  // gadget is out of reach unless the stale slot happens to point at it.
+  FigureCase C = figure12();
+  MachineOptions Circular;
+  Circular.RsbOnEmpty = RsbPolicy::Circular;
+  SctReport R = checkSct(C.Prog, C.CheckOpts, Circular);
+  EXPECT_TRUE(R.secure());
+}
+
+} // namespace

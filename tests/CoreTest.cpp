@@ -1,0 +1,361 @@
+//===- tests/CoreTest.cpp - Unit tests for the core value/state types -------===//
+
+#include "core/Configuration.h"
+#include "core/Directive.h"
+#include "core/Eval.h"
+#include "core/Observation.h"
+
+#include "isa/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace sct;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Label lattice
+//===----------------------------------------------------------------------===//
+
+TEST(Label, PublicIsBottom) {
+  Label Pub = Label::publicLabel();
+  EXPECT_TRUE(Pub.isPublic());
+  EXPECT_FALSE(Pub.isSecret());
+  EXPECT_EQ(Pub.join(Pub), Pub);
+  EXPECT_TRUE(Pub.flowsTo(Label::secret(3)));
+}
+
+TEST(Label, JoinIsUnionOfSources) {
+  Label A = Label::secret(0);
+  Label B = Label::secret(5);
+  Label J = A.join(B);
+  EXPECT_TRUE(J.contains(0));
+  EXPECT_TRUE(J.contains(5));
+  EXPECT_FALSE(J.contains(1));
+  EXPECT_TRUE(A.flowsTo(J));
+  EXPECT_TRUE(B.flowsTo(J));
+  EXPECT_FALSE(J.flowsTo(A));
+}
+
+TEST(Label, JoinIsIdempotentCommutativeAssociative) {
+  Label A = Label::fromMask(0b1010);
+  Label B = Label::fromMask(0b0110);
+  Label C = Label::fromMask(0b1000);
+  EXPECT_EQ(A.join(A), A);
+  EXPECT_EQ(A.join(B), B.join(A));
+  EXPECT_EQ(A.join(B).join(C), A.join(B.join(C)));
+}
+
+TEST(Label, Rendering) {
+  EXPECT_EQ(Label::publicLabel().str(), "pub");
+  EXPECT_EQ(Label::secret(0).str(), "sec");
+  EXPECT_EQ(Label::secret(2).str(), "sec{2}");
+  EXPECT_EQ(Label::secret(1).join(Label::secret(4)).str(), "sec{1,4}");
+}
+
+//===----------------------------------------------------------------------===//
+// Values
+//===----------------------------------------------------------------------===//
+
+TEST(Value, EqualityIncludesLabel) {
+  EXPECT_EQ(Value::pub(7), Value::pub(7));
+  EXPECT_FALSE(Value::pub(7) == Value::sec(7));
+  EXPECT_FALSE(Value::pub(7) == Value::pub(8));
+}
+
+TEST(Value, Rendering) {
+  EXPECT_EQ(Value::pub(9).str(), "9_pub");
+  EXPECT_EQ(Value::sec(0x48).str(), "0x48_sec");
+}
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+TEST(Memory, UnwrittenCellsReadRegionDefaults) {
+  Memory M({{"key", 0x40, 4, Label::secret()}});
+  EXPECT_EQ(M.load(0x41), Value(0, Label::secret()));
+  EXPECT_EQ(M.load(0x44), Value::pub(0)); // Outside every region.
+  M.store(0x41, Value::pub(7));
+  EXPECT_EQ(M.load(0x41), Value::pub(7)); // Labels follow stored values.
+}
+
+TEST(Memory, EqualityIsExtensional) {
+  Memory A({{"d", 0x10, 2, Label::publicLabel()}});
+  Memory B({{"d", 0x10, 2, Label::publicLabel()}});
+  B.store(0x10, Value::pub(0)); // Explicit default write.
+  EXPECT_TRUE(A == B);
+  B.store(0x10, Value::pub(1));
+  EXPECT_FALSE(A == B);
+}
+
+TEST(Memory, LowEquivalenceIgnoresSecretBits) {
+  Memory A({{"key", 0x40, 2, Label::secret()}});
+  Memory B({{"key", 0x40, 2, Label::secret()}});
+  A.store(0x40, Value::sec(1));
+  B.store(0x40, Value::sec(99));
+  EXPECT_TRUE(A.lowEquivalent(B));
+  B.store(0x41, Value::pub(5)); // Label disagreement: secret vs public.
+  EXPECT_FALSE(A.lowEquivalent(B));
+}
+
+//===----------------------------------------------------------------------===//
+// Reorder buffer
+//===----------------------------------------------------------------------===//
+
+TEST(ReorderBuffer, IndicesStartAtOneAndStayContiguous) {
+  ReorderBuffer Buf;
+  EXPECT_TRUE(Buf.empty());
+  EXPECT_EQ(Buf.nextIndex(), 1u);
+  BufIdx A = Buf.push(TransientInstr::makeFence(0));
+  BufIdx B = Buf.push(TransientInstr::makeFence(1));
+  EXPECT_EQ(A, 1u);
+  EXPECT_EQ(B, 2u);
+  EXPECT_EQ(Buf.minIndex(), 1u);
+  EXPECT_EQ(Buf.maxIndex(), 2u);
+  Buf.popFront();
+  EXPECT_EQ(Buf.minIndex(), 2u);
+  EXPECT_FALSE(Buf.contains(1));
+  // Indices are never reused.
+  EXPECT_EQ(Buf.push(TransientInstr::makeFence(2)), 3u);
+}
+
+TEST(ReorderBuffer, TruncateFromRemovesSuffix) {
+  ReorderBuffer Buf;
+  for (PC N = 0; N < 5; ++N)
+    Buf.push(TransientInstr::makeFence(N));
+  Buf.truncateFrom(3);
+  EXPECT_EQ(Buf.size(), 2u);
+  EXPECT_TRUE(Buf.contains(2));
+  EXPECT_FALSE(Buf.contains(3));
+  Buf.truncateFrom(100); // Past the end: no-op.
+  EXPECT_EQ(Buf.size(), 2u);
+  EXPECT_EQ(Buf.nextIndex(), 3u);
+}
+
+TEST(ReorderBuffer, PushDefaultsGroupLeaderToOwnIndex) {
+  ReorderBuffer Buf;
+  BufIdx A = Buf.push(TransientInstr::makeFence(0));
+  EXPECT_EQ(Buf.at(A).GroupLeader, A);
+  TransientInstr Grouped = TransientInstr::makeFence(0);
+  Grouped.GroupLeader = A;
+  BufIdx B = Buf.push(std::move(Grouped));
+  EXPECT_EQ(Buf.at(B).GroupLeader, A);
+}
+
+//===----------------------------------------------------------------------===//
+// Return stack buffer
+//===----------------------------------------------------------------------===//
+
+TEST(ReturnStackBuffer, StackDisciplineAndBottom) {
+  ReturnStackBuffer Rsb;
+  EXPECT_FALSE(Rsb.top().has_value()); // ⊥ when empty.
+  Rsb.push(1, 10);
+  Rsb.push(2, 20);
+  EXPECT_EQ(Rsb.top(), 20u);
+  Rsb.pop(3);
+  EXPECT_EQ(Rsb.top(), 10u);
+  Rsb.pop(4);
+  EXPECT_FALSE(Rsb.top().has_value());
+  // Paper's worked example: ∅[1↦push 4][2↦push 5][3↦pop] has top 4.
+  ReturnStackBuffer Example;
+  Example.push(1, 4);
+  Example.push(2, 5);
+  Example.pop(3);
+  EXPECT_EQ(Example.top(), 4u);
+}
+
+TEST(ReturnStackBuffer, RollbackDropsYoungerJournalEntries) {
+  ReturnStackBuffer Rsb;
+  Rsb.push(1, 10);
+  Rsb.push(5, 50);
+  Rsb.pop(7);
+  Rsb.rollbackFrom(5); // Removes the push@5 and the pop@7.
+  EXPECT_EQ(Rsb.top(), 10u);
+  EXPECT_EQ(Rsb.journalSize(), 1u);
+}
+
+TEST(ReturnStackBuffer, CircularModelWrapsOnUnderflow) {
+  ReturnStackBuffer Rsb;
+  // Fill a 2-slot ring: pushes 10, 20, 30; 30 overwrote the slot of 10.
+  Rsb.push(1, 10);
+  Rsb.push(2, 20);
+  Rsb.push(3, 30);
+  EXPECT_EQ(Rsb.topCircular(2), 30u);
+  Rsb.pop(4);
+  EXPECT_EQ(Rsb.topCircular(2), 20u);
+  Rsb.pop(5);
+  // Underflow past the genuine entries: exposes the stale slot (30).
+  Rsb.pop(6);
+  EXPECT_EQ(Rsb.topCircular(2), 20u);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+struct EvalCase {
+  Opcode Opc;
+  std::vector<uint64_t> Args;
+  uint64_t Expected;
+};
+
+class EvalOps : public ::testing::TestWithParam<EvalCase> {};
+
+TEST_P(EvalOps, ComputesAndStaysPublic) {
+  const EvalCase &C = GetParam();
+  std::vector<Value> Args;
+  for (uint64_t A : C.Args)
+    Args.push_back(Value::pub(A));
+  Value R = evalOp(C.Opc, Args, MachineOptions{});
+  EXPECT_EQ(R.Bits, C.Expected);
+  EXPECT_TRUE(R.isPublic());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, EvalOps,
+    ::testing::Values(
+        EvalCase{Opcode::Add, {3, 4}, 7},
+        EvalCase{Opcode::Sub, {3, 4}, uint64_t(0) - 1},
+        EvalCase{Opcode::Mul, {3, 4}, 12},
+        EvalCase{Opcode::UDiv, {12, 4}, 3},
+        EvalCase{Opcode::UDiv, {12, 0}, 0}, // Total: x/0 = 0.
+        EvalCase{Opcode::URem, {13, 4}, 1},
+        EvalCase{Opcode::URem, {13, 0}, 13}, // Total: x%0 = x.
+        EvalCase{Opcode::And, {0b1100, 0b1010}, 0b1000},
+        EvalCase{Opcode::Or, {0b1100, 0b1010}, 0b1110},
+        EvalCase{Opcode::Xor, {0b1100, 0b1010}, 0b0110},
+        EvalCase{Opcode::Shl, {1, 65}, 2},  // Shift mod 64.
+        EvalCase{Opcode::Shr, {4, 1}, 2},
+        EvalCase{Opcode::Not, {0}, ~uint64_t(0)},
+        EvalCase{Opcode::Neg, {1}, ~uint64_t(0)},
+        EvalCase{Opcode::Mov, {42}, 42},
+        EvalCase{Opcode::Select, {1, 10, 20}, 10},
+        EvalCase{Opcode::Select, {0, 10, 20}, 20},
+        EvalCase{Opcode::Eq, {3, 3}, 1},
+        EvalCase{Opcode::Ne, {3, 3}, 0},
+        EvalCase{Opcode::Ult, {3, 4}, 1},
+        EvalCase{Opcode::Ule, {4, 4}, 1},
+        EvalCase{Opcode::Ugt, {4, 3}, 1},
+        EvalCase{Opcode::Uge, {3, 4}, 0},
+        EvalCase{Opcode::Slt, {uint64_t(0) - 1, 0}, 1}, // -1 < 0 signed.
+        EvalCase{Opcode::Ult, {uint64_t(0) - 1, 0}, 0}, // but not unsigned.
+        EvalCase{Opcode::Sge, {0, uint64_t(0) - 5}, 1},
+        EvalCase{Opcode::True, {}, 1},
+        EvalCase{Opcode::False, {}, 0}));
+
+TEST(Eval, LabelsJoinAcrossOperands) {
+  Value R = evalOp(Opcode::Add, {Value::sec(1, 0), Value::sec(2, 3)},
+                   MachineOptions{});
+  EXPECT_TRUE(R.Taint.contains(0));
+  EXPECT_TRUE(R.Taint.contains(3));
+}
+
+TEST(Eval, SelectTaintsResultWithSelector) {
+  // A constant-time select of two public values under a secret condition
+  // must produce a secret: the chosen value reveals the condition.
+  Value R = evalOp(Opcode::Select,
+                   {Value::sec(1), Value::pub(10), Value::pub(20)},
+                   MachineOptions{});
+  EXPECT_TRUE(R.isSecret());
+}
+
+TEST(Eval, AddrModes) {
+  MachineOptions Sum;
+  EXPECT_EQ(evalAddr({Value::pub(0x40), Value::pub(9)}, Sum).Bits, 0x49u);
+  MachineOptions Scaled;
+  Scaled.Addressing = AddrMode::BaseIndexScale;
+  EXPECT_EQ(
+      evalAddr({Value::pub(0x40), Value::pub(3), Value::pub(8)}, Scaled).Bits,
+      0x40u + 24u);
+  // Fewer than three operands fall back to summation.
+  EXPECT_EQ(evalAddr({Value::pub(0x40), Value::pub(2)}, Scaled).Bits, 0x42u);
+}
+
+TEST(Eval, StackSuccPredFollowOptions) {
+  MachineOptions Down; // Default: downward, step 1.
+  EXPECT_EQ(evalOp(Opcode::Succ, {Value::pub(0x40)}, Down).Bits, 0x3Fu);
+  EXPECT_EQ(evalOp(Opcode::Pred, {Value::pub(0x40)}, Down).Bits, 0x41u);
+  MachineOptions Up;
+  Up.StackGrowsDown = false;
+  Up.StackStep = 4;
+  EXPECT_EQ(evalOp(Opcode::Succ, {Value::pub(0x40)}, Up).Bits, 0x44u);
+  EXPECT_EQ(evalOp(Opcode::Pred, {Value::pub(0x40)}, Up).Bits, 0x3Cu);
+}
+
+//===----------------------------------------------------------------------===//
+// Directives and observations
+//===----------------------------------------------------------------------===//
+
+TEST(Directive, PaperNotation) {
+  EXPECT_EQ(Directive::fetch().str(), "fetch");
+  EXPECT_EQ(Directive::fetchBool(true).str(), "fetch: true");
+  EXPECT_EQ(Directive::fetchTarget(17).str(), "fetch: 17");
+  EXPECT_EQ(Directive::execute(3).str(), "execute 3");
+  EXPECT_EQ(Directive::executeValue(2).str(), "execute 2 : value");
+  EXPECT_EQ(Directive::executeAddr(2).str(), "execute 2 : addr");
+  EXPECT_EQ(Directive::executeFwd(7, 2).str(), "execute 7 : fwd 2");
+  EXPECT_EQ(Directive::retire().str(), "retire");
+}
+
+TEST(Observation, SecretDetectionAndEquality) {
+  Observation Pub = Observation::read(Value::pub(0x49));
+  Observation Sec = Observation::read(Value::sec(0x49));
+  EXPECT_FALSE(Pub.isSecret());
+  EXPECT_TRUE(Sec.isSecret());
+  // Attacker-visible equality ignores labels but not payload bits.
+  EXPECT_TRUE(Pub.observablyEquals(Sec));
+  EXPECT_FALSE(Pub.observablyEquals(Observation::read(Value::pub(0x4A))));
+  EXPECT_FALSE(Pub.observablyEquals(Observation::fwd(Value::pub(0x49))));
+  EXPECT_FALSE(
+      Pub.observablyEquals(Observation::read(Value::pub(0x49), true)));
+}
+
+TEST(Observation, PaperNotation) {
+  EXPECT_EQ(Observation::read(Value::pub(0x49)).str(), "read 0x49_pub");
+  EXPECT_EQ(Observation::fwd(Value::sec(0x45), true).str(),
+            "rollback, fwd 0x45_sec");
+  EXPECT_EQ(Observation::write(Value::pub(0x40)).str(), "write 0x40_pub");
+  EXPECT_EQ(Observation::jump(Value::pub(9)).str(), "jump 9_pub");
+}
+
+//===----------------------------------------------------------------------===//
+// Configurations
+//===----------------------------------------------------------------------===//
+
+TEST(Configuration, InitialStateFromProgram) {
+  ProgramBuilder B;
+  Reg Ra = B.reg("ra");
+  B.init(Ra, 9);
+  B.region("key", 0x40, 2, Label::secret());
+  B.data(0x40, {7, 8});
+  B.entry("start");
+  B.label("start").movi(Ra, 1);
+  Program P = B.build();
+
+  Configuration C = Configuration::initial(P);
+  EXPECT_EQ(C.Regs.get(Ra), Value::pub(9));
+  EXPECT_EQ(C.Mem.load(0x40), Value::sec(7));
+  EXPECT_EQ(C.Mem.load(0x41), Value::sec(8));
+  EXPECT_EQ(C.N, P.entry());
+  EXPECT_TRUE(C.isTerminal());
+  EXPECT_FALSE(C.isFinal(P));
+}
+
+TEST(Configuration, LowEquivalenceTracksOnlyPublicBits) {
+  ProgramBuilder B;
+  B.reg("ra");
+  B.region("key", 0x40, 1, Label::secret());
+  B.movi(B.reg("ra"), 0);
+  Program P = B.build();
+
+  Configuration A = Configuration::initial(P);
+  Configuration C = Configuration::initial(P);
+  C.Mem.store(0x40, Value::sec(99));
+  EXPECT_TRUE(A.lowEquivalent(C));
+  EXPECT_FALSE(A.sameArchState(C));
+  C.Mem.store(0x50, Value::pub(1)); // Public cell differs.
+  EXPECT_FALSE(A.lowEquivalent(C));
+}
+
+} // namespace

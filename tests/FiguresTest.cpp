@@ -1,0 +1,274 @@
+//===- tests/FiguresTest.cpp - Paper figures as executable tests ------------===//
+//
+// Replays every worked figure of the paper against the semantics: the
+// figure's own directive schedule must be well-formed, produce the
+// figure's observations, and the checker must agree with the paper's
+// verdict for each.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Figures.h"
+
+#include "checker/SctChecker.h"
+#include "checker/SequentialCt.h"
+
+#include <gtest/gtest.h>
+
+using namespace sct;
+
+namespace {
+
+RunResult replay(const FigureCase &C) {
+  Machine M(C.Prog);
+  return runSchedule(M, Configuration::initial(C.Prog), C.PaperSchedule);
+}
+
+/// Collects (kind, rollback, secret?) triples for compact assertions.
+std::vector<std::string> obsSummary(const RunResult &R) {
+  std::vector<std::string> Out;
+  for (const Observation &O : R.observations())
+    Out.push_back(O.str());
+  return Out;
+}
+
+TEST(Figure1, PaperScheduleLeaksKeyByte) {
+  FigureCase C = figure1();
+  RunResult R = replay(C);
+  ASSERT_FALSE(R.Stuck) << R.StuckReason;
+
+  // Directive column of Figure 1: the first load reads Key[1] at public
+  // address 0x49; the second leaks the secret-dependent address.
+  ASSERT_EQ(R.Trace.size(), 5u);
+  EXPECT_EQ(R.Trace[3].Rule, RuleId::LoadExecuteNodep);
+  EXPECT_EQ(R.Trace[3].Obs.K, Observation::Kind::Read);
+  EXPECT_EQ(R.Trace[3].Obs.Payload.Bits, 0x49u);
+  EXPECT_TRUE(R.Trace[3].Obs.Payload.isPublic());
+
+  EXPECT_EQ(R.Trace[4].Rule, RuleId::LoadExecuteNodep);
+  EXPECT_EQ(R.Trace[4].Obs.K, Observation::Kind::Read);
+  EXPECT_EQ(R.Trace[4].Obs.Payload.Bits, 0x44u + 22u); // 44 + Key[1]
+  EXPECT_TRUE(R.Trace[4].Obs.Payload.isSecret());
+  EXPECT_TRUE(R.hasSecretObservation());
+}
+
+TEST(Figure1, SequentiallyConstantTimeButNotSCT) {
+  FigureCase C = figure1();
+  EXPECT_TRUE(checkSequentialCt(C.Prog).secure());
+  SctReport Report = checkSct(C.Prog, C.CheckOpts);
+  EXPECT_FALSE(Report.secure());
+}
+
+TEST(Figure2, AliasPredictionForwardsAndLeaksSecret) {
+  FigureCase C = figure2();
+  Machine M(C.Prog);
+  RunResult R = replay(C);
+  ASSERT_FALSE(R.Stuck) << R.StuckReason;
+
+  // execute 4 leaks the secret through the dependent load's address.
+  const StepRecord &Leak = R.Trace[7];
+  EXPECT_EQ(Leak.D, Directive::execute(4));
+  EXPECT_EQ(Leak.Obs.K, Observation::Kind::Read);
+  EXPECT_EQ(Leak.Obs.Payload.Bits, 0x48u + 9u); // 48 + x_sec
+  EXPECT_TRUE(Leak.Obs.Payload.isSecret());
+
+  // execute 2 : addr resolves the store elsewhere -> fwd 0x42, no hazard
+  // (the guessed load has not resolved its address yet).
+  const StepRecord &StoreAddr = R.Trace[8];
+  EXPECT_EQ(StoreAddr.Rule, RuleId::StoreExecuteAddrOk);
+  EXPECT_EQ(StoreAddr.Obs.Payload.Bits, 0x42u);
+
+  // execute 3 detects the mispredicted alias and rolls back.
+  const StepRecord &Hazard = R.Trace[9];
+  EXPECT_EQ(Hazard.Rule, RuleId::LoadExecuteAddrHazard);
+  EXPECT_TRUE(Hazard.Obs.Rollback);
+  EXPECT_EQ(Hazard.Obs.Payload.Bits, 0x45u);
+}
+
+TEST(Figure2, FlaggedOnlyWithAliasPrediction) {
+  FigureCase C = figure2();
+  ExplorerOptions NoAlias = C.CheckOpts;
+  NoAlias.ExploreAliasPrediction = false;
+  EXPECT_TRUE(checkSct(C.Prog, NoAlias).secure());
+  EXPECT_FALSE(checkSct(C.Prog, C.CheckOpts).secure());
+  EXPECT_TRUE(checkSequentialCt(C.Prog).secure());
+}
+
+TEST(Figure4, CorrectPredictionResolvesToJump) {
+  FigureCase C = figure4a();
+  RunResult R = replay(C);
+  ASSERT_FALSE(R.Stuck) << R.StuckReason;
+  EXPECT_EQ(R.Trace.back().Rule, RuleId::CondExecuteCorrect);
+  EXPECT_FALSE(R.Trace.back().Obs.Rollback);
+  // The speculatively fetched else-instruction survives.
+  EXPECT_EQ(R.Final.Buf.size(), 3u);
+}
+
+TEST(Figure4, MispredictionRollsBackTo4) {
+  FigureCase C = figure4b();
+  RunResult R = replay(C);
+  ASSERT_FALSE(R.Stuck) << R.StuckReason;
+  EXPECT_EQ(R.Trace.back().Rule, RuleId::CondExecuteIncorrect);
+  EXPECT_TRUE(R.Trace.back().Obs.Rollback);
+  // Everything younger than the branch is gone; the resolved jump remains.
+  EXPECT_EQ(R.Final.Buf.size(), 2u);
+  EXPECT_TRUE(R.Final.Buf.at(R.Final.Buf.maxIndex())
+                  .is(TransientKind::Jump));
+}
+
+TEST(Figure5, LateStoreAddressRaisesHazard) {
+  FigureCase C = figure5();
+  RunResult R = replay(C);
+  ASSERT_FALSE(R.Stuck) << R.StuckReason;
+
+  // The load forwards 12 from the *older* store at 0x43.
+  EXPECT_EQ(R.Trace[3].Rule, RuleId::LoadExecuteForward);
+  EXPECT_EQ(R.Trace[3].Obs.K, Observation::Kind::Fwd);
+  EXPECT_EQ(R.Trace[3].Obs.Payload.Bits, 0x43u);
+
+  // Resolving the newer store's address exposes the stale forward.
+  EXPECT_EQ(R.Trace[4].Rule, RuleId::StoreExecuteAddrHazard);
+  EXPECT_TRUE(R.Trace[4].Obs.Rollback);
+  EXPECT_EQ(R.Trace[4].Obs.Payload.Bits, 0x43u);
+  // The load was discarded; the two stores remain.
+  EXPECT_EQ(R.Final.Buf.size(), 2u);
+}
+
+TEST(Figure6, SpeculativeStoreForwardsSecretToBenignLoad) {
+  FigureCase C = figure6();
+  RunResult R = replay(C);
+  ASSERT_FALSE(R.Stuck) << R.StuckReason;
+
+  std::vector<std::string> Obs = obsSummary(R);
+  // The benign load forwards the secret (fwd 0x45), and the dependent
+  // load leaks it: read (0x48 + 9)_sec.
+  EXPECT_EQ(R.Trace[9].Rule, RuleId::LoadExecuteForward);
+  EXPECT_EQ(R.Trace[9].Obs.Payload.Bits, 0x45u);
+  EXPECT_EQ(R.Trace[10].Obs.Payload.Bits, 0x48u + 6u); // 48 + Key[3]
+  EXPECT_TRUE(R.Trace[10].Obs.Payload.isSecret());
+  // Finally the bounds check resolves and rolls everything back.
+  EXPECT_EQ(R.Trace[11].Rule, RuleId::CondExecuteIncorrect);
+}
+
+TEST(Figure6, FlaggedWithoutForwardingHazardDetection) {
+  FigureCase C = figure6();
+  EXPECT_FALSE(checkSct(C.Prog, C.CheckOpts).secure());
+  EXPECT_TRUE(checkSequentialCt(C.Prog).secure());
+}
+
+TEST(Figure7, StaleLoadLeaksAndStoreResolutionRollsBack) {
+  FigureCase C = figure7();
+  RunResult R = replay(C);
+  ASSERT_FALSE(R.Stuck) << R.StuckReason;
+
+  // The load reads the stale secret from memory...
+  EXPECT_EQ(R.Trace[3].Rule, RuleId::LoadExecuteNodep);
+  EXPECT_EQ(R.Trace[3].Obs.Payload.Bits, 0x43u);
+  // ...the dependent load leaks it...
+  EXPECT_EQ(R.Trace[4].Obs.Payload.Bits, 0x44u + 44u);
+  EXPECT_TRUE(R.Trace[4].Obs.Payload.isSecret());
+  // ...and the store's address resolution detects the hazard.
+  EXPECT_EQ(R.Trace[5].Rule, RuleId::StoreExecuteAddrHazard);
+  EXPECT_TRUE(R.Trace[5].Obs.Rollback);
+}
+
+TEST(Figure7, FlaggedOnlyWithForwardingHazardDetection) {
+  FigureCase C = figure7();
+  EXPECT_TRUE(checkSct(C.Prog, v1v11Mode()).secure());
+  EXPECT_FALSE(checkSct(C.Prog, v4Mode()).secure());
+  EXPECT_TRUE(checkSequentialCt(C.Prog).secure());
+}
+
+TEST(Figure8, FenceBlocksTheLoads) {
+  FigureCase C = figure8();
+  Machine M(C.Prog);
+  Configuration Conf = Configuration::initial(C.Prog);
+  // Fetch the mispredicted path: branch, fence, both loads.
+  for (const Directive &D :
+       {Directive::fetchBool(true), Directive::fetch(), Directive::fetch(),
+        Directive::fetch()})
+    ASSERT_TRUE(M.step(Conf, D));
+  // The loads cannot execute behind the fence.
+  std::string Why;
+  EXPECT_FALSE(M.step(Conf, Directive::execute(3), &Why));
+  EXPECT_NE(Why.find("fence"), std::string::npos) << Why;
+  EXPECT_FALSE(M.step(Conf, Directive::execute(4), &Why));
+  // Executing the branch exposes the misprediction; everything rolls back.
+  auto Out = M.step(Conf, Directive::execute(1));
+  ASSERT_TRUE(Out);
+  EXPECT_EQ(Out->Rule, RuleId::CondExecuteIncorrect);
+  EXPECT_EQ(Conf.Buf.size(), 1u); // Only the resolved jump.
+}
+
+TEST(Figure8, SecureUnderFullExploration) {
+  FigureCase C = figure8();
+  EXPECT_TRUE(checkSct(C.Prog, C.CheckOpts).secure());
+  ExplorerOptions WithHazards = v4Mode();
+  EXPECT_TRUE(checkSct(C.Prog, WithHazards).secure());
+}
+
+TEST(Figure11, MistrainedIndirectJumpLeaksDespiteFence) {
+  FigureCase C = figure11();
+  RunResult R = replay(C);
+  ASSERT_FALSE(R.Stuck) << R.StuckReason;
+  const StepRecord &Leak = R.Trace.back();
+  EXPECT_EQ(Leak.Obs.K, Observation::Kind::Read);
+  EXPECT_EQ(Leak.Obs.Payload.Bits, 0x44u + 6u); // 0x44 + Key[1]
+  EXPECT_TRUE(Leak.Obs.Payload.isSecret());
+}
+
+TEST(Figure11, FlaggedOnlyWithMistrainingTargets) {
+  FigureCase C = figure11();
+  ExplorerOptions NoTargets = C.CheckOpts;
+  NoTargets.IndirectTargets.clear();
+  EXPECT_TRUE(checkSct(C.Prog, NoTargets).secure());
+  EXPECT_FALSE(checkSct(C.Prog, C.CheckOpts).secure());
+}
+
+TEST(Figure12, RsbUnderflowSendsSpeculationToGadget) {
+  FigureCase C = figure12();
+  RunResult R = replay(C);
+  ASSERT_FALSE(R.Stuck) << R.StuckReason;
+  EXPECT_TRUE(R.hasSecretObservation());
+  // The final jump resolution rolls the gadget back.
+  EXPECT_EQ(R.Trace.back().Rule, RuleId::JmpiExecuteIncorrect);
+  EXPECT_TRUE(R.Trace.back().Obs.Rollback);
+}
+
+TEST(Figure12, FlaggedOnlyWithUnderflowTargets) {
+  FigureCase C = figure12();
+  ExplorerOptions NoTargets = C.CheckOpts;
+  NoTargets.RsbUnderflowTargets.clear();
+  EXPECT_TRUE(checkSct(C.Prog, NoTargets).secure());
+  EXPECT_FALSE(checkSct(C.Prog, C.CheckOpts).secure());
+}
+
+TEST(Figure13, RetpolineDefeatsMistraining) {
+  FigureCase C = figure13();
+  // Even with the attacker steering both the (now absent) indirect jump
+  // and RSB underflows toward the gadget, nothing leaks.
+  EXPECT_FALSE(checkSct(C.Prog, C.CheckOpts).secure() == false)
+      << "retpolined program must be secure";
+  EXPECT_TRUE(checkSct(C.Prog, v4Mode()).secure());
+}
+
+TEST(Figure13, TransformPreservesArchitecturalBehaviour) {
+  FigureCase C = figure13();
+  Machine M(C.Prog);
+  SequentialResult Seq = runSequential(M, Configuration::initial(C.Prog));
+  ASSERT_FALSE(Seq.Run.Stuck) << Seq.Run.StuckReason;
+  // The program must end at its real end, with rd = 0 (the legit path).
+  EXPECT_TRUE(Seq.Run.Final.isFinal(C.Prog));
+  Reg Rd = *C.Prog.regByName("rd");
+  EXPECT_EQ(Seq.Run.Final.Regs.get(Rd).Bits, 0u);
+}
+
+TEST(AllFigures, CheckerMatchesPaperVerdicts) {
+  for (const FigureCase &C : allFigures()) {
+    SctReport Report = checkSct(C.Prog, C.CheckOpts);
+    EXPECT_EQ(!Report.secure(), C.ExpectLeak) << C.Name;
+    EXPECT_EQ(!checkSequentialCt(C.Prog).secure(), C.ExpectSequentialLeak)
+        << C.Name;
+  }
+}
+
+} // namespace

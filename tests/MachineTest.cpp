@@ -1,0 +1,596 @@
+//===- tests/MachineTest.cpp - Rule-level semantics tests -------------------===//
+//
+// Exercises each inference rule of §3.3–3.7 / Appendix A directly, plus
+// the register-resolve function of Figure 3 and the group-rollback
+// machinery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+
+#include "isa/AsmParser.h"
+#include "sched/SequentialScheduler.h"
+
+#include <gtest/gtest.h>
+
+using namespace sct;
+
+namespace {
+
+Program simpleProgram(const char *Body) { return parseAsmOrDie(Body); }
+
+struct Stepper {
+  Program P;
+  Machine M;
+  Configuration C;
+
+  explicit Stepper(const char *Body)
+      : P(simpleProgram(Body)), M(P), C(Configuration::initial(P)) {}
+
+  StepOutcome must(const Directive &D) {
+    std::string Why;
+    auto Out = M.step(C, D, &Why);
+    EXPECT_TRUE(Out.has_value()) << D.str() << ": " << Why;
+    return Out.value_or(StepOutcome{});
+  }
+
+  std::string cannot(const Directive &D) {
+    std::string Why;
+    auto Out = M.step(C, D, &Why);
+    EXPECT_FALSE(Out.has_value()) << D.str() << " unexpectedly applied";
+    return Why;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Fetch rules
+//===----------------------------------------------------------------------===//
+
+TEST(Fetch, SimpleFetchAdvancesSequentially) {
+  Stepper S(R"(
+    .reg ra
+    start:
+      ra = mov 1
+      ra = add ra, 2
+  )");
+  EXPECT_EQ(S.must(Directive::fetch()).Rule, RuleId::SimpleFetch);
+  EXPECT_EQ(S.C.N, 1u);
+  EXPECT_EQ(S.C.Buf.size(), 1u);
+  EXPECT_TRUE(S.C.Buf.at(1).is(TransientKind::Op));
+  // Wrong directive kinds are rejected.
+  S.cannot(Directive::fetchBool(true));
+  S.cannot(Directive::fetchTarget(0));
+}
+
+TEST(Fetch, CondFetchRecordsTheGuess) {
+  Stepper S(R"(
+    .reg ra
+    start:
+      br ult ra, 4 -> a, b
+    a:
+      ra = mov 1
+    b:
+      ra = mov 2
+  )");
+  S.cannot(Directive::fetch()); // Branches need a guess.
+  EXPECT_EQ(S.must(Directive::fetchBool(false)).Rule, RuleId::CondFetch);
+  const TransientInstr &T = S.C.Buf.at(1);
+  EXPECT_EQ(T.N0, 2u); // The false target.
+  EXPECT_EQ(T.NTrue, 1u);
+  EXPECT_EQ(T.NFalse, 2u);
+  EXPECT_EQ(S.C.N, 2u); // Fetch continues down the guessed path.
+}
+
+TEST(Fetch, FetchBeyondProgramEndFails) {
+  Stepper S(R"(
+    .reg ra
+    start:
+      ra = mov 1
+  )");
+  S.must(Directive::fetch());
+  std::string Why = S.cannot(Directive::fetch());
+  EXPECT_NE(Why.find("no instruction"), std::string::npos);
+}
+
+TEST(Fetch, CallExpandsToGroupAndPushesRsb) {
+  Stepper S(R"(
+    .init rsp 0x20
+    .region stack 0x18 9 public
+    start:
+      call f
+      ret
+    f:
+      ret
+  )");
+  EXPECT_EQ(S.must(Directive::fetch()).Rule, RuleId::CallFetch);
+  ASSERT_EQ(S.C.Buf.size(), 3u);
+  EXPECT_TRUE(S.C.Buf.at(1).is(TransientKind::CallMarker));
+  EXPECT_TRUE(S.C.Buf.at(2).is(TransientKind::Op)); // rsp = succ(rsp)
+  EXPECT_TRUE(S.C.Buf.at(3).is(TransientKind::Store));
+  EXPECT_EQ(S.C.Buf.at(2).GroupLeader, 1u);
+  EXPECT_EQ(S.C.Buf.at(3).GroupLeader, 1u);
+  EXPECT_EQ(S.C.N, 2u);              // At the callee.
+  EXPECT_EQ(S.C.Rsb.top(), 1u);      // Predicted return point.
+  // The return-address store holds the return point as an immediate.
+  EXPECT_TRUE(S.C.Buf.at(3).StoreValIsResolved);
+  EXPECT_EQ(S.C.Buf.at(3).StoreResolvedVal, Value::pub(1));
+}
+
+TEST(Fetch, RetUsesRsbWhenNonEmptyAndDirectiveWhenEmpty) {
+  Stepper S(R"(
+    .init rsp 0x20
+    .region stack 0x18 9 public
+    .data 0x20 2
+    start:
+      ret
+    other:
+      ret
+    gadget:
+      fence
+  )");
+  // Empty RSB + attacker choice: plain fetch is rejected, a target works.
+  S.cannot(Directive::fetch());
+  EXPECT_EQ(S.must(Directive::fetchTarget(2)).Rule,
+            RuleId::RetFetchRsbEmpty);
+  ASSERT_EQ(S.C.Buf.size(), 4u);
+  EXPECT_TRUE(S.C.Buf.at(1).is(TransientKind::RetMarker));
+  EXPECT_TRUE(S.C.Buf.at(2).is(TransientKind::Load));
+  EXPECT_TRUE(S.C.Buf.at(3).is(TransientKind::Op));
+  EXPECT_TRUE(S.C.Buf.at(4).is(TransientKind::JumpI));
+  EXPECT_EQ(S.C.Buf.at(4).N0, 2u);
+  EXPECT_EQ(S.C.N, 2u);
+}
+
+TEST(Fetch, RetStallsOnEmptyRsbUnderAmdPolicy) {
+  Program P = simpleProgram(R"(
+    .init rsp 0x20
+    .region stack 0x18 9 public
+    start:
+      ret
+  )");
+  MachineOptions Opts;
+  Opts.RsbOnEmpty = RsbPolicy::Stall;
+  Machine M(P, Opts);
+  Configuration C = Configuration::initial(P);
+  std::string Why;
+  EXPECT_FALSE(M.step(C, Directive::fetch(), &Why));
+  EXPECT_FALSE(M.step(C, Directive::fetchTarget(0), &Why));
+  EXPECT_NE(Why.find("refuses"), std::string::npos);
+}
+
+TEST(Fetch, RetPredictsThroughCircularRsb) {
+  Program P = simpleProgram(R"(
+    .init rsp 0x20
+    .region stack 0x18 9 public
+    start:
+      ret
+  )");
+  MachineOptions Opts;
+  Opts.RsbOnEmpty = RsbPolicy::Circular;
+  Machine M(P, Opts);
+  Configuration C = Configuration::initial(P);
+  // The circular RSB always produces a value (a stale/zero slot here), so
+  // ret fetches with a plain directive even when "empty".
+  auto Out = M.step(C, Directive::fetch());
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(Out->Rule, RuleId::RetFetchRsb);
+}
+
+//===----------------------------------------------------------------------===//
+// Register resolve (Figure 3)
+//===----------------------------------------------------------------------===//
+
+TEST(RegisterResolve, LatestResolvedAssignmentWins) {
+  Stepper S(R"(
+    .reg ra rb
+    .init ra 5
+    start:
+      ra = mov 10
+      ra = mov 20
+      rb = add ra, 1
+  )");
+  S.must(Directive::fetch());
+  S.must(Directive::fetch());
+  S.must(Directive::fetch());
+  // Nothing resolved yet: (buf + i ρ)(ra) = ⊥ for the add at 3.
+  EXPECT_FALSE(S.M.resolveReg(S.C, 3, *S.P.regByName("ra")).has_value());
+  // Below the first assignment, ρ applies.
+  EXPECT_EQ(S.M.resolveReg(S.C, 1, *S.P.regByName("ra")), Value::pub(5));
+  // Resolve the older mov only: the *latest* assignment still masks it.
+  S.must(Directive::execute(1));
+  EXPECT_FALSE(S.M.resolveReg(S.C, 3, *S.P.regByName("ra")).has_value());
+  S.must(Directive::execute(2));
+  EXPECT_EQ(S.M.resolveReg(S.C, 3, *S.P.regByName("ra")), Value::pub(20));
+  // Index between the two assignments sees the older one.
+  EXPECT_EQ(S.M.resolveReg(S.C, 2, *S.P.regByName("ra")), Value::pub(10));
+}
+
+//===----------------------------------------------------------------------===//
+// Execute rules: stores, loads, hazards
+//===----------------------------------------------------------------------===//
+
+TEST(StoreExecute, ValueAndAddressResolveIndependently) {
+  Stepper S(R"(
+    .reg ra rb
+    .init ra 0x40
+    .init rb 7
+    start:
+      store rb, [ra, 2]
+  )");
+  S.must(Directive::fetch());
+  const TransientInstr &T = S.C.Buf.at(1);
+  EXPECT_FALSE(T.StoreValIsResolved);
+  EXPECT_FALSE(T.StoreAddrIsResolved);
+  // Either order works; address first here.
+  EXPECT_EQ(S.must(Directive::executeAddr(1)).Rule,
+            RuleId::StoreExecuteAddrOk);
+  EXPECT_TRUE(T.StoreAddrIsResolved);
+  EXPECT_EQ(T.StoreAddr, Value::pub(0x42));
+  // Retire requires both.
+  S.cannot(Directive::retire());
+  EXPECT_EQ(S.must(Directive::executeValue(1)).Rule,
+            RuleId::StoreExecuteValue);
+  EXPECT_EQ(S.must(Directive::retire()).Obs.K, Observation::Kind::Write);
+  EXPECT_EQ(S.C.Mem.load(0x42), Value::pub(7));
+}
+
+TEST(LoadExecute, ForwardsFromLatestMatchingStore) {
+  Stepper S(R"(
+    .reg ra
+    start:
+      store 1, [0x40]
+      store 2, [0x40]
+      ra = load [0x40]
+  )");
+  S.must(Directive::fetch());
+  S.must(Directive::fetch());
+  S.must(Directive::fetch());
+  auto Out = S.must(Directive::execute(3));
+  EXPECT_EQ(Out.Rule, RuleId::LoadExecuteForward);
+  EXPECT_EQ(S.C.Buf.at(3).Val, Value::pub(2)); // The *latest* store.
+  EXPECT_EQ(S.C.Buf.at(3).Dep, 2u);
+}
+
+TEST(LoadExecute, StallsWhenMatchingStoreValueUnresolved) {
+  Stepper S(R"(
+    .reg ra rb
+    .init rb 9
+    start:
+      rb = add rb, 1
+      store rb, [0x40]
+      ra = load [0x40]
+  )");
+  S.must(Directive::fetch());
+  S.must(Directive::fetch());
+  S.must(Directive::fetch());
+  // The store's immediate address is born resolved (§3.4); its value is
+  // pending (rb unresolved): neither load rule applies.
+  EXPECT_TRUE(S.C.Buf.at(2).StoreAddrIsResolved);
+  std::string Why = S.cannot(Directive::execute(3));
+  EXPECT_NE(Why.find("unresolved"), std::string::npos);
+  S.must(Directive::execute(1));
+  S.must(Directive::executeValue(2));
+  EXPECT_EQ(S.must(Directive::execute(3)).Rule, RuleId::LoadExecuteForward);
+  EXPECT_EQ(S.C.Buf.at(3).Val, Value::pub(10));
+}
+
+TEST(StoreExecute, AddrHazardRollsBackToEarliestWrongedLoad) {
+  // Figure 5's scenario at the rule level, with two wronged loads.
+  Stepper S(R"(
+    .reg ra rb rc
+    .init ra 0x40
+    start:
+      store 12, [0x43]
+      store 20, [3, ra]
+      rb = load [0x43]
+      rc = load [0x43]
+  )");
+  for (int I = 0; I < 4; ++I)
+    S.must(Directive::fetch());
+  S.must(Directive::execute(3));
+  S.must(Directive::execute(4));
+  auto Out = S.must(Directive::executeAddr(2));
+  EXPECT_EQ(Out.Rule, RuleId::StoreExecuteAddrHazard);
+  EXPECT_TRUE(Out.Obs.Rollback);
+  // Rolled back to the first wronged load (index 3); the stores remain,
+  // and the newer store is now resolved.
+  EXPECT_EQ(S.C.Buf.size(), 2u);
+  EXPECT_TRUE(S.C.Buf.at(2).isResolvedStore());
+  EXPECT_EQ(S.C.N, 2u); // Re-fetch from the first load's program point.
+}
+
+TEST(Fence, BlocksExecutionUntilRetired) {
+  Stepper S(R"(
+    .reg ra
+    start:
+      fence
+      ra = mov 1
+  )");
+  S.must(Directive::fetch());
+  S.must(Directive::fetch());
+  std::string Why = S.cannot(Directive::execute(2));
+  EXPECT_NE(Why.find("fence"), std::string::npos);
+  EXPECT_EQ(S.must(Directive::retire()).Rule, RuleId::FenceRetire);
+  EXPECT_EQ(S.must(Directive::execute(2)).Rule, RuleId::OpExecute);
+}
+
+//===----------------------------------------------------------------------===//
+// Retire rules
+//===----------------------------------------------------------------------===//
+
+TEST(Retire, InOrderOnly) {
+  Stepper S(R"(
+    .reg ra rb
+    start:
+      ra = mov 1
+      rb = mov 2
+  )");
+  S.must(Directive::fetch());
+  S.must(Directive::fetch());
+  S.must(Directive::execute(2));
+  // The front entry is unresolved; nothing can retire.
+  std::string Why = S.cannot(Directive::retire());
+  EXPECT_NE(Why.find("unresolved"), std::string::npos);
+  S.must(Directive::execute(1));
+  S.must(Directive::retire());
+  EXPECT_EQ(S.C.Regs.get(*S.P.regByName("ra")), Value::pub(1));
+  // rb is still speculative.
+  EXPECT_EQ(S.C.Regs.get(*S.P.regByName("rb")), Value::pub(0));
+  S.must(Directive::retire());
+  EXPECT_EQ(S.C.Regs.get(*S.P.regByName("rb")), Value::pub(2));
+}
+
+TEST(Retire, CallGroupRetiresAtomically) {
+  Stepper S(R"(
+    .init rsp 0x20
+    .region stack 0x18 9 public
+    start:
+      call f
+      ret
+    f:
+      ret
+  )");
+  S.must(Directive::fetch());
+  S.cannot(Directive::retire()); // Group members unresolved.
+  S.must(Directive::execute(2));
+  S.must(Directive::executeAddr(3));
+  auto Out = S.must(Directive::retire());
+  EXPECT_EQ(Out.Rule, RuleId::CallRetire);
+  EXPECT_EQ(Out.Obs.K, Observation::Kind::Write);
+  EXPECT_TRUE(S.C.Buf.empty());
+  EXPECT_EQ(S.C.Regs.get(Reg::sp()), Value::pub(0x1F));
+  EXPECT_EQ(S.C.Mem.load(0x1F), Value::pub(1)); // The return point.
+}
+
+TEST(Retire, RetGroupCommitsRspButNotRtmp) {
+  Stepper S(R"(
+    .init rsp 0x1F
+    .region stack 0x18 9 public
+    .data 0x1F 1
+    start:
+      ret
+    after:
+      fence
+  )");
+  // The RSB is empty: under the default attacker-choice policy a plain
+  // fetch is inapplicable and the directive must carry the target.
+  S.cannot(Directive::fetch());
+  ASSERT_TRUE(S.C.Buf.empty());
+  S.must(Directive::fetchTarget(1));
+  S.must(Directive::execute(2)); // rtmp load (from memory: 1)
+  S.must(Directive::execute(3)); // rsp pred
+  auto Jump = S.must(Directive::execute(4));
+  EXPECT_EQ(Jump.Rule, RuleId::JmpiExecuteCorrect);
+  auto Out = S.must(Directive::retire());
+  EXPECT_EQ(Out.Rule, RuleId::RetRetire);
+  EXPECT_EQ(S.C.Regs.get(Reg::sp()), Value::pub(0x20));
+  // rtmp's transient value is not architecturally committed.
+  EXPECT_EQ(S.C.Regs.get(Reg::tmp()), Value::pub(0));
+}
+
+//===----------------------------------------------------------------------===//
+// Group rollback widening
+//===----------------------------------------------------------------------===//
+
+TEST(Rollback, HazardIntoRetGroupWidensToTheMarker) {
+  // A store whose late address resolution wrongs the *hidden* return-
+  // address load of a ret group must roll the whole group back and
+  // re-fetch the ret instruction itself.
+  Stepper S(R"(
+    .reg ra
+    .init ra 0x17
+    .init rsp 0x1F
+    .region stack 0x18 9 public
+    .data 0x1F 2
+    start:
+      store 9, [ra, 8]   ; late-resolving store to 0x1F
+      ret
+    other:
+      fence
+    after:
+      fence
+  )");
+  S.must(Directive::fetch());        // the store (value born resolved)
+  S.must(Directive::fetchTarget(2)); // ret; RSB empty; group at 2..5
+  S.must(Directive::execute(3));     // rtmp load: reads memory 0x1F = 2
+  EXPECT_EQ(S.C.Buf.at(3).Dep, std::nullopt);
+  auto Out = S.must(Directive::executeAddr(1));
+  EXPECT_EQ(Out.Rule, RuleId::StoreExecuteAddrHazard);
+  // The wronged load sat inside the ret group: everything from the
+  // RetMarker on is gone and the machine re-fetches the ret.
+  EXPECT_EQ(S.C.Buf.size(), 1u);
+  EXPECT_TRUE(S.C.Buf.at(1).is(TransientKind::Store));
+  EXPECT_EQ(S.C.N, 1u); // The ret's program point.
+  // The RSB pop journalled by the squashed ret was rolled back too.
+  EXPECT_EQ(S.C.Rsb.journalSize(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism (Lemma B.1)
+//===----------------------------------------------------------------------===//
+
+TEST(Determinism, SameDirectiveSameOutcome) {
+  Program P = simpleProgram(R"(
+    .reg ra rb
+    .init ra 9
+    .region key 0x44 4 secret
+    start:
+      br ult ra, 4 -> in, out
+    in:
+      rb = load [0x40, ra]
+    out:
+  )");
+  Machine M(P);
+  Configuration A = Configuration::initial(P);
+  Configuration B = Configuration::initial(P);
+  for (const Directive &D :
+       {Directive::fetchBool(true), Directive::fetch(),
+        Directive::execute(2), Directive::execute(1)}) {
+    auto OA = M.step(A, D);
+    auto OB = M.step(B, D);
+    ASSERT_EQ(OA.has_value(), OB.has_value());
+    if (OA) {
+      EXPECT_EQ(OA->Rule, OB->Rule);
+      EXPECT_EQ(OA->Obs, OB->Obs);
+    }
+    EXPECT_TRUE(A == B);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Applicable-directive enumeration
+//===----------------------------------------------------------------------===//
+
+TEST(ApplicableDirectives, ProbesMatchStepping) {
+  Program P = simpleProgram(R"(
+    .reg ra rb
+    .init ra 9
+    start:
+      br ult ra, 4 -> in, out
+    in:
+      rb = load [0x40, ra]
+      store rb, [0x50]
+    out:
+  )");
+  Machine M(P);
+  Configuration C = Configuration::initial(P);
+  for (int Round = 0; Round < 6; ++Round) {
+    std::vector<Directive> Ds = M.applicableDirectives(C);
+    if (Ds.empty())
+      break;
+    for (const Directive &D : Ds) {
+      Configuration Copy = C;
+      EXPECT_TRUE(M.step(Copy, D).has_value()) << D.str();
+    }
+    // Take the first one and continue.
+    ASSERT_TRUE(M.step(C, Ds.front()).has_value());
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Indirect calls (the App. A.1 extension)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TEST(CallI, FetchesGroupOfFourAndValidatesTarget) {
+  Stepper S(R"(
+    .reg rf
+    .init rf @f
+    .init rsp 0x20
+    .region stack 0x18 9 public
+    start:
+      calli [rf]
+    after:
+      rf = mov 0
+      jmp done
+    f:
+      ret
+    done:
+  )");
+  PC F = S.P.codeLabels().at("f");
+  // The directive predicts the callee; plain fetch is rejected.
+  S.cannot(Directive::fetch());
+  EXPECT_EQ(S.must(Directive::fetchTarget(F)).Rule, RuleId::CallIFetch);
+  ASSERT_EQ(S.C.Buf.size(), 4u);
+  EXPECT_TRUE(S.C.Buf.at(1).is(TransientKind::CallMarker));
+  EXPECT_TRUE(S.C.Buf.at(4).is(TransientKind::JumpI));
+  EXPECT_EQ(S.C.Buf.at(4).GroupLeader, 1u);
+  EXPECT_EQ(S.C.Rsb.top(), 1u); // The return point is pushed regardless.
+  EXPECT_EQ(S.C.N, F);
+
+  // Resolve the group; the callee jump validates the prediction.
+  S.must(Directive::execute(2));
+  S.must(Directive::executeAddr(3));
+  EXPECT_EQ(S.must(Directive::execute(4)).Rule, RuleId::JmpiExecuteCorrect);
+  auto Out = S.must(Directive::retire());
+  EXPECT_EQ(Out.Rule, RuleId::CallRetire);
+  EXPECT_TRUE(S.C.Buf.empty()); // All four retired together.
+  EXPECT_EQ(S.C.Regs.get(Reg::sp()), Value::pub(0x1F));
+}
+
+TEST(CallI, MistrainedTargetRollsBackToTheRealCallee) {
+  Stepper S(R"(
+    .reg rf rc
+    .init rf @f
+    .init rsp 0x20
+    .region stack 0x18 9 public
+    .region Key 0x48 4 secret
+    .data 0x48 5 6 7 8
+    start:
+      calli [rf]
+    after:
+      rf = mov 0
+      jmp done
+    gadget:
+      rc = load [0x48]
+      rc = load [0x40, rc]
+    f:
+      ret
+    done:
+  )");
+  PC Gadget = S.P.codeLabels().at("gadget");
+  PC F = S.P.codeLabels().at("f");
+  S.must(Directive::fetchTarget(Gadget)); // Attacker mistrains the callee.
+  EXPECT_EQ(S.C.N, Gadget);
+  // The gadget runs speculatively and leaks.
+  S.must(Directive::fetch());
+  auto Leak1 = S.must(Directive::execute(5));
+  EXPECT_EQ(Leak1.Obs.K, Observation::Kind::Read);
+  S.must(Directive::fetch());
+  auto Leak2 = S.must(Directive::execute(6));
+  EXPECT_TRUE(Leak2.Obs.isSecret());
+  // Resolving the callee exposes the mistraining and redirects to f.
+  auto Out = S.must(Directive::execute(4));
+  EXPECT_EQ(Out.Rule, RuleId::JmpiExecuteIncorrect);
+  EXPECT_TRUE(Out.Obs.Rollback);
+  EXPECT_EQ(S.C.N, F);
+  EXPECT_EQ(S.C.Buf.size(), 4u); // The call group survives, gadget gone.
+}
+
+TEST(CallI, SequentialExecutionRunsTheRealCallee) {
+  Program P = parseAsmOrDie(R"(
+    .reg rf rv
+    .init rf @f
+    .init rsp 0x20
+    .region stack 0x18 9 public
+    start:
+      calli [rf]
+    after:
+      jmp done
+    f:
+      rv = mov 42
+      ret
+    done:
+  )");
+  Machine M(P);
+  SequentialResult R = runSequential(M, Configuration::initial(P));
+  ASSERT_FALSE(R.Run.Stuck) << R.Run.StuckReason;
+  EXPECT_TRUE(R.Run.Final.isFinal(P));
+  EXPECT_EQ(R.Run.Final.Regs.get(*P.regByName("rv")).Bits, 42u);
+  EXPECT_EQ(R.Run.Final.Regs.get(Reg::sp()), Value::pub(0x20));
+}
+
+} // namespace

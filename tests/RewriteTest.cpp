@@ -1,0 +1,184 @@
+//===- tests/RewriteTest.cpp - Rewriter and mitigation transforms -----------===//
+
+#include "checker/FenceInsertion.h"
+#include "checker/ProgramRewriter.h"
+#include "checker/Retpoline.h"
+
+#include "checker/SctChecker.h"
+#include "isa/AsmParser.h"
+#include "isa/AsmPrinter.h"
+#include "sched/SequentialScheduler.h"
+#include "workloads/Figures.h"
+
+#include <gtest/gtest.h>
+
+using namespace sct;
+
+namespace {
+
+Program miniProgram() {
+  return parseAsmOrDie(R"(
+    .reg ra rb
+    .init ra 9
+    .region A 0x40 4 public
+    start:
+      br ult ra, 4 -> body, end
+    body:
+      rb = load [0x40, ra]
+      store rb, [0x41]
+    end:
+      rb = mov 0
+  )");
+}
+
+TEST(ProgramRewriter, InsertBeforeRetargetsControlFlow) {
+  Program P = miniProgram();
+  ProgramRewriter RW(P);
+  RW.insertBefore(1, Instruction::makeFence());
+  Program Q = RW.apply();
+  ASSERT_EQ(Q.size(), P.size() + 1);
+  // The branch's true target follows the inserted fence's slot.
+  EXPECT_EQ(Q.at(0).trueTarget(), 1u);
+  EXPECT_TRUE(Q.at(1).is(InstrKind::Fence));
+  EXPECT_TRUE(Q.at(2).is(InstrKind::Load));
+  // Labels moved along.
+  EXPECT_EQ(Q.codeLabels().at("body"), 1u);
+  EXPECT_EQ(Q.codeLabels().at("end"), 4u);
+  EXPECT_TRUE(Q.validate().empty());
+}
+
+TEST(ProgramRewriter, ReplaceAndAppendWithVirtualTargets) {
+  Program P = miniProgram();
+  ProgramRewriter RW(P);
+  PC Block = RW.append({Instruction::makeOp(*P.regByName("rb"), Opcode::Mov,
+                                            {Operand::imm(7)}),
+                        Instruction::makeRet()});
+  RW.replace(2, {Instruction::makeCall(Block)});
+  Program Q = RW.apply();
+  EXPECT_TRUE(Q.validate().empty());
+  // The replacement call points into the appended block.
+  EXPECT_TRUE(Q.at(2).is(InstrKind::Call));
+  EXPECT_TRUE(Q.at(Q.at(2).callee()).is(InstrKind::Op));
+}
+
+TEST(ProgramRewriter, SelfLoopSentinelAndCodePointers) {
+  Program P = parseAsmOrDie(R"(
+    .reg ra
+    .region T 0x30 1 public
+    .data 0x30 @target
+    start:
+      ra = load [0x30]
+    target:
+      ra = mov 1
+  )");
+  ProgramRewriter RW(P);
+  Instruction Trap = Instruction::makeFence();
+  Trap.setNext(ProgramRewriter::SelfLoop);
+  RW.insertBefore(1, std::move(Trap));
+  RW.markCodePointer(0x30);
+  Program Q = RW.apply();
+  // The fence self-loops at its new location.
+  EXPECT_TRUE(Q.at(1).is(InstrKind::Fence));
+  EXPECT_EQ(Q.at(1).next(), 1u);
+  // The stored code pointer was relocated; like branch targets, it now
+  // points at the start of the insertion (the fence).
+  EXPECT_EQ(Q.memInits()[0].second, 1u);
+}
+
+TEST(FenceInsertion, PlacesFencesAtEveryBranchTarget) {
+  Program P = miniProgram();
+  Program Q = insertFences(P, FencePolicy::BranchTargets);
+  EXPECT_EQ(countFences(Q), 2u); // One per distinct target.
+  EXPECT_TRUE(Q.validate().empty());
+  // Unconditional jmp encodings get no fences.
+  Program Jmp = parseAsmOrDie(R"(
+    .reg ra
+    start:
+      jmp next
+    next:
+      ra = mov 1
+  )");
+  EXPECT_EQ(countFences(insertFences(Jmp, FencePolicy::BranchTargets)), 0u);
+}
+
+TEST(FenceInsertion, AfterStoresCoversFallthrough) {
+  Program P = miniProgram();
+  Program Q = insertFences(P, FencePolicy::AfterStores);
+  EXPECT_EQ(countFences(Q), 1u);
+  // The fence sits directly after the store.
+  bool Found = false;
+  for (PC N = 0; N + 1 < Q.endPC(); ++N)
+    if (Q.at(N).is(InstrKind::Store) && Q.at(N + 1).is(InstrKind::Fence))
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(FenceInsertion, PreservesArchitecturalResults) {
+  Program P = miniProgram();
+  for (FencePolicy Policy :
+       {FencePolicy::BranchTargets, FencePolicy::AfterStores,
+        FencePolicy::BranchTargetsAndStores}) {
+    Program Q = insertFences(P, Policy);
+    Machine MP(P), MQ(Q);
+    SequentialResult RP = runSequential(MP, Configuration::initial(P));
+    SequentialResult RQ = runSequential(MQ, Configuration::initial(Q));
+    ASSERT_FALSE(RP.Run.Stuck);
+    ASSERT_FALSE(RQ.Run.Stuck);
+    EXPECT_TRUE(RP.Run.Final.Regs == RQ.Run.Final.Regs);
+    EXPECT_TRUE(RP.Run.Final.Mem == RQ.Run.Final.Mem);
+  }
+}
+
+TEST(Retpoline, RewritesEveryIndirectJump) {
+  Program P = parseAsmOrDie(R"(
+    .reg ra rb
+    .init rsp 0x38
+    .region stack 0x30 9 public
+    .region T 0x28 2 public
+    .data 0x28 @t1 @t2
+    start:
+      ra = load [0x28]
+      jmpi [ra]
+    t1:
+      rb = load [0x29]
+      jmpi [rb]
+    t2:
+      rb = mov 7
+  )");
+  RetpolineResult RP = retpolineTransform(P, {0x28, 0x29});
+  EXPECT_EQ(RP.Rewritten, 2u);
+  EXPECT_TRUE(RP.Prog.validate().empty());
+  // No indirect jumps remain in the original text (the expansions use
+  // ret, whose target the RSB predicts).
+  unsigned JumpIs = 0;
+  for (PC N = 0; N < RP.Prog.endPC(); ++N)
+    if (RP.Prog.at(N).is(InstrKind::JumpI))
+      ++JumpIs;
+  EXPECT_EQ(JumpIs, 0u);
+  // Architectural behaviour is preserved.
+  Machine M(RP.Prog);
+  SequentialResult R = runSequential(M, Configuration::initial(RP.Prog));
+  ASSERT_FALSE(R.Run.Stuck) << R.Run.StuckReason;
+  EXPECT_TRUE(R.Run.Final.isFinal(RP.Prog));
+  EXPECT_EQ(R.Run.Final.Regs.get(*RP.Prog.regByName("rb")).Bits, 7u);
+}
+
+TEST(Retpoline, NoJumpIMeansNoRewrite) {
+  Program P = miniProgram();
+  RetpolineResult RP = retpolineTransform(P);
+  EXPECT_EQ(RP.Rewritten, 0u);
+  EXPECT_EQ(RP.Prog.size(), P.size());
+}
+
+TEST(Mitigations, Figure8EqualsFigure1Fenced) {
+  // Inserting fences into Figure 1's program yields a program the checker
+  // clears — the paper's Figure 8 mitigation, synthesized.
+  FigureCase C = figure1();
+  Program Fenced = insertFences(C.Prog, FencePolicy::BranchTargets);
+  SctReport R = checkSct(Fenced, v4Mode());
+  EXPECT_TRUE(R.secure());
+  SctReport R2 = checkSct(Fenced, v1v11Mode());
+  EXPECT_TRUE(R2.secure());
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+//===- tests/SupportTest.cpp - Support utilities and pretty-printing --------===//
+
+#include "support/Printing.h"
+
+#include "core/ReorderBuffer.h"
+#include "isa/AsmParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sct;
+
+namespace {
+
+TEST(Printing, ToHex) {
+  EXPECT_EQ(toHex(0), "0x0");
+  EXPECT_EQ(toHex(0x4A), "0x4a");
+  EXPECT_EQ(toHex(0xDEADBEEF), "0xdeadbeef");
+}
+
+TEST(Printing, JoinAndPadding) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(padLeft("x", 3), "  x");
+  EXPECT_EQ(padRight("x", 3), "x  ");
+  EXPECT_EQ(padLeft("long", 2), "long"); // Never truncates.
+}
+
+TEST(Printing, RenderTableAlignsColumns) {
+  std::string T = renderTable({"a", "bb"}, {{"ccc", "d"}});
+  // Header, rule, one row.
+  EXPECT_EQ(T,
+            "| a   | bb |\n"
+            "|-----|----|\n"
+            "| ccc | d  |\n");
+}
+
+TEST(TransientInstr, PaperNotationRendering) {
+  Program P = parseAsmOrDie(R"(
+    .reg ra rb
+    start:
+      rb = load [0x40, ra]
+      store rb, [0x40]
+      br ult ra, 4 -> start, e
+    e:
+  )");
+  TransientInstr Load = TransientInstr::makeLoad(
+      *P.regByName("rb"), {Operand::imm(0x40), Operand::reg(*P.regByName("ra"))},
+      0);
+  EXPECT_EQ(Load.str(P), "(rb = load([0x40, ra]))");
+
+  TransientInstr Resolved = Load;
+  Resolved.Kind = TransientKind::LoadResolved;
+  Resolved.Val = Value::sec(22);
+  Resolved.Dep = std::nullopt;
+  Resolved.LoadAddr = 0x49;
+  EXPECT_EQ(Resolved.str(P), "(rb = 22_sec{_, 0x49})");
+
+  Resolved.Dep = 2;
+  EXPECT_EQ(Resolved.str(P), "(rb = 22_sec{2, 0x49})");
+
+  TransientInstr Branch = TransientInstr::makeBranch(
+      Opcode::Ult, {Operand::reg(*P.regByName("ra")), Operand::imm(4)}, 0, 0,
+      3, 2);
+  EXPECT_EQ(Branch.str(P), "br(ult, [ra, 4], 0, (0, 3))");
+
+  TransientInstr Jump = TransientInstr::makeJump(9, 0);
+  EXPECT_EQ(Jump.str(P), "jump 9");
+
+  TransientInstr Store = TransientInstr::makeStore(
+      Operand::reg(*P.regByName("rb")), {Operand::imm(0x40)}, 1);
+  // Single-immediate addresses are born resolved (§3.4).
+  EXPECT_EQ(Store.str(P), "store(rb, 0x40_pub)");
+}
+
+TEST(TransientInstr, ResolvednessByKind) {
+  TransientInstr Fence = TransientInstr::makeFence(0);
+  EXPECT_TRUE(Fence.isResolved());
+  TransientInstr Op =
+      TransientInstr::makeOp(Reg::tmp(), Opcode::Mov, {Operand::imm(1)}, 0);
+  EXPECT_FALSE(Op.isResolved());
+  TransientInstr Val =
+      TransientInstr::makeResolvedValue(Reg::tmp(), Value::pub(1), 0);
+  EXPECT_TRUE(Val.isResolved());
+  TransientInstr Store = TransientInstr::makeStore(
+      Operand::imm(1), {Operand::reg(Reg::sp())}, 0);
+  EXPECT_FALSE(Store.isResolved()); // Register address still pending.
+}
+
+TEST(ReorderBufferDump, MirrorsFigureLayout) {
+  Program P = parseAsmOrDie(R"(
+    .reg ra
+    start:
+      ra = mov 1
+  )");
+  ReorderBuffer Buf;
+  Buf.push(TransientInstr::makeOp(*P.regByName("ra"), Opcode::Mov,
+                                  {Operand::imm(1)}, 0));
+  std::string Dump = dumpReorderBuffer(Buf, P);
+  EXPECT_NE(Dump.find("1 -> (ra = op(mov, [1]))"), std::string::npos);
+}
+
+} // namespace
