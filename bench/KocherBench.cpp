@@ -6,13 +6,17 @@
 // case: the sequential-CT baseline verdict and the SCT verdicts in both
 // checker modes, with the exploration work done.
 //
+// Every suite goes through the engine layer: one CheckSession, one
+// checkMany() batch per suite (two mode-requests per case), fanned out
+// over the worker pool.  `KocherBench [--threads N]`; N defaults to the
+// hardware concurrency.
+//
 //===----------------------------------------------------------------------===//
 
-#include "checker/SctChecker.h"
-#include "checker/SequentialCt.h"
 #include "support/Printing.h"
 #include "workloads/Kocher.h"
 #include "workloads/SpectreSuites.h"
+#include "workloads/SuiteRunner.h"
 
 #include <cstdio>
 
@@ -20,43 +24,42 @@ using namespace sct;
 
 namespace {
 
-bool reportSuite(const char *Title, const std::vector<SuiteCase> &Cases) {
+bool reportSuite(const CheckSession &Session, const char *Title,
+                 const std::vector<SuiteCase> &Cases) {
   std::printf("%s\n", Title);
+  std::vector<SuiteVerdict> Verdicts = runSuite(Session, Cases);
   std::vector<std::vector<std::string>> Table;
-  bool AllMatch = true;
-  for (const SuiteCase &C : Cases) {
-    bool SeqLeak = !checkSequentialCt(C.Prog).secure();
-    SctReport NoFwd = checkSct(C.Prog, v1v11Mode());
-    SctReport Fwd = checkSct(C.Prog, v4Mode());
-    bool Match = SeqLeak == C.ExpectSeqLeak &&
-                 !NoFwd.secure() == C.ExpectV1V11Leak &&
-                 !Fwd.secure() == C.ExpectV4Leak;
-    AllMatch = AllMatch && Match;
+  for (const SuiteVerdict &V : Verdicts)
     Table.push_back(
-        {C.Id, SeqLeak ? "leak" : "ct", !NoFwd.secure() ? "LEAK" : "secure",
-         !Fwd.secure() ? "LEAK" : "secure",
-         std::to_string(NoFwd.Exploration.TotalSteps),
-         std::to_string(Fwd.Exploration.TotalSteps),
-         Match ? "ok" : "MISMATCH"});
-  }
+        {V.Id, V.SeqLeak ? "leak" : "ct",
+         !V.V1V11.secure() ? "LEAK" : "secure",
+         !V.V4.secure() ? "LEAK" : "secure",
+         std::to_string(V.V1V11.Exploration.TotalSteps),
+         std::to_string(V.V4.Exploration.TotalSteps),
+         V.Matches ? "ok" : "MISMATCH"});
   std::printf("%s\n",
               renderTable({"case", "seq-ct", "sct (no fwd)", "sct (fwd)",
                            "steps (no fwd)", "steps (fwd)", "expected"},
                           Table)
                   .c_str());
-  return AllMatch;
+  return allMatch(Verdicts);
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  CheckSession Session(sessionOptionsFromArgs(Argc, Argv));
+  std::printf("engine: %u worker thread(s)\n\n", Session.options().Threads);
+
   bool Ok = true;
-  Ok &= reportSuite("Kocher Spectre v1 cases (adapted, speculative-only):",
+  Ok &= reportSuite(Session,
+                    "Kocher Spectre v1 cases (adapted, speculative-only):",
                     kocherCases());
-  Ok &= reportSuite("Kocher original-style cases (sequentially leaky):",
+  Ok &= reportSuite(Session,
+                    "Kocher original-style cases (sequentially leaky):",
                     kocherOriginalCases());
-  Ok &= reportSuite("Spectre v1.1 suite:", spectreV11Cases());
-  Ok &= reportSuite("Spectre v4 suite:", spectreV4Cases());
+  Ok &= reportSuite(Session, "Spectre v1.1 suite:", spectreV11Cases());
+  Ok &= reportSuite(Session, "Spectre v4 suite:", spectreV4Cases());
   std::printf("all verdicts %s expectations\n", Ok ? "MATCH" : "DO NOT MATCH");
   return Ok ? 0 : 1;
 }

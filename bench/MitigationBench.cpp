@@ -5,6 +5,11 @@
 // (instructions added, sequential schedule growth — the abstract
 // machine's stand-in for runtime overhead).
 //
+// Each policy runs as two engine batches — every case checked unmitigated,
+// then every still-relevant case re-checked after fencing — so the whole
+// ablation fans out over the session pool.  `MitigationBench
+// [--threads N]`; N defaults to the hardware concurrency.
+//
 //===----------------------------------------------------------------------===//
 
 #include "checker/FenceInsertion.h"
@@ -28,16 +33,45 @@ size_t seqScheduleLength(const Program &P) {
   return R.Run.Stuck ? 0 : R.Sched.size();
 }
 
-void reportPolicy(const char *Title, const std::vector<SuiteCase> &Cases,
-                  FencePolicy Policy, const ExplorerOptions &Mode) {
+void reportPolicy(const CheckSession &Session, const char *Title,
+                  const std::vector<SuiteCase> &Cases, FencePolicy Policy,
+                  const ExplorerOptions &Mode) {
   std::printf("%s\n", Title);
-  std::vector<std::vector<std::string>> Table;
+
+  // Batch 1: every case unmitigated.
+  std::vector<CheckRequest> BeforeReqs;
   for (const SuiteCase &C : Cases) {
-    SctReport Before = checkSct(C.Prog, Mode);
-    if (Before.secure())
+    CheckRequest Req;
+    Req.Id = C.Id;
+    Req.Prog = C.Prog;
+    Req.Opts = Mode;
+    BeforeReqs.push_back(std::move(Req));
+  }
+  std::vector<CheckResult> Before =
+      Session.checkMany(std::span<const CheckRequest>(BeforeReqs));
+
+  // Batch 2: the leaky ones, fenced.
+  std::vector<size_t> LeakyIdx;
+  std::vector<Program> FencedProgs;
+  std::vector<CheckRequest> AfterReqs;
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    if (Before[I].secure())
       continue; // Only ablate the leaky ones.
-    Program Fenced = insertFences(C.Prog, Policy);
-    SctReport After = checkSct(Fenced, Mode);
+    LeakyIdx.push_back(I);
+    CheckRequest Req;
+    Req.Id = Cases[I].Id + "/fenced";
+    Req.Prog = insertFences(Cases[I].Prog, Policy);
+    FencedProgs.push_back(Req.Prog);
+    Req.Opts = Mode;
+    AfterReqs.push_back(std::move(Req));
+  }
+  std::vector<CheckResult> After =
+      Session.checkMany(std::span<const CheckRequest>(AfterReqs));
+
+  std::vector<std::vector<std::string>> Table;
+  for (size_t J = 0; J < LeakyIdx.size(); ++J) {
+    const SuiteCase &C = Cases[LeakyIdx[J]];
+    const Program &Fenced = FencedProgs[J];
     size_t LenBefore = seqScheduleLength(C.Prog);
     size_t LenAfter = seqScheduleLength(Fenced);
     double Overhead =
@@ -46,7 +80,7 @@ void reportPolicy(const char *Title, const std::vector<SuiteCase> &Cases,
                   : 0.0;
     char OverheadBuf[32];
     std::snprintf(OverheadBuf, sizeof(OverheadBuf), "%.1f%%", Overhead);
-    Table.push_back({C.Id, !After.secure() ? "still LEAKS" : "secure",
+    Table.push_back({C.Id, !After[J].secure() ? "still LEAKS" : "secure",
                      std::to_string(countFences(Fenced)),
                      std::to_string(LenBefore), std::to_string(LenAfter),
                      OverheadBuf});
@@ -60,24 +94,28 @@ void reportPolicy(const char *Title, const std::vector<SuiteCase> &Cases,
 
 } // namespace
 
-int main() {
-  reportPolicy("Fences at branch targets vs the Kocher v1 suite "
+int main(int Argc, char **Argv) {
+  CheckSession Session(sessionOptionsFromArgs(Argc, Argv));
+  std::printf("engine: %u worker thread(s)\n\n", Session.options().Threads);
+
+  reportPolicy(Session,
+               "Fences at branch targets vs the Kocher v1 suite "
                "(§3.6, Figure 8):",
                kocherCases(), FencePolicy::BranchTargets, v1v11Mode());
-  reportPolicy("Fences at branch targets vs the v1.1 suite:",
+  reportPolicy(Session, "Fences at branch targets vs the v1.1 suite:",
                spectreV11Cases(), FencePolicy::BranchTargets, v1v11Mode());
-  reportPolicy("Fences after stores vs the v4 suite:", spectreV4Cases(),
-               FencePolicy::AfterStores, v4Mode());
+  reportPolicy(Session, "Fences after stores vs the v4 suite:",
+               spectreV4Cases(), FencePolicy::AfterStores, v4Mode());
 
   // Retpoline vs the Figure 11 v2 gadget (fences provably do not help —
   // the figure's point — but the retpoline does).
   FigureCase V2 = figure11();
-  SctReport Before = checkSct(V2.Prog, V2.CheckOpts);
+  SctReport Before = toReport(Session.check(V2.Prog, V2.CheckOpts));
   Program Fenced = insertFences(V2.Prog, FencePolicy::BranchTargetsAndStores);
-  SctReport FencedReport = checkSct(Fenced, V2.CheckOpts);
+  SctReport FencedReport = toReport(Session.check(Fenced, V2.CheckOpts));
   FigureCase Retpolined = figure13();
   SctReport RetpolineReport =
-      checkSct(Retpolined.Prog, Retpolined.CheckOpts);
+      toReport(Session.check(Retpolined.Prog, Retpolined.CheckOpts));
   std::printf("Spectre v2 (Figure 11 gadget):\n");
   std::printf("  unmitigated:        %s\n",
               Before.secure() ? "secure" : "LEAKS");

@@ -9,7 +9,9 @@
 //
 // Google-benchmark sweeps over the speculation bound in both modes on a
 // crypto-sized workload, plus raw machine-step and sequential-execution
-// throughput.
+// throughput — and the engine axes on top: frontier worker threads,
+// snapshot policy (Copy vs Replay), and batched multi-program checking
+// through CheckSession::checkMany.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,8 @@
 #include "workloads/ChaCha.h"
 #include "workloads/CryptoLibs.h"
 #include "workloads/Figures.h"
+#include "workloads/Kocher.h"
+#include "workloads/SpectreSuites.h"
 
 #include <benchmark/benchmark.h>
 
@@ -89,6 +93,92 @@ void BM_ExploreArxKernel(benchmark::State &State) {
   State.counters["instrs"] = static_cast<double>(C.Prog.size());
 }
 BENCHMARK(BM_ExploreArxKernel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ExploreThreadScaling(benchmark::State &State) {
+  // The parallel engine on the largest schedule tree in the repo:
+  // MEE-CBC (C variant) in v1/v1.1 mode — hundreds of thousands of
+  // schedules, millions of steps.  Sweeping the worker count measures
+  // frontier-drain scaling on the program where it matters.
+  SuiteCase C = meeC();
+  Machine M(C.Prog);
+  for (auto _ : State) {
+    ExplorerOptions Opts = v1v11Mode();
+    Opts.Threads = static_cast<unsigned>(State.range(0));
+    ExploreResult R = explore(M, Configuration::initial(C.Prog), Opts);
+    benchmark::DoNotOptimize(R.Leaks.size());
+  }
+  State.counters["threads"] = static_cast<double>(State.range(0));
+}
+BENCHMARK(BM_ExploreThreadScaling)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ExploreThreadScalingFwd(benchmark::State &State) {
+  // Same sweep with forwarding-hazard detection (v4 mode) on the
+  // FaCT MEE model.
+  SuiteCase C = meeFact();
+  Machine M(C.Prog);
+  for (auto _ : State) {
+    ExplorerOptions Opts = v4Mode();
+    Opts.Threads = static_cast<unsigned>(State.range(0));
+    ExploreResult R = explore(M, Configuration::initial(C.Prog), Opts);
+    benchmark::DoNotOptimize(R.Leaks.size());
+  }
+  State.counters["threads"] = static_cast<double>(State.range(0));
+}
+BENCHMARK(BM_ExploreThreadScalingFwd)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ExploreThreadScalingNoFwd(benchmark::State &State) {
+  // Same sweep in v1/v1.1 mode (bound 250) on secretbox.
+  SuiteCase C = secretboxC();
+  Machine M(C.Prog);
+  for (auto _ : State) {
+    ExplorerOptions Opts = v1v11Mode();
+    Opts.Threads = static_cast<unsigned>(State.range(0));
+    ExploreResult R = explore(M, Configuration::initial(C.Prog), Opts);
+    benchmark::DoNotOptimize(R.Leaks.size());
+  }
+  State.counters["threads"] = static_cast<double>(State.range(0));
+}
+BENCHMARK(BM_ExploreThreadScalingNoFwd)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SnapshotPolicy(benchmark::State &State) {
+  // Copy (COW configurations) vs Replay (prefix-only nodes) fork cost.
+  SuiteCase C = meeFact();
+  Machine M(C.Prog);
+  for (auto _ : State) {
+    ExplorerOptions Opts = v4Mode();
+    Opts.Snapshots = State.range(0) ? SnapshotPolicy::Replay
+                                    : SnapshotPolicy::Copy;
+    ExploreResult R = explore(M, Configuration::initial(C.Prog), Opts);
+    benchmark::DoNotOptimize(R.Leaks.size());
+  }
+  State.SetLabel(State.range(0) ? "replay" : "copy");
+}
+BENCHMARK(BM_SnapshotPolicy)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_CheckManyBatch(benchmark::State &State) {
+  // Program-level fan-out: the whole Kocher + v1.1 corpus as one
+  // checkMany batch, sweeping the session thread budget.
+  std::vector<Program> Progs;
+  for (const SuiteCase &C : kocherCases())
+    Progs.push_back(C.Prog);
+  for (const SuiteCase &C : spectreV11Cases())
+    Progs.push_back(C.Prog);
+  SessionOptions SOpts;
+  SOpts.Threads = static_cast<unsigned>(State.range(0));
+  SOpts.DefaultOpts = v4Mode();
+  CheckSession Session(SOpts);
+  for (auto _ : State) {
+    std::vector<CheckResult> R =
+        Session.checkMany(std::span<const Program>(Progs));
+    benchmark::DoNotOptimize(R.size());
+  }
+  State.counters["programs"] = static_cast<double>(Progs.size());
+}
+BENCHMARK(BM_CheckManyBatch)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_MachineStepThroughput(benchmark::State &State) {
   // Raw small-step speed: one fetch+execute+retire op cycle.

@@ -7,9 +7,16 @@
 //   sctcheck FILE [--bound N] [--no-fwd] [--alias] [--seq-only]
 //            [--indirect-targets a,b,..] [--rsb-targets a,b,..]
 //            [--fence-branches] [--fence-stores] [--first]
+//            [--threads N] [--replay-snapshots] [--validate]
+//
+// Checks run through the engine layer (CheckSession): --threads fans the
+// exploration frontier over N workers, --replay-snapshots switches fork
+// checkpoints to prefix-replay, and --validate replays every witness
+// differentially to confirm it as a concrete trace divergence.
 //
 //===----------------------------------------------------------------------===//
 
+#include "checker/DifferentialChecker.h"
 #include "checker/FenceInsertion.h"
 #include "checker/SctChecker.h"
 #include "checker/SequentialCt.h"
@@ -40,6 +47,9 @@ void usage(const char *Prog) {
       "  --fence-branches       insert fences at branch targets first\n"
       "  --fence-stores         insert fences after stores first\n"
       "  --first                stop at the first violation\n"
+      "  --threads N            engine worker threads (default 1)\n"
+      "  --replay-snapshots     prefix-replay fork checkpoints\n"
+      "  --validate             differentially confirm each witness\n"
       "  --print                echo the (possibly transformed) program\n",
       Prog);
 }
@@ -84,7 +94,7 @@ int main(int Argc, char **Argv) {
   Program Prog = std::move(*Parsed.Prog);
 
   ExplorerOptions Opts;
-  bool SeqOnly = false, Print = false;
+  bool SeqOnly = false, Print = false, Validate = false;
   const char *IndirectList = nullptr, *RsbList = nullptr;
   for (int I = 2; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--bound") && I + 1 < Argc)
@@ -105,6 +115,12 @@ int main(int Argc, char **Argv) {
       Prog = insertFences(Prog, FencePolicy::AfterStores);
     else if (!std::strcmp(Argv[I], "--first"))
       Opts.StopAtFirstLeak = true;
+    else if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
+      Opts.Threads = static_cast<unsigned>(atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--replay-snapshots"))
+      Opts.Snapshots = SnapshotPolicy::Replay;
+    else if (!std::strcmp(Argv[I], "--validate"))
+      Validate = true;
     else if (!std::strcmp(Argv[I], "--print"))
       Print = true;
     else {
@@ -128,13 +144,32 @@ int main(int Argc, char **Argv) {
   if (SeqOnly)
     return Seq.secure() ? 0 : 1;
 
-  SctReport Report = checkSct(Prog, Opts);
+  SessionOptions SOpts;
+  SOpts.Threads = Opts.Threads ? Opts.Threads : 1;
+  CheckSession Session(SOpts);
+  CheckRequest Req;
+  Req.Id = Argv[1];
+  Req.Prog = Prog;
+  Req.Opts = Opts;
+  CheckResult Check = Session.check(Req);
+  SctReport Report = toReport(Check);
   std::printf("%s", describeResult(Prog, Report.Exploration).c_str());
+  std::printf("explored %llu steps in %.3fs (%u thread%s)\n",
+              static_cast<unsigned long long>(Report.Exploration.TotalSteps),
+              Report.Seconds, Check.Opts.Threads,
+              Check.Opts.Threads == 1 ? "" : "s");
   if (!Report.secure()) {
     Machine M(Prog);
     std::printf("\n%s", describeLeak(M, Configuration::initial(Prog),
                                      Report.Exploration.Leaks.front())
                             .c_str());
+  }
+  if (Validate && !Report.secure()) {
+    Machine M(Prog);
+    WitnessValidation V = validateWitnesses(M, Report.Exploration);
+    std::printf("\ndifferential validation: %zu/%zu witnesses confirmed "
+                "as concrete trace divergences\n",
+                V.Confirmed, V.Checked);
   }
   return Report.secure() && Seq.secure() ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 #ifndef SCT_CHECKER_DIFFERENTIALCHECKER_H
 #define SCT_CHECKER_DIFFERENTIALCHECKER_H
 
+#include "engine/CheckSession.h"
 #include "sched/Executor.h"
 
 namespace sct {
@@ -63,6 +64,40 @@ DifferentialOutcome runPair(const Machine &M, Configuration A,
 std::optional<DifferentialOutcome>
 checkScheduleDifferentially(const Machine &M, const Schedule &D,
                             unsigned Pairs = 8, uint64_t Seed = 1);
+
+/// Cross-validation of an exploration's witnesses: every label-flagged
+/// leak is replayed differentially (random secret pairs plus the targeted
+/// all-0 / all-42 pair) and counted as *confirmed* when some pair's traces
+/// concretely diverge.  Taint over-approximates, so unconfirmed witnesses
+/// are possible false positives — worth human eyes, not proof of one.
+struct WitnessValidation {
+  size_t Checked = 0;
+  size_t Confirmed = 0;
+  /// Per-leak verdict, parallel to ExploreResult::Leaks.
+  std::vector<bool> PerLeak;
+
+  bool allConfirmed() const { return Confirmed == Checked; }
+};
+
+/// \p Base is the configuration the witnesses were explored from; when
+/// null, the program's initial configuration.  Witness schedules only
+/// replay faithfully from the configuration that produced them.
+WitnessValidation validateWitnesses(const Machine &M, const ExploreResult &R,
+                                    unsigned Pairs = 8, uint64_t Seed = 1,
+                                    const Configuration *Base = nullptr);
+
+/// The engine-integrated differential check: explores \p Req through
+/// \p Session, then cross-validates every witness found.
+struct DifferentialReport {
+  CheckResult Check;
+  WitnessValidation Validation;
+
+  bool secure() const { return Check.secure(); }
+};
+
+DifferentialReport checkDifferential(const CheckSession &Session,
+                                     const CheckRequest &Req,
+                                     unsigned Pairs = 8, uint64_t Seed = 1);
 
 } // namespace sct
 

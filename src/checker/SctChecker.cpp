@@ -18,13 +18,21 @@ ExplorerOptions sct::v4Mode() {
   return Opts;
 }
 
+SctReport sct::toReport(CheckResult R) {
+  SctReport Rep;
+  Rep.Exploration = std::move(R.Exploration);
+  Rep.Opts = R.Opts;
+  Rep.Seconds = R.Seconds;
+  return Rep;
+}
+
 SctReport sct::checkSct(const Program &P, const ExplorerOptions &Opts,
                         const MachineOptions &MOpts) {
-  Machine M(P, MOpts);
-  SctReport R;
-  R.Opts = Opts;
-  R.Exploration = explore(M, Configuration::initial(P), Opts);
-  return R;
+  SessionOptions SOpts;
+  SOpts.Threads = Opts.Threads ? Opts.Threads : 1;
+  SOpts.DefaultMOpts = MOpts;
+  CheckSession Session(SOpts);
+  return toReport(Session.check(P, Opts));
 }
 
 std::string TwoModeReport::cell() const {
@@ -36,9 +44,27 @@ std::string TwoModeReport::cell() const {
 }
 
 TwoModeReport sct::checkSctBothModes(const Program &P,
-                                     const MachineOptions &MOpts) {
+                                     const MachineOptions &MOpts,
+                                     unsigned Threads) {
+  SessionOptions SOpts;
+  SOpts.Threads = Threads ? Threads : 1;
+  SOpts.DefaultMOpts = MOpts;
+  CheckSession Session(SOpts);
+
+  CheckRequest Reqs[2];
+  Reqs[0].Id = "v1v11";
+  Reqs[0].Prog = P;
+  Reqs[0].Opts = v1v11Mode();
+  Reqs[0].MOpts = MOpts;
+  Reqs[1].Id = "v4";
+  Reqs[1].Prog = P;
+  Reqs[1].Opts = v4Mode();
+  Reqs[1].MOpts = MOpts;
+
+  std::vector<CheckResult> Results =
+      Session.checkMany(std::span<const CheckRequest>(Reqs));
   TwoModeReport R;
-  R.V1V11 = checkSct(P, v1v11Mode(), MOpts);
-  R.V4 = checkSct(P, v4Mode(), MOpts);
+  R.V1V11 = toReport(std::move(Results[0]));
+  R.V4 = toReport(std::move(Results[1]));
   return R;
 }

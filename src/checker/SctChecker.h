@@ -25,7 +25,7 @@
 #define SCT_CHECKER_SCTCHECKER_H
 
 #include "checker/Violation.h"
-#include "sched/ScheduleExplorer.h"
+#include "engine/CheckSession.h"
 
 namespace sct {
 
@@ -34,15 +34,21 @@ struct SctReport {
   ExploreResult Exploration;
   /// The options used (for reporting).
   ExplorerOptions Opts;
+  /// Wall-clock seconds spent exploring.
+  double Seconds = 0;
 
   bool secure() const { return Exploration.secure(); }
 };
+
+/// Converts an engine result into a checker report.
+SctReport toReport(CheckResult R);
 
 /// Checker presets mirroring §4.2.1.
 ExplorerOptions v1v11Mode();
 ExplorerOptions v4Mode();
 
-/// Checks \p P from its initial configuration under \p Opts.
+/// Checks \p P from its initial configuration under \p Opts.  Routed
+/// through the engine layer: `Opts.Threads` workers drain the frontier.
 SctReport checkSct(const Program &P, const ExplorerOptions &Opts,
                    const MachineOptions &MOpts = {});
 
@@ -64,8 +70,11 @@ struct TwoModeReport {
   std::string cell() const;
 };
 
+/// With \p Threads > 1 the two modes run concurrently as one engine
+/// batch.
 TwoModeReport checkSctBothModes(const Program &P,
-                                const MachineOptions &MOpts = {});
+                                const MachineOptions &MOpts = {},
+                                unsigned Threads = 1);
 
 } // namespace sct
 

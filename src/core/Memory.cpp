@@ -5,30 +5,53 @@
 using namespace sct;
 
 Value Memory::load(uint64_t Addr) const {
-  auto It = Cells.find(Addr);
-  if (It != Cells.end())
-    return It->second;
+  if (Cells) {
+    auto It = Cells->find(Addr);
+    if (It != Cells->end())
+      return It->second;
+  }
   return Value(0, defaultLabel(Addr));
 }
 
-void Memory::store(uint64_t Addr, Value V) { Cells[Addr] = V; }
+void Memory::store(uint64_t Addr, Value V) {
+  // Copy-on-write: writers get a private map; copies sharing the old map
+  // keep reading it unchanged.  A unique map is mutated in place.
+  if (!Cells) {
+    auto Fresh = std::make_shared<std::map<uint64_t, Value>>();
+    Fresh->emplace(Addr, V);
+    Cells = std::move(Fresh);
+    return;
+  }
+  if (Cells.use_count() > 1) {
+    auto Own = std::make_shared<std::map<uint64_t, Value>>(*Cells);
+    (*Own)[Addr] = V;
+    Cells = std::move(Own);
+    return;
+  }
+  // Sole owner: drop const on our private map.
+  (*std::const_pointer_cast<std::map<uint64_t, Value>>(Cells))[Addr] = V;
+}
 
 Label Memory::defaultLabel(uint64_t Addr) const {
-  for (const MemRegion &R : Regions)
-    if (Addr >= R.Base && Addr - R.Base < R.Size)
-      return R.RegionLabel;
+  if (Regions)
+    for (const MemRegion &R : *Regions)
+      if (Addr >= R.Base && Addr - R.Base < R.Size)
+        return R.RegionLabel;
   return Label::publicLabel();
 }
 
 bool Memory::operator==(const Memory &Other) const {
+  // Shared cells and region tables compare equal without walking a word.
+  if (Cells == Other.Cells && Regions == Other.Regions)
+    return true;
   // Compare over the union of explicitly-written addresses; all other
   // addresses read as region defaults, which agree iff the loads agree.
-  for (const auto &[Addr, V] : Cells) {
+  for (const auto &[Addr, V] : cells()) {
     (void)V;
     if (!(load(Addr) == Other.load(Addr)))
       return false;
   }
-  for (const auto &[Addr, V] : Other.Cells) {
+  for (const auto &[Addr, V] : Other.cells()) {
     (void)V;
     if (!(load(Addr) == Other.load(Addr)))
       return false;
@@ -42,12 +65,12 @@ bool Memory::lowEquivalent(const Memory &Other) const {
       return false;
     return A.isSecret() || A.Bits == B.Bits;
   };
-  for (const auto &[Addr, V] : Cells) {
+  for (const auto &[Addr, V] : cells()) {
     (void)V;
     if (!CellsAgree(load(Addr), Other.load(Addr)))
       return false;
   }
-  for (const auto &[Addr, V] : Other.Cells) {
+  for (const auto &[Addr, V] : Other.cells()) {
     (void)V;
     if (!CellsAgree(load(Addr), Other.load(Addr)))
       return false;

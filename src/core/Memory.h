@@ -11,6 +11,14 @@
 /// labelled according to the program's region table — this is how the
 /// attacker's secrecy annotations (§4.2.1) enter the semantics.
 ///
+/// Memories have value semantics but copy in O(1): the word map and the
+/// region table live behind shared_ptrs, shared between copies until a
+/// store unshares the map (copy-on-write).  Schedule exploration forks a
+/// configuration at every decision point, and most forks never write
+/// memory before diverging on observations alone — sharing makes those
+/// forks nearly free.  Concurrent readers of a shared map are safe; the
+/// unshare gives a writer its private map before the first mutation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCT_CORE_MEMORY_H
@@ -20,6 +28,7 @@
 #include "isa/Program.h"
 
 #include <map>
+#include <memory>
 
 namespace sct {
 
@@ -31,7 +40,8 @@ public:
   /// Builds memory with \p Regions as the labelling policy for unwritten
   /// addresses.
   explicit Memory(std::vector<MemRegion> Regions)
-      : Regions(std::move(Regions)) {}
+      : Regions(std::make_shared<const std::vector<MemRegion>>(
+            std::move(Regions))) {}
 
   /// Reads µ(a); unwritten addresses yield 0 with the region label.
   Value load(uint64_t Addr) const;
@@ -43,7 +53,15 @@ public:
   Label defaultLabel(uint64_t Addr) const;
 
   /// All explicitly written/initialised cells.
-  const std::map<uint64_t, Value> &cells() const { return Cells; }
+  const std::map<uint64_t, Value> &cells() const {
+    static const std::map<uint64_t, Value> Empty;
+    return Cells ? *Cells : Empty;
+  }
+
+  /// True iff this memory shares its word map with another copy (the cells
+  /// have not been unshared yet).  Exposed for tests and fork-cost
+  /// accounting.
+  bool sharesCells() const { return Cells && Cells.use_count() > 1; }
 
   /// Structural equality modulo default cells (two memories are equal iff
   /// every address reads equal).
@@ -54,8 +72,11 @@ public:
   bool lowEquivalent(const Memory &Other) const;
 
 private:
-  std::vector<MemRegion> Regions;
-  std::map<uint64_t, Value> Cells;
+  /// Region table; immutable after construction, shared between copies.
+  std::shared_ptr<const std::vector<MemRegion>> Regions;
+  /// Written cells; shared between copies, unshared on first store.
+  /// nullptr encodes the empty map.
+  std::shared_ptr<const std::map<uint64_t, Value>> Cells;
 };
 
 } // namespace sct

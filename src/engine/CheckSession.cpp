@@ -1,0 +1,115 @@
+//===- engine/CheckSession.cpp - Unified analysis API -----------------------===//
+
+#include "engine/CheckSession.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+using namespace sct;
+
+SessionOptions sct::sessionOptionsFromArgs(int Argc, char **Argv) {
+  SessionOptions SOpts;
+  SOpts.Threads = std::thread::hardware_concurrency();
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
+      SOpts.Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
+  return SOpts;
+}
+
+CheckSession::CheckSession(SessionOptions Opts) : Opts(std::move(Opts)) {
+  if (this->Opts.Threads == 0)
+    this->Opts.Threads = 1;
+}
+
+CheckResult CheckSession::runOne(const CheckRequest &Req,
+                                 unsigned FrontierThreads) const {
+  CheckResult Res;
+  Res.Id = Req.Id;
+  Res.Opts = Req.Opts;
+  // Request-pinned thread counts win; otherwise take the share the
+  // session computed for this batch.
+  if (Res.Opts.Threads == 0)
+    Res.Opts.Threads = FrontierThreads ? FrontierThreads : 1;
+
+  Machine M(Req.Prog, Req.MOpts);
+  Configuration Init =
+      Req.Init ? *Req.Init : Configuration::initial(Req.Prog);
+
+  auto T0 = std::chrono::steady_clock::now();
+  Res.Exploration = explore(M, std::move(Init), Res.Opts);
+  auto T1 = std::chrono::steady_clock::now();
+  Res.Seconds = std::chrono::duration<double>(T1 - T0).count();
+  return Res;
+}
+
+CheckResult CheckSession::check(const CheckRequest &Req) const {
+  return runOne(Req, Opts.Threads);
+}
+
+CheckResult CheckSession::check(const Program &P) const {
+  return check(P, Opts.DefaultOpts);
+}
+
+CheckResult CheckSession::check(const Program &P,
+                                const ExplorerOptions &EOpts) const {
+  CheckRequest Req;
+  Req.Prog = P;
+  Req.Opts = EOpts;
+  Req.MOpts = Opts.DefaultMOpts;
+  return check(Req);
+}
+
+std::vector<CheckResult>
+CheckSession::checkMany(std::span<const CheckRequest> Reqs) const {
+  std::vector<CheckResult> Results(Reqs.size());
+  if (Reqs.empty())
+    return Results;
+
+  // Split the budget: program-level fan-out first, leftover threads go to
+  // each program's frontier.
+  unsigned PoolSize =
+      static_cast<unsigned>(std::min<size_t>(Opts.Threads, Reqs.size()));
+  if (PoolSize <= 1) {
+    for (size_t I = 0; I < Reqs.size(); ++I)
+      Results[I] = runOne(Reqs[I], Opts.Threads);
+    return Results;
+  }
+  unsigned PerProgram = Opts.Threads / PoolSize;
+  if (PerProgram == 0)
+    PerProgram = 1;
+
+  std::atomic<size_t> NextReq{0};
+  auto Drain = [&] {
+    for (;;) {
+      size_t I = NextReq.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Reqs.size())
+        return;
+      Results[I] = runOne(Reqs[I], PerProgram);
+    }
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(PoolSize);
+  for (unsigned W = 0; W < PoolSize; ++W)
+    Pool.emplace_back(Drain);
+  for (std::thread &T : Pool)
+    T.join();
+  return Results;
+}
+
+std::vector<CheckResult>
+CheckSession::checkMany(std::span<const Program> Progs) const {
+  std::vector<CheckRequest> Reqs;
+  Reqs.reserve(Progs.size());
+  for (size_t I = 0; I < Progs.size(); ++I) {
+    CheckRequest Req;
+    Req.Id = "program-" + std::to_string(I);
+    Req.Prog = Progs[I];
+    Req.Opts = Opts.DefaultOpts;
+    Req.MOpts = Opts.DefaultMOpts;
+    Reqs.push_back(std::move(Req));
+  }
+  return checkMany(std::span<const CheckRequest>(Reqs));
+}

@@ -1,0 +1,117 @@
+//===- engine/CheckSession.h - Unified analysis API ------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine layer: one API every analysis driver goes through.  A
+/// CheckSession owns a thread budget and turns CheckRequests (program +
+/// exploration options) into CheckResults (exploration outcome + timing).
+///
+/// Two axes of parallelism share the budget:
+///  - a single check spreads its schedule-tree frontier across the
+///    session's workers (ExplorerOptions::Threads);
+///  - checkMany() fans a batch of programs out over a pool of session
+///    workers, splitting the thread budget between concurrent programs.
+///
+/// Program-level fan-out amortizes better than frontier-level (no shared
+/// frontier contention), so checkMany prefers it: with W session threads
+/// and N programs, min(W, N) programs run concurrently and each gets
+/// max(1, W / min(W, N)) frontier workers.
+///
+/// Layering: core → sched → engine → checker → workloads.  The checkers
+/// and every bench/example driver sit on top of this seam; future scaling
+/// work (sharding, caching, async) plugs in here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_ENGINE_CHECKSESSION_H
+#define SCT_ENGINE_CHECKSESSION_H
+
+#include "sched/ScheduleExplorer.h"
+
+#include <span>
+#include <string>
+
+namespace sct {
+
+/// One unit of analysis work: a program plus how to explore it.
+struct CheckRequest {
+  /// Caller-chosen identifier, echoed in the result (suite case ids,
+  /// file names, ...).
+  std::string Id;
+  /// The program to check.  Stored by value: requests outlive the Machine
+  /// that references them for the duration of the check.
+  Program Prog;
+  /// Exploration knobs.  Threads == 0 means "inherit the session share";
+  /// a nonzero value pins this request's frontier workers explicitly.
+  ExplorerOptions Opts;
+  MachineOptions MOpts;
+  /// Start from this configuration instead of Configuration::initial —
+  /// lets differential drivers check mutated-secret variants through the
+  /// same API.
+  std::optional<Configuration> Init;
+};
+
+/// The outcome of one CheckRequest.
+struct CheckResult {
+  std::string Id;
+  ExploreResult Exploration;
+  /// The options the exploration actually ran with (thread share
+  /// resolved).
+  ExplorerOptions Opts;
+  /// Wall-clock seconds spent exploring.
+  double Seconds = 0;
+
+  bool secure() const { return Exploration.secure(); }
+};
+
+/// Session-wide knobs.
+struct SessionOptions {
+  /// Total worker-thread budget shared by frontier- and program-level
+  /// parallelism.  0 or 1 = fully sequential.
+  unsigned Threads = 1;
+  /// Defaults applied by the Program-only conveniences.
+  ExplorerOptions DefaultOpts;
+  MachineOptions DefaultMOpts;
+};
+
+/// The unified entry point for running checks.
+class CheckSession {
+public:
+  explicit CheckSession(SessionOptions Opts = {});
+
+  const SessionOptions &options() const { return Opts; }
+
+  /// Checks one request; the frontier spreads over the session's whole
+  /// thread budget unless the request pins its own.
+  CheckResult check(const CheckRequest &Req) const;
+
+  /// Convenience: checks \p P under the session defaults.
+  CheckResult check(const Program &P) const;
+  CheckResult check(const Program &P, const ExplorerOptions &EOpts) const;
+
+  /// Batch entry point: fans the requests out over the session's worker
+  /// pool.  Results are returned in request order regardless of which
+  /// worker finished first.
+  std::vector<CheckResult> checkMany(std::span<const CheckRequest> Reqs) const;
+
+  /// Batch convenience: checks each program under the session defaults.
+  std::vector<CheckResult> checkMany(std::span<const Program> Progs) const;
+
+private:
+  SessionOptions Opts;
+
+  CheckResult runOne(const CheckRequest &Req, unsigned FrontierThreads) const;
+};
+
+/// Session options for a CLI driver: parses `--threads N` out of argv,
+/// defaulting the budget to the hardware concurrency.  Shared by the
+/// bench mains.
+SessionOptions sessionOptionsFromArgs(int Argc, char **Argv);
+
+} // namespace sct
+
+#endif // SCT_ENGINE_CHECKSESSION_H

@@ -1,44 +1,219 @@
 //===- sched/ScheduleExplorer.cpp - Worst-case schedule exploration ---------===//
+//
+// The exploration engine: an explicit work queue of ExploreNodes (schedule
+// prefix + snapshot) drained by worker threads.  A worker pops a node,
+// materialises its configuration (moving the stored snapshot out, or
+// replaying the directive prefix under SnapshotPolicy::Replay), and runs
+// the path forward.  Decision points (Definition B.18's schedule-set
+// forks) do not recurse: the fork's probed configuration becomes a new
+// node, the worker switches to the first fork and pushes the rest plus its
+// own continuation, which for a single worker reproduces the legacy
+// depth-first order exactly.  Budgets and tallies are shared atomics;
+// leaks collect in per-worker buffers merged through LeakRecord::key() at
+// the end, so the deduplicated leak set is independent of drain order.
+//
+//===----------------------------------------------------------------------===//
 
 #include "sched/ScheduleExplorer.h"
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <set>
+#include <thread>
 
 using namespace sct;
 
 namespace {
 
-/// Depth-first exploration of the DT(n) schedule tree.  Each path carries
-/// its own configuration and schedule prefix; forks recurse on copies.
-class Explorer {
-public:
-  Explorer(const Machine &M, const ExplorerOptions &Opts)
-      : M(M), P(M.program()), Opts(Opts) {}
+/// One frontier entry: a point in the schedule tree still to be explored.
+struct ExploreNode {
+  /// The configuration at this point (engaged under SnapshotPolicy::Copy).
+  std::optional<Configuration> Snap;
+  /// Directive prefix reaching this point; always kept — it is both the
+  /// witness prefix and, under SnapshotPolicy::Replay, the snapshot.
+  Schedule Sched;
+  /// Steps spent on this path (per-schedule budget accounting).
+  size_t PathSteps = 0;
+};
 
-  ExploreResult take(Configuration Init) {
-    explorePath(std::move(Init), {}, 0);
-    return std::move(Result);
+/// The work-queue exploration engine.
+class Engine {
+public:
+  Engine(const Machine &M, const ExplorerOptions &Opts, Configuration Init)
+      : M(M), P(M.program()), Opts(Opts), Init(std::move(Init)),
+        NumWorkers(Opts.Threads > 1 ? Opts.Threads : 1),
+        Workers(NumWorkers) {}
+
+  ExploreResult run() {
+    {
+      ExploreNode Root;
+      Root.Snap = Init;
+      Frontier.push_back(std::move(Root));
+    }
+    if (NumWorkers == 1) {
+      drainSequential();
+    } else {
+      std::vector<std::thread> Pool;
+      Pool.reserve(NumWorkers);
+      for (unsigned Id = 0; Id < NumWorkers; ++Id)
+        Pool.emplace_back([this, Id] { workerLoop(Id); });
+      for (std::thread &T : Pool)
+        T.join();
+    }
+    return harvest();
   }
 
 private:
+  /// Per-path state a worker advances.
+  struct Path {
+    Configuration C;
+    Schedule Sched;
+    size_t Steps = 0;
+    unsigned WorkerId = 0;
+  };
+
+  /// Per-worker leak buffer.  Uniqueness is decided against the global
+  /// key set (leaks are rare relative to steps, so the lock is cold);
+  /// the buffers themselves stay worker-local and merge at harvest.
+  struct Worker {
+    std::vector<LeakRecord> Leaks;
+  };
+
   const Machine &M;
   const Program &P;
   const ExplorerOptions &Opts;
-  ExploreResult Result;
-  std::set<uint64_t> SeenLeaks;
-  bool Done = false;
+  const Configuration Init;
+  const unsigned NumWorkers;
 
-  bool budgetExceeded(size_t PathSteps) {
-    if (Done)
-      return true;
-    if (Result.TotalSteps >= Opts.MaxTotalSteps ||
-        PathSteps >= Opts.MaxStepsPerSchedule ||
-        Result.SchedulesCompleted >= Opts.MaxSchedules) {
-      Result.Truncated = true;
-      return true;
+  // Frontier, shared under QMu when NumWorkers > 1.
+  std::vector<ExploreNode> Frontier;
+  std::mutex QMu;
+  std::condition_variable QCv;
+  unsigned Busy = 0;
+
+  // Shared tallies and stop signals.
+  std::atomic<uint64_t> TotalSteps{0};
+  std::atomic<uint64_t> LeakEvents{0};
+  std::atomic<uint64_t> SchedulesCompleted{0};
+  std::atomic<bool> StopFlag{false};
+  std::atomic<bool> TruncatedFlag{false};
+
+  /// Global leak dedup, shared by all workers under LeakMu so the
+  /// MaxLeaks budget counts globally-unique keys exactly — a per-worker
+  /// tally would double-count cross-worker duplicates and truncate
+  /// early, breaking Threads-independence of the leak set.
+  std::mutex LeakMu;
+  std::set<uint64_t> SeenLeaks;
+
+  std::vector<Worker> Workers;
+
+  //===------------------------------------------------------ queueing ---===//
+
+  void enqueueNode(Configuration &&C, Schedule &&Sched, size_t Steps) {
+    ExploreNode N;
+    if (Opts.Snapshots == SnapshotPolicy::Copy)
+      N.Snap = std::move(C);
+    N.Sched = std::move(Sched);
+    N.PathSteps = Steps;
+    if (NumWorkers == 1) {
+      Frontier.push_back(std::move(N));
+      return;
     }
-    return false;
+    {
+      std::lock_guard<std::mutex> L(QMu);
+      Frontier.push_back(std::move(N));
+    }
+    QCv.notify_one();
   }
+
+  /// Reconstructs the node's path.  Replay re-derives the configuration
+  /// from the initial one by re-issuing the directive prefix — replayed
+  /// steps do not count toward budgets and do not re-record leaks (they
+  /// were accounted when first taken).
+  Path materialize(ExploreNode &&N, unsigned WorkerId) {
+    Path Pth;
+    Pth.WorkerId = WorkerId;
+    Pth.Steps = N.PathSteps;
+    if (N.Snap) {
+      Pth.C = std::move(*N.Snap);
+      Pth.Sched = std::move(N.Sched);
+      return Pth;
+    }
+    Pth.C = Init;
+    for (const Directive &D : N.Sched) {
+      [[maybe_unused]] auto Out = M.step(Pth.C, D);
+      assert(Out && "replay of an explored prefix cannot go stuck");
+    }
+    Pth.Sched = std::move(N.Sched);
+    return Pth;
+  }
+
+  void stopAll(bool Truncated) {
+    if (Truncated)
+      TruncatedFlag.store(true, std::memory_order_relaxed);
+    StopFlag.store(true, std::memory_order_relaxed);
+    if (NumWorkers > 1) {
+      { std::lock_guard<std::mutex> L(QMu); }
+      QCv.notify_all();
+    }
+  }
+
+  bool stopped() const { return StopFlag.load(std::memory_order_relaxed); }
+
+  void drainSequential() {
+    while (!Frontier.empty() && !stopped()) {
+      ExploreNode N = std::move(Frontier.back());
+      Frontier.pop_back();
+      Path Pth = materialize(std::move(N), 0);
+      runPath(Pth);
+    }
+  }
+
+  void workerLoop(unsigned Id) {
+    std::unique_lock<std::mutex> L(QMu);
+    for (;;) {
+      if (stopped()) {
+        QCv.notify_all();
+        return;
+      }
+      if (!Frontier.empty()) {
+        ExploreNode N = std::move(Frontier.back());
+        Frontier.pop_back();
+        ++Busy;
+        L.unlock();
+        Path Pth = materialize(std::move(N), Id);
+        runPath(Pth);
+        L.lock();
+        --Busy;
+        if (Frontier.empty() && Busy == 0) {
+          QCv.notify_all();
+          return;
+        }
+        continue;
+      }
+      if (Busy == 0)
+        return;
+      QCv.wait(L);
+    }
+  }
+
+  ExploreResult harvest() {
+    ExploreResult R;
+    R.LeakEvents = LeakEvents.load();
+    R.SchedulesCompleted = SchedulesCompleted.load();
+    R.TotalSteps = TotalSteps.load();
+    R.Truncated = TruncatedFlag.load();
+    // Merge per-worker buffers in worker order; keys are already
+    // globally unique (SeenLeaks gated every insert).
+    for (Worker &W : Workers)
+      for (LeakRecord &L : W.Leaks)
+        if (R.Leaks.size() < Opts.MaxLeaks)
+          R.Leaks.push_back(std::move(L));
+    return R;
+  }
+
+  //===------------------------------------------------------ stepping ---===//
 
   /// Program point responsible for a directive's observation (read before
   /// stepping; rollbacks may remove the entry).
@@ -51,37 +226,46 @@ private:
   }
 
   /// Issues one directive that must be applicable; records leaks.
-  void mustStep(Configuration &C, Schedule &Sched, size_t &PathSteps,
-                const Directive &D) {
-    [[maybe_unused]] bool Ok = tryStep(C, Sched, PathSteps, D);
+  void mustStep(Path &Pth, const Directive &D) {
+    [[maybe_unused]] bool Ok = tryStep(Pth, D);
     assert(Ok && "explorer issued an inapplicable directive");
   }
 
   /// Issues one directive if applicable; returns false otherwise.
-  bool tryStep(Configuration &C, Schedule &Sched, size_t &PathSteps,
-               const Directive &D) {
-    PC Origin = originOf(C, D);
-    std::string Why;
-    auto Outcome = M.step(C, D, &Why);
+  bool tryStep(Path &Pth, const Directive &D) {
+    PC Origin = originOf(Pth.C, D);
+    auto Outcome = M.step(Pth.C, D);
     if (!Outcome)
       return false;
-    Sched.push_back(D);
-    ++PathSteps;
-    ++Result.TotalSteps;
+    Pth.Sched.push_back(D);
+    ++Pth.Steps;
+    TotalSteps.fetch_add(1, std::memory_order_relaxed);
     if (Outcome->Obs.isSecret())
-      recordLeak(Sched, Outcome->Obs, Origin, Outcome->Rule);
+      recordLeak(Pth, Outcome->Obs, Origin, Outcome->Rule);
     return true;
   }
 
-  void recordLeak(const Schedule &Sched, const Observation &Obs, PC Origin,
-                  RuleId Rule) {
-    ++Result.LeakEvents;
-    LeakRecord L{Sched, Obs, Origin, Rule};
-    if (SeenLeaks.insert(L.key()).second &&
-        Result.Leaks.size() < Opts.MaxLeaks)
-      Result.Leaks.push_back(std::move(L));
+  void recordLeak(Path &Pth, const Observation &Obs, PC Origin, RuleId Rule) {
+    LeakEvents.fetch_add(1, std::memory_order_relaxed);
+    LeakRecord L{Pth.Sched, Obs, Origin, Rule};
+    bool New;
+    size_t Nth;
+    {
+      std::lock_guard<std::mutex> G(LeakMu);
+      New = SeenLeaks.insert(L.key()).second;
+      Nth = SeenLeaks.size();
+    }
+    if (New) {
+      // MaxLeaks gates globally-unique keys: once storage is exhausted
+      // the search is cut short and the result marked truncated (the
+      // leaks found remain trustworthy; completeness not).
+      if (Nth <= Opts.MaxLeaks)
+        Workers[Pth.WorkerId].Leaks.push_back(std::move(L));
+      else
+        stopAll(/*Truncated=*/true);
+    }
     if (Opts.StopAtFirstLeak)
-      Done = true;
+      stopAll(/*Truncated=*/false);
   }
 
   /// Number of unresolved branches / indirect jumps in flight (the
@@ -109,7 +293,7 @@ private:
     return false;
   }
 
-  /// Probes whether guessing \p Guess for the branch at C.N is the correct
+  /// Probes whether guessing true for the branch at C.N is the correct
   /// prediction.  Returns std::nullopt when the branch cannot be executed
   /// yet (e.g. a fence is in flight) and correctness is unknowable.
   std::optional<bool> probeBranchCorrect(const Configuration &C) {
@@ -149,62 +333,100 @@ private:
     return static_cast<PC>(C.Mem.load(A).Bits);
   }
 
-  /// The DFS driver: runs one path, forking at decision points.
-  void explorePath(Configuration C, Schedule Sched, size_t PathSteps) {
+  //===-------------------------------------------------- path running ---===//
+
+  /// Drives one path until it completes, truncates, or is stopped.  Forks
+  /// become frontier nodes; to preserve the legacy depth-first order the
+  /// worker continues with the first fork and re-queues its own
+  /// continuation behind the remaining forks.
+  void runPath(Path &Pth) {
     for (;;) {
-      if (budgetExceeded(PathSteps))
+      if (stopped())
         return;
-      if (C.isFinal(P)) {
-        ++Result.SchedulesCompleted;
+      if (TotalSteps.load(std::memory_order_relaxed) >= Opts.MaxTotalSteps ||
+          SchedulesCompleted.load(std::memory_order_relaxed) >=
+              Opts.MaxSchedules) {
+        stopAll(/*Truncated=*/true);
+        return;
+      }
+      if (Pth.Steps >= Opts.MaxStepsPerSchedule) {
+        // Per-schedule budget: only this path is cut short.
+        TruncatedFlag.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (Pth.C.isFinal(P)) {
+        SchedulesCompleted.fetch_add(1, std::memory_order_relaxed);
         return;
       }
 
       bool CanFetch =
-          C.Buf.size() < Opts.SpeculationBound && P.contains(C.N);
+          Pth.C.Buf.size() < Opts.SpeculationBound && P.contains(Pth.C.N);
       if (CanFetch) {
-        if (!fetchAndDecide(C, Sched, PathSteps))
-          return; // Path ended (stalled machine or pruned).
+        std::vector<Path> Forks;
+        bool Alive = fetchAndDecide(Pth, Forks);
+        if (!Forks.empty()) {
+          if (Alive)
+            enqueueNode(std::move(Pth.C), std::move(Pth.Sched), Pth.Steps);
+          for (size_t I = Forks.size(); I-- > 1;)
+            enqueueNode(std::move(Forks[I].C), std::move(Forks[I].Sched),
+                        Forks[I].Steps);
+          Forks.front().WorkerId = Pth.WorkerId;
+          Pth = std::move(Forks.front());
+          continue;
+        }
+        if (!Alive)
+          return; // Path ended (stalled machine or stop).
         continue;
       }
-      forceOldest(C, Sched, PathSteps);
+      forceOldest(Pth);
     }
   }
 
-  /// Phase A: fetch the next instruction eagerly, forking where B.18
-  /// branches the schedule set.  Returns false iff the path is over.
-  bool fetchAndDecide(Configuration &C, Schedule &Sched, size_t &PathSteps) {
-    const Instruction &I = P.at(C.N);
-    BufIdx Next = C.Buf.nextIndex();
+  /// Phase A: fetch the next instruction eagerly, collecting the forks
+  /// where B.18 branches the schedule set and advancing \p Pth along the
+  /// fall-through.  Returns false iff the fall-through path is over.
+  bool fetchAndDecide(Path &Pth, std::vector<Path> &Forks) {
+    const Instruction &I = P.at(Pth.C.N);
+    BufIdx Next = Pth.C.Buf.nextIndex();
+
+    /// A fork starts as a copy of the current path; its probing steps run
+    /// at creation (they both filter the fork and seed its schedule).
+    auto forkFrom = [&]() {
+      Path F;
+      F.C = Pth.C;
+      F.Sched = Pth.Sched;
+      F.Steps = Pth.Steps;
+      F.WorkerId = Pth.WorkerId;
+      return F;
+    };
 
     switch (I.kind()) {
     case InstrKind::Op:
-      mustStep(C, Sched, PathSteps, Directive::fetch());
-      tryStep(C, Sched, PathSteps, Directive::execute(Next));
+      mustStep(Pth, Directive::fetch());
+      tryStep(Pth, Directive::execute(Next));
       return true;
 
     case InstrKind::Fence:
-      mustStep(C, Sched, PathSteps, Directive::fetch());
+      mustStep(Pth, Directive::fetch());
       return true;
 
     case InstrKind::Load: {
-      mustStep(C, Sched, PathSteps, Directive::fetch());
+      mustStep(Pth, Directive::fetch());
 
       // Alias-prediction forks (§3.5): guess a forward from any earlier
       // value-resolved store whose address is still unknown.
-      if (Opts.ExploreAliasPrediction && !C.Buf.empty()) {
-        for (BufIdx J = C.Buf.minIndex(); J < Next; ++J) {
-          const TransientInstr &S = C.Buf.at(J);
+      if (Opts.ExploreAliasPrediction && !Pth.C.Buf.empty()) {
+        for (BufIdx J = Pth.C.Buf.minIndex(); J < Next; ++J) {
+          const TransientInstr &S = Pth.C.Buf.at(J);
           if (!S.is(TransientKind::Store) || !S.StoreValIsResolved ||
               S.StoreAddrIsResolved)
             continue;
-          Configuration C2 = C;
-          Schedule S2 = Sched;
-          size_t Steps2 = PathSteps;
-          if (tryStep(C2, S2, Steps2, Directive::executeFwd(Next, J))) {
-            tryStep(C2, S2, Steps2, Directive::execute(Next));
-            explorePath(std::move(C2), std::move(S2), Steps2);
+          Path F = forkFrom();
+          if (tryStep(F, Directive::executeFwd(Next, J))) {
+            tryStep(F, Directive::execute(Next));
+            Forks.push_back(std::move(F));
           }
-          if (Done)
+          if (stopped())
             return false;
         }
       }
@@ -215,118 +437,110 @@ private:
       // [execute s_i : addr; execute l] schedules.  The fall-through
       // schedule executes the load with no extra resolution (the "none
       // resolved" schedule: memory reads may be stale, Spectre v4).
-      if (Opts.ExploreForwardingHazards && !C.Buf.empty()) {
-        for (BufIdx S = C.Buf.minIndex(); S < Next; ++S) {
-          const TransientInstr &St = C.Buf.at(S);
+      if (Opts.ExploreForwardingHazards && !Pth.C.Buf.empty()) {
+        for (BufIdx S = Pth.C.Buf.minIndex(); S < Next; ++S) {
+          const TransientInstr &St = Pth.C.Buf.at(S);
           if (!St.is(TransientKind::Store) || St.StoreAddrIsResolved)
             continue;
           // Architectural-path stores are covered by forced resolution
           // and its hazard re-execution; fork only where a rollback would
           // squash the store first (unless exhaustive forks were asked
           // for).
-          if (!Opts.ExhaustiveForwardForks && !inSpeculativeShadow(C, S))
+          if (!Opts.ExhaustiveForwardForks &&
+              !inSpeculativeShadow(Pth.C, S))
             continue;
-          Configuration C2 = C;
-          Schedule S2 = Sched;
-          size_t Steps2 = PathSteps;
-          if (!tryStep(C2, S2, Steps2, Directive::executeAddr(S)))
+          Path F = forkFrom();
+          if (!tryStep(F, Directive::executeAddr(S)))
             continue;
-          if (tryStep(C2, S2, Steps2, Directive::execute(Next))) {
+          if (tryStep(F, Directive::execute(Next))) {
             // Keep the fork only if this store actually forwarded; other
             // outcomes coincide with the fall-through schedule.
-            const ReorderBuffer &B2 = C2.Buf;
+            const ReorderBuffer &B2 = F.C.Buf;
             if (!B2.contains(Next) ||
                 !B2.at(Next).is(TransientKind::LoadResolved) ||
                 !(B2.at(Next).Dep && *B2.at(Next).Dep == S))
               continue;
           }
-          explorePath(std::move(C2), std::move(S2), Steps2);
-          if (Done)
+          Forks.push_back(std::move(F));
+          if (stopped())
             return false;
         }
       }
 
-      tryStep(C, Sched, PathSteps, Directive::execute(Next));
+      tryStep(Pth, Directive::execute(Next));
       return true;
     }
 
     case InstrKind::Store: {
-      mustStep(C, Sched, PathSteps, Directive::fetch());
-      if (!C.Buf.at(Next).StoreValIsResolved)
-        tryStep(C, Sched, PathSteps, Directive::executeValue(Next));
+      mustStep(Pth, Directive::fetch());
+      if (!Pth.C.Buf.at(Next).StoreValIsResolved)
+        tryStep(Pth, Directive::executeValue(Next));
       // With forwarding-hazard exploration the address stays unresolved —
       // younger loads fork over its resolution; the retire stage forces
       // it at the latest (B.18).  Without it, resolve eagerly.
       if (!Opts.ExploreForwardingHazards)
-        tryStep(C, Sched, PathSteps, Directive::executeAddr(Next));
+        tryStep(Pth, Directive::executeAddr(Next));
       return true;
     }
 
     case InstrKind::Branch: {
-      std::optional<bool> TrueCorrect = probeBranchCorrect(C);
+      std::optional<bool> TrueCorrect = probeBranchCorrect(Pth.C);
       if (!TrueCorrect) {
         // Condition not executable yet (fence in flight): fork both
         // guesses unresolved; forceOldest() executes them later.
-        Configuration C2 = C;
-        Schedule S2 = Sched;
-        size_t Steps2 = PathSteps;
-        mustStep(C2, S2, Steps2, Directive::fetchBool(false));
-        explorePath(std::move(C2), std::move(S2), Steps2);
-        if (Done)
+        Path F = forkFrom();
+        mustStep(F, Directive::fetchBool(false));
+        Forks.push_back(std::move(F));
+        if (stopped())
           return false;
-        mustStep(C, Sched, PathSteps, Directive::fetchBool(true));
+        mustStep(Pth, Directive::fetchBool(true));
         return true;
       }
       bool Correct = *TrueCorrect;
       // Mispredicted fork: fetch the wrong guess and delay its resolution
       // as long as possible (B.18).  Nesting is bounded: wrong-path loops
       // would otherwise unroll a fresh fork per iteration.
-      if (branchDepth(C) < Opts.MaxBranchDepth) {
-        Configuration C2 = C;
-        Schedule S2 = Sched;
-        size_t Steps2 = PathSteps;
-        mustStep(C2, S2, Steps2, Directive::fetchBool(!Correct));
-        explorePath(std::move(C2), std::move(S2), Steps2);
-        if (Done)
+      if (branchDepth(Pth.C) < Opts.MaxBranchDepth) {
+        Path F = forkFrom();
+        mustStep(F, Directive::fetchBool(!Correct));
+        Forks.push_back(std::move(F));
+        if (stopped())
           return false;
       }
       // Correct-guess path: resolve immediately.
-      mustStep(C, Sched, PathSteps, Directive::fetchBool(Correct));
-      mustStep(C, Sched, PathSteps, Directive::execute(Next));
+      mustStep(Pth, Directive::fetchBool(Correct));
+      mustStep(Pth, Directive::execute(Next));
       return true;
     }
 
     case InstrKind::JumpI: {
-      std::optional<PC> Correct = peekJumpTarget(C, I.args());
+      std::optional<PC> Correct = peekJumpTarget(Pth.C, I.args());
       // Mistraining forks (Spectre v2), when requested.
       for (PC T : Opts.IndirectTargets) {
         if (Correct && T == *Correct)
           continue;
-        if (branchDepth(C) >= Opts.MaxBranchDepth)
+        if (branchDepth(Pth.C) >= Opts.MaxBranchDepth)
           break;
-        Configuration C2 = C;
-        Schedule S2 = Sched;
-        size_t Steps2 = PathSteps;
-        mustStep(C2, S2, Steps2, Directive::fetchTarget(T));
+        Path F = forkFrom();
+        mustStep(F, Directive::fetchTarget(T));
         // Leave unresolved: wrong-path execution proceeds until forced.
-        explorePath(std::move(C2), std::move(S2), Steps2);
-        if (Done)
+        Forks.push_back(std::move(F));
+        if (stopped())
           return false;
       }
-      mustStep(C, Sched, PathSteps,
-               Directive::fetchTarget(Correct.value_or(0)));
-      tryStep(C, Sched, PathSteps, Directive::execute(Next));
+      mustStep(Pth, Directive::fetchTarget(Correct.value_or(0)));
+      tryStep(Pth, Directive::execute(Next));
       return true;
     }
 
     case InstrKind::Call: {
-      mustStep(C, Sched, PathSteps, Directive::fetch());
-      tryStep(C, Sched, PathSteps, Directive::execute(Next + 1));
+      mustStep(Pth, Directive::fetch());
+      tryStep(Pth, Directive::execute(Next + 1));
       // The return-address store to [rsp] delays like any store when
       // hazard exploration is on — exactly the gadget behind the FaCT
       // MEE finding (§4.2.2).
       if (!Opts.ExploreForwardingHazards)
-        tryStep(C, Sched, PathSteps, Directive::executeAddr(Next + 2));
+        tryStep(Pth, Directive::executeAddr(Next + 2));
       return true;
     }
 
@@ -334,67 +548,61 @@ private:
       // Indirect call: mistraining forks like jmpi (Spectre v2 via
       // function pointers), then the correct-prediction path; the group's
       // return-address store follows the usual forwarding regime.
-      std::optional<PC> Correct = peekJumpTarget(C, I.args());
+      std::optional<PC> Correct = peekJumpTarget(Pth.C, I.args());
       for (PC T : Opts.IndirectTargets) {
         if (Correct && T == *Correct)
           continue;
-        if (branchDepth(C) >= Opts.MaxBranchDepth)
+        if (branchDepth(Pth.C) >= Opts.MaxBranchDepth)
           break;
-        Configuration C2 = C;
-        Schedule S2 = Sched;
-        size_t Steps2 = PathSteps;
-        mustStep(C2, S2, Steps2, Directive::fetchTarget(T));
-        tryStep(C2, S2, Steps2, Directive::execute(Next + 1));
-        explorePath(std::move(C2), std::move(S2), Steps2);
-        if (Done)
+        Path F = forkFrom();
+        mustStep(F, Directive::fetchTarget(T));
+        tryStep(F, Directive::execute(Next + 1));
+        Forks.push_back(std::move(F));
+        if (stopped())
           return false;
       }
-      mustStep(C, Sched, PathSteps,
-               Directive::fetchTarget(Correct.value_or(0)));
-      tryStep(C, Sched, PathSteps, Directive::execute(Next + 1));
+      mustStep(Pth, Directive::fetchTarget(Correct.value_or(0)));
+      tryStep(Pth, Directive::execute(Next + 1));
       if (!Opts.ExploreForwardingHazards)
-        tryStep(C, Sched, PathSteps, Directive::executeAddr(Next + 2));
-      tryStep(C, Sched, PathSteps, Directive::execute(Next + 3));
+        tryStep(Pth, Directive::executeAddr(Next + 2));
+      tryStep(Pth, Directive::execute(Next + 3));
       return true;
     }
 
     case InstrKind::Ret: {
       bool RsbPredicts =
-          M.options().RsbOnEmpty == RsbPolicy::Circular || C.Rsb.top();
+          M.options().RsbOnEmpty == RsbPolicy::Circular || Pth.C.Rsb.top();
       if (!RsbPredicts && M.options().RsbOnEmpty == RsbPolicy::Stall) {
         // The machine refuses to speculate.  Drain what is in flight; if
         // nothing is, the machine has stalled for good — a complete (if
         // unproductive) schedule.
-        if (C.Buf.empty()) {
-          ++Result.SchedulesCompleted;
+        if (Pth.C.Buf.empty()) {
+          SchedulesCompleted.fetch_add(1, std::memory_order_relaxed);
           return false;
         }
-        forceOldest(C, Sched, PathSteps);
+        forceOldest(Pth);
         return true;
       }
 
       if (RsbPredicts) {
-        mustStep(C, Sched, PathSteps, Directive::fetch());
+        mustStep(Pth, Directive::fetch());
       } else {
         // RSB underflow: fork over attacker targets (ret2spec), then
         // continue with the best-effort architectural target.
         for (PC T : Opts.RsbUnderflowTargets) {
-          if (branchDepth(C) >= Opts.MaxBranchDepth)
+          if (branchDepth(Pth.C) >= Opts.MaxBranchDepth)
             break;
-          Configuration C2 = C;
-          Schedule S2 = Sched;
-          size_t Steps2 = PathSteps;
-          mustStep(C2, S2, Steps2, Directive::fetchTarget(T));
-          explorePath(std::move(C2), std::move(S2), Steps2);
-          if (Done)
+          Path F = forkFrom();
+          mustStep(F, Directive::fetchTarget(T));
+          Forks.push_back(std::move(F));
+          if (stopped())
             return false;
         }
-        mustStep(C, Sched, PathSteps,
-                 Directive::fetchTarget(peekReturnTarget(C)));
+        mustStep(Pth, Directive::fetchTarget(peekReturnTarget(Pth.C)));
       }
-      tryStep(C, Sched, PathSteps, Directive::execute(Next + 1));
-      tryStep(C, Sched, PathSteps, Directive::execute(Next + 2));
-      tryStep(C, Sched, PathSteps, Directive::execute(Next + 3));
+      tryStep(Pth, Directive::execute(Next + 1));
+      tryStep(Pth, Directive::execute(Next + 2));
+      tryStep(Pth, Directive::execute(Next + 3));
       return true;
     }
     }
@@ -410,9 +618,10 @@ private:
   ///  3. only then force the front-most delayed decision: a store's
   ///     address (possibly raising a forwarding hazard) or a mispredicted
   ///     branch / indirect jump (rolling back).
-  void forceOldest(Configuration &C, Schedule &Sched, size_t &PathSteps) {
+  void forceOldest(Path &Pth) {
+    Configuration &C = Pth.C;
     assert(!C.Buf.empty() && "nothing to force");
-    if (tryStep(C, Sched, PathSteps, Directive::retire()))
+    if (tryStep(Pth, Directive::retire()))
       return;
 
     // Step 2: oldest-first, try pending data work.
@@ -422,12 +631,12 @@ private:
       case TransientKind::Op:
       case TransientKind::Load:
       case TransientKind::LoadGuessed:
-        if (tryStep(C, Sched, PathSteps, Directive::execute(K)))
+        if (tryStep(Pth, Directive::execute(K)))
           return;
         break;
       case TransientKind::Store:
         if (!T.StoreValIsResolved &&
-            tryStep(C, Sched, PathSteps, Directive::executeValue(K)))
+            tryStep(Pth, Directive::executeValue(K)))
           return;
         break;
       default:
@@ -445,9 +654,9 @@ private:
         continue;
       bool Ok;
       if (T.is(TransientKind::Store))
-        Ok = tryStep(C, Sched, PathSteps, Directive::executeAddr(K));
+        Ok = tryStep(Pth, Directive::executeAddr(K));
       else
-        Ok = tryStep(C, Sched, PathSteps, Directive::execute(K));
+        Ok = tryStep(Pth, Directive::execute(K));
       assert(Ok && "first unresolved entry must be executable");
       (void)Ok;
       return;
@@ -460,6 +669,6 @@ private:
 
 ExploreResult sct::explore(const Machine &M, Configuration Init,
                            const ExplorerOptions &Opts) {
-  Explorer E(M, Opts);
-  return E.take(std::move(Init));
+  Engine E(M, Opts, std::move(Init));
+  return E.run();
 }

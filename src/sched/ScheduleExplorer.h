@@ -28,6 +28,18 @@
 /// reported with the complete directive schedule that reaches it, so a
 /// violation is a replayable witness.
 ///
+/// Exploration is engine-shaped: an explicit frontier of `ExploreNode`s
+/// (schedule prefix + snapshot) drained by a pool of worker threads.
+/// `Threads = 1` (the default) drains the frontier on the calling thread
+/// in deterministic depth-first order; `Threads = N` shares the frontier
+/// between N workers under atomic budgets and produces the identical
+/// deduplicated leak set (schedule-tree forks do not depend on drain
+/// order).  Forks snapshot either by copying the configuration
+/// (`SnapshotPolicy::Copy`; cheap now that memory is copy-on-write) or by
+/// storing only the directive prefix and re-deriving the configuration by
+/// replay (`SnapshotPolicy::Replay`) — a `Schedule` is already a
+/// replayable witness, so the prefix alone determines the state.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCT_SCHED_SCHEDULEEXPLORER_H
@@ -36,6 +48,18 @@
 #include "sched/Executor.h"
 
 namespace sct {
+
+/// How a fork in the schedule tree checkpoints machine state.
+enum class SnapshotPolicy : unsigned char {
+  /// Store the forked configuration itself.  Copy-on-write memory makes
+  /// this cheap in space until a side writes; it is the fastest policy.
+  Copy,
+  /// Store only the directive prefix; the worker that picks the node up
+  /// re-derives the configuration by replaying the prefix from the
+  /// initial configuration.  Trades CPU for near-zero frontier memory —
+  /// useful when the frontier grows to millions of nodes.
+  Replay,
+};
 
 /// Exploration knobs (§4.2.1's two configurations are:
 /// {Bound=250, Hazards=false} and {Bound=20, Hazards=true}).
@@ -70,13 +94,24 @@ struct ExplorerOptions {
   std::vector<PC> IndirectTargets;
   /// Extra attacker-chosen targets for ret on RSB underflow (ret2spec).
   std::vector<PC> RsbUnderflowTargets;
-  /// Budgets.
+  /// Budgets, shared atomically between workers.  Exhausting any of them
+  /// marks the result `Truncated` (found leaks stay trustworthy; a clean
+  /// verdict does not).
   uint64_t MaxSchedules = 1 << 20;
   uint64_t MaxStepsPerSchedule = 1 << 14;
   uint64_t MaxTotalSteps = 8ull << 20;
   size_t MaxLeaks = 4096;
   /// Stop the whole exploration at the first leak.
   bool StopAtFirstLeak = false;
+  /// Worker threads draining the exploration frontier.  0 means "unset":
+  /// explore() runs sequentially, and a CheckSession substitutes its own
+  /// thread share.  0 or 1 explores on the calling thread in
+  /// deterministic depth-first order; N > 1 produces the identical
+  /// deduplicated leak set (per-worker leak buffers are merged through
+  /// LeakRecord::key()).
+  unsigned Threads = 0;
+  /// How forked nodes checkpoint state (see SnapshotPolicy).
+  SnapshotPolicy Snapshots = SnapshotPolicy::Copy;
 };
 
 /// One secret-labelled observation with its replayable witness schedule.
@@ -86,10 +121,24 @@ struct LeakRecord {
   PC Origin;         ///< Program point of the leaking instruction.
   RuleId Rule;       ///< Rule that produced the observation.
 
-  /// Key used to deduplicate leaks across schedules.
+  /// Key used to deduplicate leaks across schedules: a 64-bit hash-combine
+  /// over (origin, observation kind, rule, taint mask).  Each field is
+  /// avalanched through a splitmix64 finalizer before combining, so fields
+  /// that overlap 8-bit boundaries (large Origin values, wide taint masks)
+  /// cannot cancel the way the old shifted-XOR packing allowed.
   uint64_t key() const {
-    return (uint64_t(Origin) << 24) ^ (uint64_t(Obs.K) << 16) ^
-           (uint64_t(Rule) << 8) ^ Obs.Payload.Taint.mask();
+    auto Avalanche = [](uint64_t V) {
+      V += 0x9e3779b97f4a7c15ull;
+      V = (V ^ (V >> 30)) * 0xbf58476d1ce4e5b9ull;
+      V = (V ^ (V >> 27)) * 0x94d049bb133111ebull;
+      return V ^ (V >> 31);
+    };
+    uint64_t H = 0x243f6a8885a308d3ull; // pi, an arbitrary non-zero seed
+    for (uint64_t Field :
+         {uint64_t(Origin), uint64_t(Obs.K), uint64_t(Rule),
+          Obs.Payload.Taint.mask()})
+      H = Avalanche(H ^ Avalanche(Field));
+    return H;
   }
 };
 

@@ -1,0 +1,59 @@
+//===- workloads/SuiteRunner.cpp - Suites through the engine API ------------===//
+
+#include "workloads/SuiteRunner.h"
+
+#include "checker/SequentialCt.h"
+
+using namespace sct;
+
+std::string SuiteVerdict::cell() const {
+  if (!V1V11.secure())
+    return "x";
+  if (!V4.secure())
+    return "f";
+  return "-";
+}
+
+std::vector<SuiteVerdict> sct::runSuite(const CheckSession &Session,
+                                        std::span<const SuiteCase> Cases) {
+  // Two requests per case, whole suite in one batch.
+  std::vector<CheckRequest> Reqs;
+  Reqs.reserve(Cases.size() * 2);
+  for (const SuiteCase &C : Cases) {
+    CheckRequest NoFwd;
+    NoFwd.Id = C.Id + "/v1v11";
+    NoFwd.Prog = C.Prog;
+    NoFwd.Opts = v1v11Mode();
+    Reqs.push_back(std::move(NoFwd));
+    CheckRequest Fwd;
+    Fwd.Id = C.Id + "/v4";
+    Fwd.Prog = C.Prog;
+    Fwd.Opts = v4Mode();
+    Reqs.push_back(std::move(Fwd));
+  }
+  std::vector<CheckResult> Results =
+      Session.checkMany(std::span<const CheckRequest>(Reqs));
+
+  std::vector<SuiteVerdict> Verdicts;
+  Verdicts.reserve(Cases.size());
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    const SuiteCase &C = Cases[I];
+    SuiteVerdict V;
+    V.Id = C.Id;
+    V.SeqLeak = !checkSequentialCt(C.Prog).secure();
+    V.V1V11 = toReport(std::move(Results[2 * I]));
+    V.V4 = toReport(std::move(Results[2 * I + 1]));
+    V.Matches = V.SeqLeak == C.ExpectSeqLeak &&
+                !V.V1V11.secure() == C.ExpectV1V11Leak &&
+                !V.V4.secure() == C.ExpectV4Leak;
+    Verdicts.push_back(std::move(V));
+  }
+  return Verdicts;
+}
+
+bool sct::allMatch(const std::vector<SuiteVerdict> &Verdicts) {
+  for (const SuiteVerdict &V : Verdicts)
+    if (!V.Matches)
+      return false;
+  return true;
+}

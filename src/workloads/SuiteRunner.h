@@ -1,0 +1,53 @@
+//===- workloads/SuiteRunner.h - Suites through the engine API -*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs whole SuiteCase batches through a CheckSession: every case is
+/// expanded into its two §4.2.1 mode requests (v1/v1.1 and v4), the whole
+/// batch fans out over the session's worker pool in one checkMany() call,
+/// and the verdicts come back folded per case against the suite's
+/// expectations.  All suite-driving benches and tests share this path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_WORKLOADS_SUITERUNNER_H
+#define SCT_WORKLOADS_SUITERUNNER_H
+
+#include "checker/SctChecker.h"
+#include "workloads/SuiteCase.h"
+
+#include <span>
+
+namespace sct {
+
+/// One case's folded outcome.
+struct SuiteVerdict {
+  std::string Id;
+  /// Sequential constant-time baseline found a leak.
+  bool SeqLeak = false;
+  /// The two §4.2.1 mode results.
+  SctReport V1V11;
+  SctReport V4;
+  /// All three verdicts match the case's expectations.
+  bool Matches = false;
+
+  /// Table-2 style cell for this case ("x", "f" or "-").
+  std::string cell() const;
+};
+
+/// Runs every case in \p Cases under both checker modes through
+/// \p Session (one batched checkMany call) plus the sequential baseline.
+/// Results are in case order.
+std::vector<SuiteVerdict> runSuite(const CheckSession &Session,
+                                   std::span<const SuiteCase> Cases);
+
+/// True iff every verdict in \p Verdicts matches its expectations.
+bool allMatch(const std::vector<SuiteVerdict> &Verdicts);
+
+} // namespace sct
+
+#endif // SCT_WORKLOADS_SUITERUNNER_H
