@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "AsmTest"
+  "AsmTest.pdb"
+  "CMakeFiles/AsmTest.dir/tests/AsmTest.cpp.o"
+  "CMakeFiles/AsmTest.dir/tests/AsmTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AsmTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ChaChaTest.dir/tests/ChaChaTest.cpp.o"
+  "CMakeFiles/ChaChaTest.dir/tests/ChaChaTest.cpp.o.d"
+  "ChaChaTest"
+  "ChaChaTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ChaChaTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ChaChaTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CheckerTest.dir/tests/CheckerTest.cpp.o"
+  "CMakeFiles/CheckerTest.dir/tests/CheckerTest.cpp.o.d"
+  "CheckerTest"
+  "CheckerTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CheckerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

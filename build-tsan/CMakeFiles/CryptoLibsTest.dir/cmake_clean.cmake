@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CryptoLibsTest.dir/tests/CryptoLibsTest.cpp.o"
+  "CMakeFiles/CryptoLibsTest.dir/tests/CryptoLibsTest.cpp.o.d"
+  "CryptoLibsTest"
+  "CryptoLibsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CryptoLibsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

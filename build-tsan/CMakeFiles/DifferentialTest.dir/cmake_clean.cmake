@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DifferentialTest.dir/tests/DifferentialTest.cpp.o"
+  "CMakeFiles/DifferentialTest.dir/tests/DifferentialTest.cpp.o.d"
+  "DifferentialTest"
+  "DifferentialTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DifferentialTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

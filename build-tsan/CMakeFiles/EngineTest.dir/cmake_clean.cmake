@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EngineTest.dir/tests/EngineTest.cpp.o"
+  "CMakeFiles/EngineTest.dir/tests/EngineTest.cpp.o.d"
+  "EngineTest"
+  "EngineTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EngineTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExplorerTest.dir/tests/ExplorerTest.cpp.o"
+  "CMakeFiles/ExplorerTest.dir/tests/ExplorerTest.cpp.o.d"
+  "ExplorerTest"
+  "ExplorerTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExplorerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FiguresBench.dir/bench/FiguresBench.cpp.o"
+  "CMakeFiles/FiguresBench.dir/bench/FiguresBench.cpp.o.d"
+  "FiguresBench"
+  "FiguresBench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FiguresBench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FiguresTest.dir/tests/FiguresTest.cpp.o"
+  "CMakeFiles/FiguresTest.dir/tests/FiguresTest.cpp.o.d"
+  "FiguresTest"
+  "FiguresTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FiguresTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for FiguresTest.
+# This may be replaced when dependencies are built.

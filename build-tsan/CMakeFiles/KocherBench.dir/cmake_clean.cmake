@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/KocherBench.dir/bench/KocherBench.cpp.o"
+  "CMakeFiles/KocherBench.dir/bench/KocherBench.cpp.o.d"
+  "KocherBench"
+  "KocherBench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/KocherBench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/KocherTest.dir/tests/KocherTest.cpp.o"
+  "CMakeFiles/KocherTest.dir/tests/KocherTest.cpp.o.d"
+  "KocherTest"
+  "KocherTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/KocherTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MitigationBench.dir/bench/MitigationBench.cpp.o"
+  "CMakeFiles/MitigationBench.dir/bench/MitigationBench.cpp.o.d"
+  "MitigationBench"
+  "MitigationBench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MitigationBench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RewriteTest.dir/tests/RewriteTest.cpp.o"
+  "CMakeFiles/RewriteTest.dir/tests/RewriteTest.cpp.o.d"
+  "RewriteTest"
+  "RewriteTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RewriteTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

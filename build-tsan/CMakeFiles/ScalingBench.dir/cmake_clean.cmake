@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ScalingBench.dir/bench/ScalingBench.cpp.o"
+  "CMakeFiles/ScalingBench.dir/bench/ScalingBench.cpp.o.d"
+  "ScalingBench"
+  "ScalingBench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ScalingBench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SpectreSuitesTest.dir/tests/SpectreSuitesTest.cpp.o"
+  "CMakeFiles/SpectreSuitesTest.dir/tests/SpectreSuitesTest.cpp.o.d"
+  "SpectreSuitesTest"
+  "SpectreSuitesTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SpectreSuitesTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

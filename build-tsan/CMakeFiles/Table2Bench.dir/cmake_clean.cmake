@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/Table2Bench.dir/bench/Table2Bench.cpp.o"
+  "CMakeFiles/Table2Bench.dir/bench/Table2Bench.cpp.o.d"
+  "Table2Bench"
+  "Table2Bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/Table2Bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for Table2Bench.
+# This may be replaced when dependencies are built.

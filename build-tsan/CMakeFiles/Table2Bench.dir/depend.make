@@ -1,0 +1,2 @@
+# Empty dependencies file for Table2Bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_audit.dir/examples/crypto_audit.cpp.o"
+  "CMakeFiles/crypto_audit.dir/examples/crypto_audit.cpp.o.d"
+  "crypto_audit"
+  "crypto_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/DifferentialChecker.cpp" "CMakeFiles/sct.dir/src/checker/DifferentialChecker.cpp.o" "gcc" "CMakeFiles/sct.dir/src/checker/DifferentialChecker.cpp.o.d"
+  "/root/repo/src/checker/FenceInsertion.cpp" "CMakeFiles/sct.dir/src/checker/FenceInsertion.cpp.o" "gcc" "CMakeFiles/sct.dir/src/checker/FenceInsertion.cpp.o.d"
+  "/root/repo/src/checker/ProgramRewriter.cpp" "CMakeFiles/sct.dir/src/checker/ProgramRewriter.cpp.o" "gcc" "CMakeFiles/sct.dir/src/checker/ProgramRewriter.cpp.o.d"
+  "/root/repo/src/checker/Retpoline.cpp" "CMakeFiles/sct.dir/src/checker/Retpoline.cpp.o" "gcc" "CMakeFiles/sct.dir/src/checker/Retpoline.cpp.o.d"
+  "/root/repo/src/checker/SctChecker.cpp" "CMakeFiles/sct.dir/src/checker/SctChecker.cpp.o" "gcc" "CMakeFiles/sct.dir/src/checker/SctChecker.cpp.o.d"
+  "/root/repo/src/checker/SequentialCt.cpp" "CMakeFiles/sct.dir/src/checker/SequentialCt.cpp.o" "gcc" "CMakeFiles/sct.dir/src/checker/SequentialCt.cpp.o.d"
+  "/root/repo/src/checker/Violation.cpp" "CMakeFiles/sct.dir/src/checker/Violation.cpp.o" "gcc" "CMakeFiles/sct.dir/src/checker/Violation.cpp.o.d"
+  "/root/repo/src/core/Configuration.cpp" "CMakeFiles/sct.dir/src/core/Configuration.cpp.o" "gcc" "CMakeFiles/sct.dir/src/core/Configuration.cpp.o.d"
+  "/root/repo/src/core/Directive.cpp" "CMakeFiles/sct.dir/src/core/Directive.cpp.o" "gcc" "CMakeFiles/sct.dir/src/core/Directive.cpp.o.d"
+  "/root/repo/src/core/Eval.cpp" "CMakeFiles/sct.dir/src/core/Eval.cpp.o" "gcc" "CMakeFiles/sct.dir/src/core/Eval.cpp.o.d"
+  "/root/repo/src/core/Machine.cpp" "CMakeFiles/sct.dir/src/core/Machine.cpp.o" "gcc" "CMakeFiles/sct.dir/src/core/Machine.cpp.o.d"
+  "/root/repo/src/core/Memory.cpp" "CMakeFiles/sct.dir/src/core/Memory.cpp.o" "gcc" "CMakeFiles/sct.dir/src/core/Memory.cpp.o.d"
+  "/root/repo/src/core/Observation.cpp" "CMakeFiles/sct.dir/src/core/Observation.cpp.o" "gcc" "CMakeFiles/sct.dir/src/core/Observation.cpp.o.d"
+  "/root/repo/src/core/RegisterFile.cpp" "CMakeFiles/sct.dir/src/core/RegisterFile.cpp.o" "gcc" "CMakeFiles/sct.dir/src/core/RegisterFile.cpp.o.d"
+  "/root/repo/src/core/ReorderBuffer.cpp" "CMakeFiles/sct.dir/src/core/ReorderBuffer.cpp.o" "gcc" "CMakeFiles/sct.dir/src/core/ReorderBuffer.cpp.o.d"
+  "/root/repo/src/core/ReturnStackBuffer.cpp" "CMakeFiles/sct.dir/src/core/ReturnStackBuffer.cpp.o" "gcc" "CMakeFiles/sct.dir/src/core/ReturnStackBuffer.cpp.o.d"
+  "/root/repo/src/core/TransientInstr.cpp" "CMakeFiles/sct.dir/src/core/TransientInstr.cpp.o" "gcc" "CMakeFiles/sct.dir/src/core/TransientInstr.cpp.o.d"
+  "/root/repo/src/core/Value.cpp" "CMakeFiles/sct.dir/src/core/Value.cpp.o" "gcc" "CMakeFiles/sct.dir/src/core/Value.cpp.o.d"
+  "/root/repo/src/engine/CheckSession.cpp" "CMakeFiles/sct.dir/src/engine/CheckSession.cpp.o" "gcc" "CMakeFiles/sct.dir/src/engine/CheckSession.cpp.o.d"
+  "/root/repo/src/isa/AsmParser.cpp" "CMakeFiles/sct.dir/src/isa/AsmParser.cpp.o" "gcc" "CMakeFiles/sct.dir/src/isa/AsmParser.cpp.o.d"
+  "/root/repo/src/isa/AsmPrinter.cpp" "CMakeFiles/sct.dir/src/isa/AsmPrinter.cpp.o" "gcc" "CMakeFiles/sct.dir/src/isa/AsmPrinter.cpp.o.d"
+  "/root/repo/src/isa/Instruction.cpp" "CMakeFiles/sct.dir/src/isa/Instruction.cpp.o" "gcc" "CMakeFiles/sct.dir/src/isa/Instruction.cpp.o.d"
+  "/root/repo/src/isa/Opcode.cpp" "CMakeFiles/sct.dir/src/isa/Opcode.cpp.o" "gcc" "CMakeFiles/sct.dir/src/isa/Opcode.cpp.o.d"
+  "/root/repo/src/isa/Program.cpp" "CMakeFiles/sct.dir/src/isa/Program.cpp.o" "gcc" "CMakeFiles/sct.dir/src/isa/Program.cpp.o.d"
+  "/root/repo/src/isa/ProgramBuilder.cpp" "CMakeFiles/sct.dir/src/isa/ProgramBuilder.cpp.o" "gcc" "CMakeFiles/sct.dir/src/isa/ProgramBuilder.cpp.o.d"
+  "/root/repo/src/sched/Executor.cpp" "CMakeFiles/sct.dir/src/sched/Executor.cpp.o" "gcc" "CMakeFiles/sct.dir/src/sched/Executor.cpp.o.d"
+  "/root/repo/src/sched/RandomScheduler.cpp" "CMakeFiles/sct.dir/src/sched/RandomScheduler.cpp.o" "gcc" "CMakeFiles/sct.dir/src/sched/RandomScheduler.cpp.o.d"
+  "/root/repo/src/sched/Schedule.cpp" "CMakeFiles/sct.dir/src/sched/Schedule.cpp.o" "gcc" "CMakeFiles/sct.dir/src/sched/Schedule.cpp.o.d"
+  "/root/repo/src/sched/ScheduleExplorer.cpp" "CMakeFiles/sct.dir/src/sched/ScheduleExplorer.cpp.o" "gcc" "CMakeFiles/sct.dir/src/sched/ScheduleExplorer.cpp.o.d"
+  "/root/repo/src/sched/SequentialScheduler.cpp" "CMakeFiles/sct.dir/src/sched/SequentialScheduler.cpp.o" "gcc" "CMakeFiles/sct.dir/src/sched/SequentialScheduler.cpp.o.d"
+  "/root/repo/src/support/Label.cpp" "CMakeFiles/sct.dir/src/support/Label.cpp.o" "gcc" "CMakeFiles/sct.dir/src/support/Label.cpp.o.d"
+  "/root/repo/src/support/Printing.cpp" "CMakeFiles/sct.dir/src/support/Printing.cpp.o" "gcc" "CMakeFiles/sct.dir/src/support/Printing.cpp.o.d"
+  "/root/repo/src/workloads/ChaCha.cpp" "CMakeFiles/sct.dir/src/workloads/ChaCha.cpp.o" "gcc" "CMakeFiles/sct.dir/src/workloads/ChaCha.cpp.o.d"
+  "/root/repo/src/workloads/CryptoLibs.cpp" "CMakeFiles/sct.dir/src/workloads/CryptoLibs.cpp.o" "gcc" "CMakeFiles/sct.dir/src/workloads/CryptoLibs.cpp.o.d"
+  "/root/repo/src/workloads/Figures.cpp" "CMakeFiles/sct.dir/src/workloads/Figures.cpp.o" "gcc" "CMakeFiles/sct.dir/src/workloads/Figures.cpp.o.d"
+  "/root/repo/src/workloads/Kocher.cpp" "CMakeFiles/sct.dir/src/workloads/Kocher.cpp.o" "gcc" "CMakeFiles/sct.dir/src/workloads/Kocher.cpp.o.d"
+  "/root/repo/src/workloads/SpectreSuites.cpp" "CMakeFiles/sct.dir/src/workloads/SpectreSuites.cpp.o" "gcc" "CMakeFiles/sct.dir/src/workloads/SpectreSuites.cpp.o.d"
+  "/root/repo/src/workloads/SuiteRunner.cpp" "CMakeFiles/sct.dir/src/workloads/SuiteRunner.cpp.o" "gcc" "CMakeFiles/sct.dir/src/workloads/SuiteRunner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctcheck.dir/examples/sctcheck.cpp.o"
+  "CMakeFiles/sctcheck.dir/examples/sctcheck.cpp.o.d"
+  "sctcheck"
+  "sctcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectre_gallery.dir/examples/spectre_gallery.cpp.o"
+  "CMakeFiles/spectre_gallery.dir/examples/spectre_gallery.cpp.o.d"
+  "spectre_gallery"
+  "spectre_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectre_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
