@@ -7,12 +7,16 @@
 //   sctcheck FILE [--bound N] [--no-fwd] [--alias] [--seq-only]
 //            [--indirect-targets a,b,..] [--rsb-targets a,b,..]
 //            [--fence-branches] [--fence-stores] [--first]
-//            [--threads N] [--replay-snapshots] [--validate]
+//            [--threads N] [--shards N] [--prune-seen]
+//            [--replay-snapshots] [--validate]
 //
 // Checks run through the engine layer (CheckSession): --threads fans the
-// exploration frontier over N workers, --replay-snapshots switches fork
-// checkpoints to prefix-replay, and --validate replays every witness
-// differentially to confirm it as a concrete trace divergence.
+// exploration frontier over N work-stealing workers, --shards overrides
+// the frontier sharding (1 = the single shared frontier), --prune-seen
+// enables the cross-schedule seen-state table, --replay-snapshots
+// switches fork checkpoints to prefix-replay, and --validate replays
+// every witness differentially to confirm it as a concrete trace
+// divergence.
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +52,9 @@ void usage(const char *Prog) {
       "  --fence-stores         insert fences after stores first\n"
       "  --first                stop at the first violation\n"
       "  --threads N            engine worker threads (default 1)\n"
+      "  --shards N             frontier shards (default: one per worker;\n"
+      "                         1 = single shared frontier)\n"
+      "  --prune-seen           prune configurations seen on any schedule\n"
       "  --replay-snapshots     prefix-replay fork checkpoints\n"
       "  --validate             differentially confirm each witness\n"
       "  --print                echo the (possibly transformed) program\n",
@@ -117,6 +124,10 @@ int main(int Argc, char **Argv) {
       Opts.StopAtFirstLeak = true;
     else if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
       Opts.Threads = static_cast<unsigned>(atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--shards") && I + 1 < Argc)
+      Opts.Shards = static_cast<unsigned>(atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--prune-seen"))
+      Opts.PruneSeen = true;
     else if (!std::strcmp(Argv[I], "--replay-snapshots"))
       Opts.Snapshots = SnapshotPolicy::Replay;
     else if (!std::strcmp(Argv[I], "--validate"))
@@ -158,6 +169,10 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Report.Exploration.TotalSteps),
               Report.Seconds, Check.Opts.Threads,
               Check.Opts.Threads == 1 ? "" : "s");
+  if (Check.Opts.PruneSeen)
+    std::printf("seen-state pruning dropped %llu convergent subtrees\n",
+                static_cast<unsigned long long>(
+                    Report.Exploration.PrunedNodes));
   if (!Report.secure()) {
     Machine M(Prog);
     std::printf("\n%s", describeLeak(M, Configuration::initial(Prog),

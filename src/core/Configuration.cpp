@@ -2,7 +2,18 @@
 
 #include "core/Configuration.h"
 
+#include "support/Hashing.h"
+
 using namespace sct;
+
+uint64_t Configuration::hash() const {
+  uint64_t H = hashCombine(HashSeed, Regs.hash());
+  H = hashCombine(H, Mem.hash());
+  H = hashCombine(H, N);
+  H = hashCombine(H, Buf.hash());
+  H = hashCombine(H, Rsb.hash());
+  return H;
+}
 
 Configuration Configuration::initial(const Program &P) {
   Configuration C;

@@ -61,6 +61,15 @@ struct Configuration {
   }
 
   bool operator==(const Configuration &Other) const = default;
+
+  /// Canonical 64-bit fingerprint of the whole configuration — registers,
+  /// observable memory (COW cells walked without unsharing, defaults
+  /// skipped), program point, reorder buffer, and RSB journal.  Equal
+  /// configurations hash equal by construction; the explorer's
+  /// cross-schedule seen-state table keys on this to prune re-exploration
+  /// of states recurring across schedule forks (see
+  /// ExplorerOptions::PruneSeen for the collision caveat).
+  uint64_t hash() const;
 };
 
 } // namespace sct

@@ -2,6 +2,8 @@
 
 #include "core/Memory.h"
 
+#include "support/Hashing.h"
+
 using namespace sct;
 
 Value Memory::load(uint64_t Addr) const {
@@ -57,6 +59,22 @@ bool Memory::operator==(const Memory &Other) const {
       return false;
   }
   return true;
+}
+
+uint64_t Memory::hash() const {
+  // std::map iterates in ascending address order, so the fold is
+  // order-canonical; default-valued cells are skipped to stay consistent
+  // with operator==, which cannot tell an explicit default apart from an
+  // unwritten address.
+  uint64_t H = HashSeed;
+  for (const auto &[Addr, V] : cells()) {
+    if (V.Bits == 0 && V.Taint == defaultLabel(Addr))
+      continue;
+    H = hashCombine(H, Addr);
+    H = hashCombine(H, V.Bits);
+    H = hashCombine(H, V.Taint.mask());
+  }
+  return H;
 }
 
 bool Memory::lowEquivalent(const Memory &Other) const {

@@ -67,6 +67,13 @@ public:
   /// every address reads equal).
   bool operator==(const Memory &Other) const;
 
+  /// Canonical fingerprint over the *observable* memory: cells whose value
+  /// equals the region default are skipped, so two memories that compare
+  /// equal under operator== (which reads through defaults) hash equal no
+  /// matter which of them spelled the default out explicitly.  O(written
+  /// cells); the shared COW map is walked without unsharing.
+  uint64_t hash() const;
+
   /// True iff both memories agree on labels at every address and on bits
   /// at public addresses (the memory half of ≃pub).
   bool lowEquivalent(const Memory &Other) const;

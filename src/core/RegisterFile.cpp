@@ -2,7 +2,18 @@
 
 #include "core/RegisterFile.h"
 
+#include "support/Hashing.h"
+
 using namespace sct;
+
+uint64_t RegisterFile::hash() const {
+  uint64_t H = hashCombine(HashSeed, Values.size());
+  for (const Value &V : Values) {
+    H = hashCombine(H, V.Bits);
+    H = hashCombine(H, V.Taint.mask());
+  }
+  return H;
+}
 
 bool RegisterFile::lowEquivalent(const RegisterFile &Other) const {
   if (Values.size() != Other.Values.size())

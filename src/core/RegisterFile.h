@@ -42,6 +42,9 @@ public:
 
   bool operator==(const RegisterFile &Other) const = default;
 
+  /// Fingerprint over the register count and every (bits, label) pair.
+  uint64_t hash() const;
+
   /// True iff both files agree on labels everywhere and on the bits of all
   /// public registers (the register half of ≃pub).
   bool lowEquivalent(const RegisterFile &Other) const;

@@ -2,7 +2,17 @@
 
 #include "core/ReorderBuffer.h"
 
+#include "support/Hashing.h"
+
 namespace sct {
+
+uint64_t ReorderBuffer::hash() const {
+  uint64_t H = hashCombine(HashSeed, Base);
+  H = hashCombine(H, Entries.size());
+  for (const TransientInstr &T : Entries)
+    H = hashCombine(H, T.hash());
+  return H;
+}
 
 std::string dumpReorderBuffer(const ReorderBuffer &Buf, const Program &P) {
   std::string Out;

@@ -87,6 +87,12 @@ public:
 
   bool operator==(const ReorderBuffer &Other) const = default;
 
+  /// Fingerprint over the base index and every entry, oldest first.  The
+  /// base participates because buffer indices name entries in recorded
+  /// schedules and forwarding dependencies, so shifted-but-identical
+  /// contents are genuinely different states.
+  uint64_t hash() const;
+
 private:
   std::deque<TransientInstr> Entries;
   BufIdx Base = 1; // The paper's examples number entries from 1.

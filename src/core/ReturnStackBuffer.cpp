@@ -2,7 +2,18 @@
 
 #include "core/ReturnStackBuffer.h"
 
+#include "support/Hashing.h"
+
 using namespace sct;
+
+uint64_t ReturnStackBuffer::hash() const {
+  uint64_t H = hashCombine(HashSeed, Journal.size());
+  for (const Entry &E : Journal) {
+    H = hashCombine(H, E.Idx);
+    H = hashCombine(H, (uint64_t(E.Target) << 1) | E.IsPush);
+  }
+  return H;
+}
 
 std::optional<PC> ReturnStackBuffer::top() const {
   // Replay the journal into a stack (the paper's JσK), then take the top.

@@ -63,6 +63,11 @@ public:
 
   bool operator==(const ReturnStackBuffer &Other) const = default;
 
+  /// Fingerprint over the whole journal in order (σ is journalled state:
+  /// two RSBs with equal replayed tops but different histories roll back
+  /// differently, so the history is what gets hashed).
+  uint64_t hash() const;
+
 private:
   struct Entry {
     BufIdx Idx;

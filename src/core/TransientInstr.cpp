@@ -3,6 +3,7 @@
 #include "core/TransientInstr.h"
 
 #include "isa/AsmPrinter.h"
+#include "support/Hashing.h"
 #include "support/Printing.h"
 
 using namespace sct;
@@ -125,6 +126,35 @@ bool TransientInstr::assignsReg(Reg R) const {
   default:
     return false;
   }
+}
+
+uint64_t TransientInstr::hash() const {
+  // Every field operator== compares participates, in declaration order.
+  // Operands fold a register/immediate tag first so reg(5) and imm(5)
+  // separate.
+  uint64_t H = hashFields({uint64_t(Kind), Dest.id(), uint64_t(Opc)});
+  auto FoldOperand = [&H](const Operand &Op) {
+    H = hashCombine(H, Op.isReg() ? 1 : 2);
+    H = hashCombine(H, Op.isReg() ? Op.getReg().id() : Op.getImm());
+  };
+  H = hashCombine(H, Args.size());
+  for (const Operand &Op : Args)
+    FoldOperand(Op);
+  H = hashCombine(H, Val.Bits);
+  H = hashCombine(H, Val.Taint.mask());
+  FoldOperand(StoreVal);
+  H = hashCombine(H, StoreValIsResolved);
+  H = hashCombine(H, StoreResolvedVal.Bits);
+  H = hashCombine(H, StoreResolvedVal.Taint.mask());
+  H = hashCombine(H, StoreAddrIsResolved);
+  H = hashCombine(H, StoreAddr.Bits);
+  H = hashCombine(H, StoreAddr.Taint.mask());
+  H = hashCombine(H, LoadAddr);
+  H = hashCombine(H, Dep ? *Dep + 1 : 0);
+  H = hashCombine(H, (uint64_t(N0) << 32) | NTrue);
+  H = hashCombine(H, (uint64_t(NFalse) << 32) | Origin);
+  H = hashCombine(H, GroupLeader);
+  return H;
 }
 
 bool TransientInstr::isResolved() const {

@@ -152,6 +152,11 @@ struct TransientInstr {
 
   bool operator==(const TransientInstr &Other) const = default;
 
+  /// Fingerprint over every field operator== compares, resolution state
+  /// included — a store with a resolved address must never hash like its
+  /// unresolved twin.
+  uint64_t hash() const;
+
   /// Renders the paper's notation, e.g. "(rb = load([0x40, ra]))".
   std::string str(const Program &P) const;
 };

@@ -13,9 +13,14 @@ using namespace sct;
 SessionOptions sct::sessionOptionsFromArgs(int Argc, char **Argv) {
   SessionOptions SOpts;
   SOpts.Threads = std::thread::hardware_concurrency();
-  for (int I = 1; I < Argc; ++I)
+  for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
       SOpts.Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--shards") && I + 1 < Argc)
+      SOpts.DefaultOpts.Shards = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--prune-seen"))
+      SOpts.DefaultOpts.PruneSeen = true;
+  }
   return SOpts;
 }
 

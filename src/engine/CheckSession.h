@@ -16,14 +16,34 @@
 ///  - checkMany() fans a batch of programs out over a pool of session
 ///    workers, splitting the thread budget between concurrent programs.
 ///
-/// Program-level fan-out amortizes better than frontier-level (no shared
-/// frontier contention), so checkMany prefers it: with W session threads
-/// and N programs, min(W, N) programs run concurrently and each gets
-/// max(1, W / min(W, N)) frontier workers.
+/// Program-level fan-out amortizes better than frontier-level (workers
+/// never touch each other's frontiers at all), so checkMany prefers it:
+/// with W session threads and N programs, min(W, N) programs run
+/// concurrently and each gets max(1, W / min(W, N)) frontier workers.
+/// Within one check, frontier-level parallelism is the work-stealing
+/// sharded engine of sched/ScheduleExplorer.h; its `Shards` and
+/// `PruneSeen` knobs ride in through `CheckRequest::Opts` (or the session
+/// defaults, which `sessionOptionsFromArgs` fills from `--shards` /
+/// `--prune-seen`).
 ///
-/// Layering: core → sched → engine → checker → workloads.  The checkers
-/// and every bench/example driver sit on top of this seam; future scaling
-/// work (sharding, caching, async) plugs in here.
+/// **Thread-safety.**  A CheckSession is immutable after construction:
+/// `check()` and `checkMany()` are const, allocate all mutable state per
+/// call, and may be invoked concurrently from any number of threads (each
+/// call builds its own worker pool, so concurrent calls multiply thread
+/// counts — prefer one batched checkMany).  Requests are taken by
+/// span/reference and must outlive the call; results are returned by
+/// value in request order.
+///
+/// **Determinism.**  A check with Threads <= 1 (session and request) is
+/// fully reproducible, counters included.  With parallelism anywhere, the
+/// deduplicated leak set of every result is still independent of thread
+/// count, sharding, and drain order — the engine's contract
+/// (sched/ScheduleExplorer.h); wall-clock `Seconds` and, under PruneSeen,
+/// step counters are the only racy quantities.
+///
+/// Layering: isa → core → sched → engine → checker → workloads.  The
+/// checkers and every bench/example driver sit on top of this seam;
+/// docs/ARCHITECTURE.md walks a CheckRequest through the whole stack.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -107,9 +127,10 @@ private:
   CheckResult runOne(const CheckRequest &Req, unsigned FrontierThreads) const;
 };
 
-/// Session options for a CLI driver: parses `--threads N` out of argv,
-/// defaulting the budget to the hardware concurrency.  Shared by the
-/// bench mains.
+/// Session options for a CLI driver: parses `--threads N`, `--shards N`,
+/// and `--prune-seen` out of argv (the latter two into
+/// `DefaultOpts.Shards` / `DefaultOpts.PruneSeen`), defaulting the thread
+/// budget to the hardware concurrency.  Shared by the bench mains.
 SessionOptions sessionOptionsFromArgs(int Argc, char **Argv);
 
 } // namespace sct

@@ -8,17 +8,42 @@
 // forks) do not recurse: the fork's probed configuration becomes a new
 // node, the worker switches to the first fork and pushes the rest plus its
 // own continuation, which for a single worker reproduces the legacy
-// depth-first order exactly.  Budgets and tallies are shared atomics;
-// leaks collect in per-worker buffers merged through LeakRecord::key() at
-// the end, so the deduplicated leak set is independent of drain order.
+// depth-first order exactly.
+//
+// Three drain modes share the path-running code:
+//  - Threads <= 1: the frontier is a plain vector drained LIFO on the
+//    calling thread — the deterministic legacy order.
+//  - Threads > 1, Shards == 1: one mutex+condvar-guarded frontier shared
+//    by all workers (the pre-sharding engine, kept as the contention
+//    baseline for bench/ContentionBench.cpp).
+//  - Threads > 1 otherwise: per-worker work-stealing deques
+//    (sched/WorkDeque.h); owners pop LIFO, thieves steal the oldest half
+//    of a random victim.  Termination is a global in-flight count: nodes
+//    queued plus paths running; when it hits zero no work exists or can
+//    appear.
+//
+// Budgets and tallies are shared atomics; leaks collect in per-worker
+// buffers merged through LeakRecord::key() at the end, so the deduplicated
+// leak set is independent of drain order.  With ExplorerOptions::PruneSeen
+// a cross-schedule seen-state table (sched/SeenStates.h) keyed on
+// Configuration::hash() drops frontier candidates whose configuration was
+// already visited and cuts hazard re-executions short when they converge
+// onto a visited state — identical configurations have identical subtrees,
+// so the first visitor's exploration covers the twin's.
 //
 //===----------------------------------------------------------------------===//
 
 #include "sched/ScheduleExplorer.h"
 
+#include "sched/SeenStates.h"
+#include "sched/WorkDeque.h"
+
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <random>
 #include <set>
 #include <thread>
 
@@ -43,13 +68,25 @@ public:
   Engine(const Machine &M, const ExplorerOptions &Opts, Configuration Init)
       : M(M), P(M.program()), Opts(Opts), Init(std::move(Init)),
         NumWorkers(Opts.Threads > 1 ? Opts.Threads : 1),
+        Stealing(NumWorkers > 1 && Opts.Shards != 1),
+        // Deques beyond the worker count could never be pushed to
+        // (homeOf maps workers round-robin), so extra shards would only
+        // add dead steal probes: clamp to the worker count.
+        Deques(Stealing ? std::min(Opts.Shards ? Opts.Shards : NumWorkers,
+                                   NumWorkers)
+                        : 1),
         Workers(NumWorkers) {}
 
   ExploreResult run() {
     {
       ExploreNode Root;
       Root.Snap = Init;
-      Frontier.push_back(std::move(Root));
+      if (Stealing) {
+        InFlight.fetch_add(1);
+        Deques.push(0, std::move(Root));
+      } else {
+        Frontier.push_back(std::move(Root));
+      }
     }
     if (NumWorkers == 1) {
       drainSequential();
@@ -57,7 +94,12 @@ public:
       std::vector<std::thread> Pool;
       Pool.reserve(NumWorkers);
       for (unsigned Id = 0; Id < NumWorkers; ++Id)
-        Pool.emplace_back([this, Id] { workerLoop(Id); });
+        Pool.emplace_back([this, Id] {
+          if (Stealing)
+            workerLoopStealing(Id);
+          else
+            workerLoopShared(Id);
+        });
       for (std::thread &T : Pool)
         T.join();
     }
@@ -71,6 +113,10 @@ private:
     Schedule Sched;
     size_t Steps = 0;
     unsigned WorkerId = 0;
+    /// Set when the seen-state table proves this path converged onto an
+    /// already-visited configuration (its subtree belongs to the first
+    /// visitor); the path stops without completing a schedule.
+    bool Dead = false;
   };
 
   /// Per-worker leak buffer.  Uniqueness is decided against the global
@@ -85,8 +131,16 @@ private:
   const ExplorerOptions &Opts;
   const Configuration Init;
   const unsigned NumWorkers;
+  const bool Stealing;
 
-  // Frontier, shared under QMu when NumWorkers > 1.
+  // Sharded frontier (work-stealing mode).
+  StealQueue<ExploreNode> Deques;
+  /// Nodes queued in any deque plus paths currently being run.  Zero
+  /// means exploration is complete: no node exists and no running path
+  /// can create one.
+  std::atomic<uint64_t> InFlight{0};
+
+  // Single frontier, shared under QMu (sequential + shared modes).
   std::vector<ExploreNode> Frontier;
   std::mutex QMu;
   std::condition_variable QCv;
@@ -96,8 +150,14 @@ private:
   std::atomic<uint64_t> TotalSteps{0};
   std::atomic<uint64_t> LeakEvents{0};
   std::atomic<uint64_t> SchedulesCompleted{0};
+  std::atomic<uint64_t> PrunedNodes{0};
+  std::atomic<uint64_t> Steals{0};
   std::atomic<bool> StopFlag{false};
   std::atomic<bool> TruncatedFlag{false};
+
+  /// Cross-schedule seen-state table (consulted only under
+  /// Opts.PruneSeen; constructed unconditionally — 64 empty shards).
+  SeenStateTable Seen;
 
   /// Global leak dedup, shared by all workers under LeakMu so the
   /// MaxLeaks budget counts globally-unique keys exactly — a per-worker
@@ -110,7 +170,8 @@ private:
 
   //===------------------------------------------------------ queueing ---===//
 
-  void enqueueNode(Configuration &&C, Schedule &&Sched, size_t Steps) {
+  void enqueueNode(Configuration &&C, Schedule &&Sched, size_t Steps,
+                   unsigned WorkerId) {
     ExploreNode N;
     if (Opts.Snapshots == SnapshotPolicy::Copy)
       N.Snap = std::move(C);
@@ -118,6 +179,11 @@ private:
     N.PathSteps = Steps;
     if (NumWorkers == 1) {
       Frontier.push_back(std::move(N));
+      return;
+    }
+    if (Stealing) {
+      InFlight.fetch_add(1);
+      Deques.push(Deques.homeOf(WorkerId), std::move(N));
       return;
     }
     {
@@ -153,13 +219,17 @@ private:
     if (Truncated)
       TruncatedFlag.store(true, std::memory_order_relaxed);
     StopFlag.store(true, std::memory_order_relaxed);
-    if (NumWorkers > 1) {
+    if (NumWorkers > 1 && !Stealing) {
       { std::lock_guard<std::mutex> L(QMu); }
       QCv.notify_all();
     }
+    // Stealing workers poll StopFlag between pops and inside runPath; no
+    // wakeup is needed (idle workers spin on yield/short sleeps).
   }
 
   bool stopped() const { return StopFlag.load(std::memory_order_relaxed); }
+
+  //===------------------------------------------------- drain protocols ---===//
 
   void drainSequential() {
     while (!Frontier.empty() && !stopped()) {
@@ -170,7 +240,9 @@ private:
     }
   }
 
-  void workerLoop(unsigned Id) {
+  /// The shared-frontier baseline: one mutex, one condvar, every pop and
+  /// push contends on QMu and sleepers wake through QCv.
+  void workerLoopShared(unsigned Id) {
     std::unique_lock<std::mutex> L(QMu);
     for (;;) {
       if (stopped()) {
@@ -198,11 +270,51 @@ private:
     }
   }
 
+  /// The work-stealing drain: pop the own deque LIFO; when dry, steal the
+  /// oldest half of a random victim; when everything is dry, exit once
+  /// the in-flight count proves no path can produce new nodes.
+  void workerLoopStealing(unsigned Id) {
+    std::minstd_rand Rng(Id * 0x9e3779b9u + 0x2545f491u);
+    unsigned Home = Deques.homeOf(Id);
+    unsigned IdleRounds = 0;
+    for (;;) {
+      if (stopped())
+        return;
+      ExploreNode N;
+      bool Got = Deques.tryPop(Home, N);
+      if (!Got) {
+        size_t Taken = Deques.trySteal(Home, static_cast<unsigned>(Rng()), N);
+        if (Taken) {
+          Steals.fetch_add(1, std::memory_order_relaxed);
+          Got = true;
+        }
+      }
+      if (Got) {
+        IdleRounds = 0;
+        Path Pth = materialize(std::move(N), Id);
+        runPath(Pth);
+        InFlight.fetch_sub(1);
+        continue;
+      }
+      if (InFlight.load() == 0)
+        return;
+      // Back off gently: other workers are still running paths that may
+      // fork.  Yield first; after a while sleep, so an oversubscribed
+      // pool (more workers than cores) does not starve the runners.
+      if (++IdleRounds < 64)
+        std::this_thread::yield();
+      else
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
   ExploreResult harvest() {
     ExploreResult R;
     R.LeakEvents = LeakEvents.load();
     R.SchedulesCompleted = SchedulesCompleted.load();
     R.TotalSteps = TotalSteps.load();
+    R.PrunedNodes = PrunedNodes.load();
+    R.Steals = Steals.load();
     R.Truncated = TruncatedFlag.load();
     // Merge per-worker buffers in worker order; keys are already
     // globally unique (SeenLeaks gated every insert).
@@ -231,7 +343,11 @@ private:
     assert(Ok && "explorer issued an inapplicable directive");
   }
 
-  /// Issues one directive if applicable; returns false otherwise.
+  /// Issues one directive if applicable; returns false otherwise.  Under
+  /// PruneSeen, a forwarding-hazard rollback that lands on an
+  /// already-visited configuration marks the path Dead: hazard
+  /// re-executions converge onto states other schedules forked directly
+  /// (the recurring v4 pattern), and the first visitor owns the subtree.
   bool tryStep(Path &Pth, const Directive &D) {
     PC Origin = originOf(Pth.C, D);
     auto Outcome = M.step(Pth.C, D);
@@ -242,6 +358,14 @@ private:
     TotalSteps.fetch_add(1, std::memory_order_relaxed);
     if (Outcome->Obs.isSecret())
       recordLeak(Pth, Outcome->Obs, Origin, Outcome->Rule);
+    if (Opts.PruneSeen && !Pth.Dead &&
+        (Outcome->Rule == RuleId::StoreExecuteAddrHazard ||
+         Outcome->Rule == RuleId::LoadExecuteAddrHazard ||
+         Outcome->Rule == RuleId::LoadExecuteAddrMemHazard) &&
+        !Seen.insert(Pth.C.hash())) {
+      PrunedNodes.fetch_add(1, std::memory_order_relaxed);
+      Pth.Dead = true;
+    }
     return true;
   }
 
@@ -335,13 +459,14 @@ private:
 
   //===-------------------------------------------------- path running ---===//
 
-  /// Drives one path until it completes, truncates, or is stopped.  Forks
-  /// become frontier nodes; to preserve the legacy depth-first order the
-  /// worker continues with the first fork and re-queues its own
-  /// continuation behind the remaining forks.
+  /// Drives one path until it completes, truncates, converges onto a
+  /// visited state, or is stopped.  Forks become frontier nodes; to
+  /// preserve the legacy depth-first order the worker continues with the
+  /// first fork and re-queues its own continuation behind the remaining
+  /// forks.
   void runPath(Path &Pth) {
     for (;;) {
-      if (stopped())
+      if (stopped() || Pth.Dead)
         return;
       if (TotalSteps.load(std::memory_order_relaxed) >= Opts.MaxTotalSteps ||
           SchedulesCompleted.load(std::memory_order_relaxed) >=
@@ -364,21 +489,51 @@ private:
       if (CanFetch) {
         std::vector<Path> Forks;
         bool Alive = fetchAndDecide(Pth, Forks);
+        if (Pth.Dead)
+          Alive = false;
+        if (Opts.PruneSeen && !Forks.empty()) {
+          // Cross-schedule pruning happens where nodes are born: a fork
+          // whose probed configuration was already visited (or whose
+          // probing steps died on a visited hazard state) is dropped
+          // before it costs a frontier slot.
+          size_t Live = 0;
+          for (size_t I = 0; I < Forks.size(); ++I) {
+            Path &F = Forks[I];
+            if (!F.Dead && Seen.insert(F.C.hash())) {
+              if (Live != I)
+                Forks[Live] = std::move(F);
+              ++Live;
+            } else if (!F.Dead) { // Dead forks were counted at the hazard.
+              PrunedNodes.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          Forks.resize(Live);
+        }
         if (!Forks.empty()) {
+          if (Alive && Opts.PruneSeen && !Seen.insert(Pth.C.hash())) {
+            // The fall-through continuation converged onto a visited
+            // state; its subtree is owned elsewhere.
+            PrunedNodes.fetch_add(1, std::memory_order_relaxed);
+            Alive = false;
+          }
           if (Alive)
-            enqueueNode(std::move(Pth.C), std::move(Pth.Sched), Pth.Steps);
+            enqueueNode(std::move(Pth.C), std::move(Pth.Sched), Pth.Steps,
+                        Pth.WorkerId);
           for (size_t I = Forks.size(); I-- > 1;)
             enqueueNode(std::move(Forks[I].C), std::move(Forks[I].Sched),
-                        Forks[I].Steps);
-          Forks.front().WorkerId = Pth.WorkerId;
+                        Forks[I].Steps, Pth.WorkerId);
+          unsigned WorkerId = Pth.WorkerId;
           Pth = std::move(Forks.front());
+          Pth.WorkerId = WorkerId;
           continue;
         }
         if (!Alive)
-          return; // Path ended (stalled machine or stop).
+          return; // Path ended (stalled machine, pruned, or stop).
         continue;
       }
       forceOldest(Pth);
+      if (Pth.Dead)
+        return;
     }
   }
 
@@ -452,6 +607,10 @@ private:
           Path F = forkFrom();
           if (!tryStep(F, Directive::executeAddr(S)))
             continue;
+          if (F.Dead) {
+            Forks.push_back(std::move(F)); // Culled by the fork filter.
+            continue;
+          }
           if (tryStep(F, Directive::execute(Next))) {
             // Keep the fork only if this store actually forwarded; other
             // outcomes coincide with the fall-through schedule.

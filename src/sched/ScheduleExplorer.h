@@ -30,15 +30,43 @@
 ///
 /// Exploration is engine-shaped: an explicit frontier of `ExploreNode`s
 /// (schedule prefix + snapshot) drained by a pool of worker threads.
-/// `Threads = 1` (the default) drains the frontier on the calling thread
-/// in deterministic depth-first order; `Threads = N` shares the frontier
-/// between N workers under atomic budgets and produces the identical
-/// deduplicated leak set (schedule-tree forks do not depend on drain
-/// order).  Forks snapshot either by copying the configuration
+/// With `Threads = N > 1` the frontier is *sharded*: each worker owns a
+/// Chase-Lev-style deque (sched/WorkDeque.h) it pushes and pops LIFO, and
+/// steals the oldest half of a random victim's deque when its own runs
+/// dry.  `Shards = 1` selects the previous single mutex-guarded frontier,
+/// kept as the contention baseline (bench/ContentionBench.cpp measures
+/// the difference).  Optionally a cross-schedule seen-state table
+/// (`PruneSeen`, sched/SeenStates.h) keyed on `Configuration::hash()`
+/// drops frontier candidates whose configuration was already visited on
+/// any schedule — v4-mode hazard re-executions converge onto previously
+/// forked states constantly, and identical configurations have identical
+/// subtrees.
+///
+/// Forks snapshot either by copying the configuration
 /// (`SnapshotPolicy::Copy`; cheap now that memory is copy-on-write) or by
 /// storing only the directive prefix and re-deriving the configuration by
 /// replay (`SnapshotPolicy::Replay`) — a `Schedule` is already a
 /// replayable witness, so the prefix alone determines the state.
+///
+/// **Determinism contract.**  `Threads <= 1` drains the frontier on the
+/// calling thread in the legacy depth-first order: schedules complete in
+/// a fixed sequence and every counter in `ExploreResult` is reproducible
+/// run-to-run (with `PruneSeen` on, still deterministic — the same
+/// duplicates are pruned at the same points).  `Threads = N > 1` drains
+/// in a racy order but produces the **identical deduplicated leak set**
+/// for any N, Shards value, and snapshot policy: schedule-tree forks are
+/// independent of drain order, per-worker leak buffers merge through
+/// `LeakRecord::key()`, and the MaxLeaks budget counts globally-unique
+/// keys.  With `PruneSeen` off, `TotalSteps`/`SchedulesCompleted` are
+/// also N-independent (work conservation); with it on they shrink and,
+/// under N > 1, may vary run-to-run by which racing twin got pruned —
+/// the leak set still does not.
+///
+/// **Thread-safety.**  One `explore()` call builds its own workers,
+/// frontier, and seen table; concurrent `explore()` calls (as
+/// CheckSession::checkMany issues) share nothing but the immutable
+/// Machine and Program.  The Configuration's COW memory is safe to share
+/// between workers: forks unshare before their first store.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,6 +74,7 @@
 #define SCT_SCHED_SCHEDULEEXPLORER_H
 
 #include "sched/Executor.h"
+#include "support/Hashing.h"
 
 namespace sct {
 
@@ -112,6 +141,26 @@ struct ExplorerOptions {
   unsigned Threads = 0;
   /// How forked nodes checkpoint state (see SnapshotPolicy).
   SnapshotPolicy Snapshots = SnapshotPolicy::Copy;
+  /// Frontier sharding (only meaningful when Threads > 1).  0 (default):
+  /// one work-stealing deque per worker.  1: the single mutex-guarded
+  /// shared frontier — the pre-sharding engine, kept as a contention
+  /// baseline.  N > 1: N deques with workers mapped round-robin, so
+  /// fewer shards than workers makes groups of workers share a deque;
+  /// values above Threads are clamped (a deque no worker calls home
+  /// could never receive work).
+  unsigned Shards = 0;
+  /// Cross-schedule state pruning: fingerprint every frontier candidate
+  /// with Configuration::hash() and drop candidates whose configuration
+  /// was already visited on any schedule; additionally cut a path short
+  /// when a forwarding-hazard rollback re-converges onto a visited state.
+  /// Sound up to 64-bit fingerprint collisions (a collision would skip a
+  /// never-visited subtree; tests/SeenStateTest.cpp keeps the suite
+  /// corpus empirically collision-free) and budget accounting: a pruned
+  /// twin inherits the first visitor's per-schedule step budget, so a
+  /// run that would truncate anyway may truncate at a different point —
+  /// `Truncated` reports it either way.  Off by default so exploration
+  /// statistics stay exactly reproducible against the unpruned engine.
+  bool PruneSeen = false;
 };
 
 /// One secret-labelled observation with its replayable witness schedule.
@@ -123,22 +172,13 @@ struct LeakRecord {
 
   /// Key used to deduplicate leaks across schedules: a 64-bit hash-combine
   /// over (origin, observation kind, rule, taint mask).  Each field is
-  /// avalanched through a splitmix64 finalizer before combining, so fields
-  /// that overlap 8-bit boundaries (large Origin values, wide taint masks)
-  /// cannot cancel the way the old shifted-XOR packing allowed.
+  /// avalanched through a splitmix64 finalizer (support/Hashing.h) before
+  /// combining, so fields that overlap 8-bit boundaries (large Origin
+  /// values, wide taint masks) cannot cancel the way the old shifted-XOR
+  /// packing allowed.
   uint64_t key() const {
-    auto Avalanche = [](uint64_t V) {
-      V += 0x9e3779b97f4a7c15ull;
-      V = (V ^ (V >> 30)) * 0xbf58476d1ce4e5b9ull;
-      V = (V ^ (V >> 27)) * 0x94d049bb133111ebull;
-      return V ^ (V >> 31);
-    };
-    uint64_t H = 0x243f6a8885a308d3ull; // pi, an arbitrary non-zero seed
-    for (uint64_t Field :
-         {uint64_t(Origin), uint64_t(Obs.K), uint64_t(Rule),
-          Obs.Payload.Taint.mask()})
-      H = Avalanche(H ^ Avalanche(Field));
-    return H;
+    return hashFields({uint64_t(Origin), uint64_t(Obs.K), uint64_t(Rule),
+                       Obs.Payload.Taint.mask()});
   }
 };
 
@@ -151,6 +191,13 @@ struct ExploreResult {
   /// Number of complete schedules driven to a final configuration.
   uint64_t SchedulesCompleted = 0;
   uint64_t TotalSteps = 0;
+  /// Frontier candidates dropped by the seen-state table (PruneSeen):
+  /// forks and continuations whose configuration was already visited,
+  /// plus hazard re-executions cut short at a visited state.
+  uint64_t PrunedNodes = 0;
+  /// Successful steal operations between frontier shards (Threads > 1
+  /// with work-stealing; each may move many nodes at once).
+  uint64_t Steals = 0;
   /// True iff some budget was exhausted (exploration incomplete).
   bool Truncated = false;
 

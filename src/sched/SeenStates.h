@@ -1,0 +1,90 @@
+//===- sched/SeenStates.h - Cross-schedule seen-state table ----*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-schedule seen-state table behind ExplorerOptions::PruneSeen:
+/// a sharded concurrent set of Configuration fingerprints
+/// (Configuration::hash()).  Schedule exploration revisits configurations
+/// constantly — v4-mode forwarding hazards roll back and re-execute into
+/// exactly the state an [execute s:addr; execute l] fork probed, and
+/// independent resolution orders commute into identical buffers.  Since
+/// the machine is deterministic given a configuration and a directive,
+/// identical configurations have identical schedule subtrees, so the
+/// second visitor can stop: its subtree's observations were (or will be)
+/// produced by the first.
+///
+/// Thread-safety: insert() is linearizable per fingerprint — exactly one
+/// caller ever gets `true` for a given value, no matter how many workers
+/// race on it.  The table is sharded by the fingerprint's low bits so
+/// concurrent inserts contend only when they land on the same shard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_SCHED_SEENSTATES_H
+#define SCT_SCHED_SEENSTATES_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+namespace sct {
+
+/// Sharded concurrent set of 64-bit state fingerprints.
+class SeenStateTable {
+public:
+  /// \p ShardCount is rounded up to a power of two so shard selection is a
+  /// mask; 64 shards keep 8 workers' inserts effectively contention-free.
+  explicit SeenStateTable(unsigned ShardCount = 64) {
+    unsigned N = 1;
+    while (N < ShardCount && N < 4096)
+      N <<= 1;
+    Mask = N - 1;
+    Shards = std::make_unique<Shard[]>(N);
+  }
+
+  /// Records \p Fingerprint; returns true iff this call was the first to
+  /// insert it (the caller owns exploring that state's subtree).
+  bool insert(uint64_t Fingerprint) {
+    Shard &S = Shards[Fingerprint & Mask];
+    std::lock_guard<std::mutex> L(S.Mu);
+    return S.Set.insert(Fingerprint).second;
+  }
+
+  /// True iff \p Fingerprint was inserted before.  Advisory only under
+  /// concurrency — a racing insert may land right after the check.
+  bool contains(uint64_t Fingerprint) const {
+    const Shard &S = Shards[Fingerprint & Mask];
+    std::lock_guard<std::mutex> L(S.Mu);
+    return S.Set.count(Fingerprint) != 0;
+  }
+
+  /// Total distinct fingerprints recorded.  Takes the shard locks one at
+  /// a time, so concurrent inserts make this a snapshot, not a fence.
+  uint64_t size() const {
+    uint64_t Total = 0;
+    for (unsigned I = 0; I <= Mask; ++I) {
+      std::lock_guard<std::mutex> L(Shards[I].Mu);
+      Total += Shards[I].Set.size();
+    }
+    return Total;
+  }
+
+private:
+  /// Cache-line sized so neighbouring shards' locks do not false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex Mu;
+    std::unordered_set<uint64_t> Set;
+  };
+
+  std::unique_ptr<Shard[]> Shards;
+  unsigned Mask = 0;
+};
+
+} // namespace sct
+
+#endif // SCT_SCHED_SEENSTATES_H

@@ -1,0 +1,61 @@
+//===- support/Hashing.h - 64-bit hash combinators -------------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one hash-combine scheme the whole tree uses: every 64-bit field is
+/// avalanched through a splitmix64 finalizer before combining, so fields
+/// that straddle bit boundaries (wide taint masks, large buffer indices)
+/// cannot cancel against each other the way shifted-XOR packings allow.
+///
+/// Two consumers with different stakes share it:
+///  - `LeakRecord::key()` deduplicates findings across schedules; a
+///    collision merges two distinct leak reports (annoying, not unsound);
+///  - `Configuration::hash()` fingerprints machine states for the
+///    explorer's cross-schedule seen-state table; a collision there would
+///    prune a subtree that was never explored, so SeenStateTest keeps an
+///    empirical no-collision guarantee over the whole suite corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_SUPPORT_HASHING_H
+#define SCT_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace sct {
+
+/// splitmix64's finalizer: a full-avalanche bijection on 64-bit words
+/// (every input bit flips ~half the output bits).
+constexpr uint64_t hashAvalanche(uint64_t V) {
+  V += 0x9e3779b97f4a7c15ull;
+  V = (V ^ (V >> 30)) * 0xbf58476d1ce4e5b9ull;
+  V = (V ^ (V >> 27)) * 0x94d049bb133111ebull;
+  return V ^ (V >> 31);
+}
+
+/// Seed for hash chains (pi; an arbitrary non-zero constant).
+inline constexpr uint64_t HashSeed = 0x243f6a8885a308d3ull;
+
+/// Folds \p Field into the running hash \p H.  Non-commutative and
+/// avalanche-separated, so field order matters and adjacent small fields
+/// cannot cancel.
+constexpr uint64_t hashCombine(uint64_t H, uint64_t Field) {
+  return hashAvalanche(H ^ hashAvalanche(Field));
+}
+
+/// Chains a fixed field list from the seed.
+constexpr uint64_t hashFields(std::initializer_list<uint64_t> Fields) {
+  uint64_t H = HashSeed;
+  for (uint64_t F : Fields)
+    H = hashCombine(H, F);
+  return H;
+}
+
+} // namespace sct
+
+#endif // SCT_SUPPORT_HASHING_H

@@ -83,6 +83,81 @@ TEST(ParallelEngine, KocherLeakSetsMatchSequentialBothModes) {
   }
 }
 
+TEST(ParallelEngine, KocherLeakSetsMatchUnderStealingAndPruning) {
+  // The tentpole requirement: for every Kocher variant in both modes, the
+  // work-stealing sharded frontier at Threads=8 — with and without
+  // cross-schedule seen-state pruning — and the legacy shared frontier
+  // all report the deduplicated leak set of the sequential drain.
+  std::vector<SuiteCase> Cases = kocherCases();
+  for (const SuiteCase &C : kocherOriginalCases())
+    Cases.push_back(C);
+  for (const SuiteCase &C : Cases) {
+    for (auto ModeFn : {v1v11Mode, v4Mode}) {
+      const char *Mode = ModeFn == v1v11Mode ? " v1v11" : " v4";
+      ExplorerOptions Seq = ModeFn();
+      Seq.Threads = 1;
+      ExploreResult Ref = exploreProgram(C.Prog, Seq);
+
+      ExplorerOptions Steal = ModeFn();
+      Steal.Threads = 8; // Shards = 0: one deque per worker.
+      ExploreResult A = exploreProgram(C.Prog, Steal);
+      EXPECT_EQ(leakSet(Ref), leakSet(A)) << C.Id << Mode << " stealing";
+      // Without pruning, stealing conserves work exactly.
+      EXPECT_EQ(Ref.TotalSteps, A.TotalSteps) << C.Id << Mode;
+      EXPECT_EQ(Ref.SchedulesCompleted, A.SchedulesCompleted) << C.Id << Mode;
+
+      ExplorerOptions StealPrune = Steal;
+      StealPrune.PruneSeen = true;
+      ExploreResult B = exploreProgram(C.Prog, StealPrune);
+      EXPECT_EQ(leakSet(Ref), leakSet(B))
+          << C.Id << Mode << " stealing+pruning";
+      EXPECT_LE(B.TotalSteps, Ref.TotalSteps) << C.Id << Mode;
+
+      ExplorerOptions Shared = ModeFn();
+      Shared.Threads = 8;
+      Shared.Shards = 1; // The pre-sharding baseline.
+      ExploreResult D = exploreProgram(C.Prog, Shared);
+      EXPECT_EQ(leakSet(Ref), leakSet(D)) << C.Id << Mode << " shared";
+
+      ExplorerOptions SeqPrune = Seq;
+      SeqPrune.PruneSeen = true;
+      ExploreResult E = exploreProgram(C.Prog, SeqPrune);
+      EXPECT_EQ(leakSet(Ref), leakSet(E))
+          << C.Id << Mode << " sequential+pruning";
+      // Sequential pruning is deterministic: same run, same counters.
+      ExploreResult E2 = exploreProgram(C.Prog, SeqPrune);
+      EXPECT_EQ(E.TotalSteps, E2.TotalSteps) << C.Id << Mode;
+      EXPECT_EQ(E.PrunedNodes, E2.PrunedNodes) << C.Id << Mode;
+    }
+  }
+}
+
+TEST(ParallelEngine, OddShardCountsStillMatch) {
+  // Workers map round-robin onto an explicit shard count that neither
+  // matches the worker count nor divides it.
+  FigureCase C = figure7();
+  for (unsigned Shards : {2u, 3u, 16u}) {
+    ExplorerOptions Opts = C.CheckOpts;
+    Opts.Threads = 4;
+    Opts.Shards = Shards;
+    ExploreResult R = exploreProgram(C.Prog, Opts);
+    EXPECT_EQ(leakSet(R), leakSet(exploreProgram(C.Prog, C.CheckOpts)))
+        << Shards;
+  }
+}
+
+TEST(ParallelEngine, StealingReplaySnapshotsMatch) {
+  // Prefix-replay nodes survive being stolen: the thief re-derives the
+  // configuration from the directive prefix alone.
+  FigureCase C = figure7();
+  ExplorerOptions Opts = C.CheckOpts;
+  Opts.Threads = 8;
+  Opts.Snapshots = SnapshotPolicy::Replay;
+  Opts.PruneSeen = true;
+  ExploreResult R = exploreProgram(C.Prog, Opts);
+  EXPECT_EQ(leakSet(R), leakSet(exploreProgram(C.Prog, C.CheckOpts)));
+}
+
 TEST(ParallelEngine, FigureProgramsMatchSequential) {
   for (const FigureCase &C : allFigures()) {
     ExplorerOptions Par = C.CheckOpts;

@@ -1,0 +1,350 @@
+//===- tests/SeenStateTest.cpp - Seen-state table and state hashing ---------===//
+//
+// Coverage for the explorer's cross-schedule pruning machinery:
+//  - Configuration::hash() is canonical (schedule prefixes that commute
+//    into the same configuration hash identically — the convergence the
+//    pruner lives on) and discriminating (single-field perturbations of a
+//    configuration never collide);
+//  - an empirical no-collision guarantee over the whole suite corpus,
+//    since a 64-bit collision would soundlessly skip an unexplored
+//    subtree;
+//  - the SeenStateTable's first-insert-wins contract, sequentially and
+//    under a thread hammer;
+//  - the explorer-level regression: two schedule prefixes converging to
+//    the same configuration explore the shared subtree once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/SeenStates.h"
+
+#include "checker/SctChecker.h"
+#include "isa/AsmParser.h"
+#include "sched/RandomScheduler.h"
+#include "sched/ScheduleExplorer.h"
+#include "workloads/Figures.h"
+#include "workloads/Kocher.h"
+#include "workloads/SpectreSuites.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+using namespace sct;
+
+namespace {
+
+ExploreResult exploreProgram(const Program &P, const ExplorerOptions &Opts) {
+  Machine M(P);
+  return explore(M, Configuration::initial(P), Opts);
+}
+
+std::set<std::pair<PC, unsigned>> leakSet(const ExploreResult &R) {
+  std::set<std::pair<PC, unsigned>> S;
+  for (const LeakRecord &L : R.Leaks)
+    S.insert({L.Origin, static_cast<unsigned>(L.Rule)});
+  return S;
+}
+
+//===----------------------------------------------------- hash canonicity ---===//
+
+TEST(StateHash, ConvergingPrefixesHashEqual) {
+  // Two schedule prefixes that resolve independent ops in opposite orders
+  // commute into the *same* configuration — the convergence the pruner
+  // keys on.  They must compare equal and hash equal.
+  Program P = parseAsmOrDie(R"(
+    .reg ra rb
+    start:
+      ra = mov 1
+      rb = mov 2
+  )");
+  Machine M(P);
+  auto Run = [&](std::initializer_list<Directive> Ds) {
+    Configuration C = Configuration::initial(P);
+    for (const Directive &D : Ds)
+      EXPECT_TRUE(M.step(C, D).has_value());
+    return C;
+  };
+  Configuration A = Run({Directive::fetch(), Directive::fetch(),
+                         Directive::execute(1), Directive::execute(2)});
+  Configuration B = Run({Directive::fetch(), Directive::fetch(),
+                         Directive::execute(2), Directive::execute(1)});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+
+  // A third prefix interleaving fetch and execute converges too.
+  Configuration C3 = Run({Directive::fetch(), Directive::execute(1),
+                          Directive::fetch(), Directive::execute(2)});
+  EXPECT_EQ(A, C3);
+  EXPECT_EQ(A.hash(), C3.hash());
+}
+
+TEST(StateHash, ExplicitDefaultCellHashesLikeUnwritten) {
+  // Memory equality reads through region defaults; the hash must too.
+  Program P = parseAsmOrDie(R"(
+    .reg ra
+    .region A 0x40 4 public
+    start:
+      ra = mov 1
+  )");
+  Configuration A = Configuration::initial(P);
+  Configuration B = A;
+  B.Mem.store(0x40, Value(0, B.Mem.defaultLabel(0x40))); // Spelled-out default.
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.Mem.hash(), B.Mem.hash());
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+//===------------------------------------------------ hash discrimination ---===//
+
+TEST(StateHash, SingleFieldPerturbationsNeverCollide) {
+  FigureCase Fig = figure1();
+  Configuration Base = Configuration::initial(Fig.Prog);
+  // Put something in every component so perturbations have structure to
+  // disturb: fetch the branch and a load.
+  Machine M(Fig.Prog);
+  ASSERT_TRUE(M.step(Base, Directive::fetchBool(true)).has_value());
+  ASSERT_TRUE(M.step(Base, Directive::fetch()).has_value());
+
+  const uint64_t H = Base.hash();
+
+  // One memory word, each differing in exactly one bit position group.
+  for (uint64_t Addr : {0x40ull, 0x44ull, 0x48ull, 0x1000ull}) {
+    for (uint64_t Bits : {1ull, 0x100ull, 1ull << 32, ~0ull}) {
+      Value V(Bits, Label::publicLabel());
+      if (Base.Mem.load(Addr) == V)
+        continue; // Writing the current value back is not a perturbation.
+      Configuration C = Base;
+      C.Mem.store(Addr, V);
+      EXPECT_NE(C.hash(), H) << Addr << " " << Bits;
+    }
+    // Same bits, secret label: the taint must separate.
+    Configuration C = Base;
+    C.Mem.store(Addr, Value(1, Label::secret()));
+    Configuration D = Base;
+    D.Mem.store(Addr, Value(1, Label::publicLabel()));
+    EXPECT_NE(C.hash(), D.hash()) << Addr;
+  }
+
+  // One ROB entry: resolving the in-flight branch flips exactly one
+  // transient's state.
+  {
+    Configuration C = Base;
+    ASSERT_TRUE(M.step(C, Directive::execute(1)).has_value());
+    EXPECT_NE(C.hash(), H);
+  }
+
+  // One register.
+  {
+    Configuration C = Base;
+    C.Regs.set(Reg(Reg::FirstUserId), Value::pub(0xdead));
+    EXPECT_NE(C.hash(), H);
+  }
+
+  // The program point alone.
+  {
+    Configuration C = Base;
+    C.N = C.N + 1;
+    EXPECT_NE(C.hash(), H);
+  }
+
+  // The RSB journal alone.
+  {
+    Configuration C = Base;
+    C.Rsb.push(7, 42);
+    EXPECT_NE(C.hash(), H);
+  }
+}
+
+TEST(StateHash, ResolutionStateSeparatesRobEntries) {
+  // A store with a resolved address must not hash like its unresolved
+  // twin even when the resolved values are zero (all-default fields).
+  Program P = parseAsmOrDie(R"(
+    .reg ra
+    .init ra 0
+    start:
+      store ra, [ra]
+  )");
+  Machine M(P);
+  Configuration A = Configuration::initial(P);
+  ASSERT_TRUE(M.step(A, Directive::fetch()).has_value());
+  Configuration B = A;
+  ASSERT_TRUE(M.step(B, Directive::executeAddr(1)).has_value());
+  EXPECT_NE(A, B);
+  EXPECT_NE(A.hash(), B.hash());
+}
+
+//===------------------------------------------------- corpus collisions ---===//
+
+TEST(StateHash, SuiteCorpusIsCollisionFree) {
+  // Every configuration reachable along random well-formed schedules of
+  // the whole suite corpus, plus every program's worst-case exploration
+  // entry state: distinct configurations must get distinct hashes.  A
+  // collision here is the one event that would make PruneSeen skip a
+  // subtree it never explored.
+  std::vector<Program> Corpus;
+  for (const SuiteCase &C : kocherCases())
+    Corpus.push_back(C.Prog);
+  for (const SuiteCase &C : kocherOriginalCases())
+    Corpus.push_back(C.Prog);
+  for (const SuiteCase &C : spectreV11Cases())
+    Corpus.push_back(C.Prog);
+  for (const SuiteCase &C : spectreV4Cases())
+    Corpus.push_back(C.Prog);
+  for (const FigureCase &C : allFigures())
+    Corpus.push_back(C.Prog);
+
+  uint64_t Checked = 0;
+  for (const Program &P : Corpus) {
+    // Hashes are only ever compared within one exploration, i.e. within
+    // one program: the table is per-explore() call.
+    std::unordered_map<uint64_t, Configuration> ByHash;
+    Machine M(P);
+    Configuration Init = Configuration::initial(P);
+    for (uint64_t Seed = 1; Seed <= 24; ++Seed) {
+      RandomRunOptions Opts;
+      Opts.Seed = Seed;
+      Opts.MaxSteps = 300;
+      RunResult R = runRandom(M, Init, Opts);
+      // Replay the recorded schedule, fingerprinting every intermediate
+      // configuration.
+      Configuration C = Init;
+      for (const StepRecord &S : R.Trace) {
+        ASSERT_TRUE(M.step(C, S.D).has_value());
+        auto [It, Fresh] = ByHash.try_emplace(C.hash(), C);
+        if (!Fresh) {
+          EXPECT_EQ(It->second, C) << "64-bit state-hash collision";
+        }
+        ++Checked;
+      }
+    }
+  }
+  // The corpus walk must have actually exercised a meaningful number of
+  // states (guards against the generator silently going empty).
+  EXPECT_GT(Checked, 10000u);
+}
+
+//===------------------------------------------------------- table contract ---===//
+
+TEST(SeenStateTable, FirstInsertWins) {
+  SeenStateTable T(4);
+  EXPECT_FALSE(T.contains(42));
+  EXPECT_TRUE(T.insert(42));
+  EXPECT_FALSE(T.insert(42));
+  EXPECT_TRUE(T.contains(42));
+  EXPECT_TRUE(T.insert(43));
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST(SeenStateTable, ConcurrentInsertsLinearize) {
+  // 8 threads hammer overlapping key ranges; every key must be claimed by
+  // exactly one thread.
+  SeenStateTable T;
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t Keys = 20000;
+  std::vector<uint64_t> Claimed(Threads, 0);
+  std::vector<std::thread> Pool;
+  for (unsigned W = 0; W < Threads; ++W)
+    Pool.emplace_back([&, W] {
+      // Each thread walks the full key space in a different order.
+      for (uint64_t I = 0; I < Keys; ++I) {
+        uint64_t K = (I * (2 * W + 1)) % Keys;
+        if (T.insert(hashAvalanche(K)))
+          ++Claimed[W];
+      }
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+  uint64_t Total = 0;
+  for (uint64_t C : Claimed)
+    Total += C;
+  EXPECT_EQ(Total, Keys);
+  EXPECT_EQ(T.size(), Keys);
+}
+
+//===-------------------------------------------- explorer-level pruning ---===//
+
+/// A v4-style program whose schedule tree converges: the store sits in a
+/// branch shadow, so the explorer forks [execute s:addr; execute l]
+/// against the stale-load fall-through, the stale path's forced
+/// resolution hazards back into the forked state, and the trailing
+/// branches fork again *after* the convergence point — exactly where the
+/// seen-state table can prove the subtrees identical.
+Program convergentV4Gadget() {
+  return parseAsmOrDie(R"(
+    .reg ra rb rc rd
+    .init ra 9
+    .region A   0x40 4 public
+    .region Key 0x48 4 secret
+    .data 0x48 11 22 33 44
+    start:
+      br ult ra, 16 -> body, end
+    body:
+      store ra, [0x40]
+      rb = load [0x40]
+      br ult rb, 8 -> t1, t2
+    t1:
+      rc = mov 1
+      jmp tail
+    t2:
+      rc = mov 2
+    tail:
+      rd = load [0x48]       ; secret value at a public address
+      rd = load [0x40, rd]   ; secret-dependent address: the leak
+    end:
+  )");
+}
+
+TEST(SeenStatePruning, ConvergentSubtreeExploredOnce) {
+  Program P = convergentV4Gadget();
+  ExplorerOptions Plain = v4Mode();
+  ExplorerOptions Pruned = v4Mode();
+  Pruned.PruneSeen = true;
+
+  ExploreResult A = exploreProgram(P, Plain);
+  ExploreResult B = exploreProgram(P, Pruned);
+
+  // Convergence was detected at least once and its subtree skipped...
+  EXPECT_GE(B.PrunedNodes, 1u);
+  EXPECT_LT(B.TotalSteps, A.TotalSteps);
+  EXPECT_LT(B.SchedulesCompleted, A.SchedulesCompleted);
+  // ...without losing a single finding (the gadget does leak: a
+  // secret-dependent load address past the convergence point).
+  ASSERT_FALSE(A.secure());
+  EXPECT_EQ(leakSet(A), leakSet(B));
+  EXPECT_EQ(A.secure(), B.secure());
+}
+
+TEST(SeenStatePruning, HazardReexecutionsPruneOnSuite) {
+  // The ISSUE's motivating recurrence: v4-mode hazard re-executions
+  // revisit forked states across the Spectre v4 suite; pruning must
+  // strictly reduce work somewhere in the suite while preserving every
+  // verdict.
+  uint64_t PrunedTotal = 0;
+  for (const SuiteCase &C : spectreV4Cases()) {
+    ExploreResult Plain = exploreProgram(C.Prog, v4Mode());
+    ExplorerOptions Opts = v4Mode();
+    Opts.PruneSeen = true;
+    ExploreResult Pruned = exploreProgram(C.Prog, Opts);
+    EXPECT_EQ(leakSet(Plain), leakSet(Pruned)) << C.Id;
+    EXPECT_LE(Pruned.TotalSteps, Plain.TotalSteps) << C.Id;
+    PrunedTotal += Pruned.PrunedNodes;
+  }
+  EXPECT_GE(PrunedTotal, 1u);
+}
+
+TEST(SeenStatePruning, PrunedParallelStillFindsEveryKocherLeak) {
+  // Pruning under the full parallel stealing engine, vs the unpruned
+  // sequential reference, across the fork-heaviest standard corpus.
+  for (const SuiteCase &C : kocherCases()) {
+    ExploreResult Ref = exploreProgram(C.Prog, v4Mode());
+    ExplorerOptions Opts = v4Mode();
+    Opts.Threads = 8;
+    Opts.PruneSeen = true;
+    ExploreResult R = exploreProgram(C.Prog, Opts);
+    EXPECT_EQ(leakSet(Ref), leakSet(R)) << C.Id;
+  }
+}
+
+} // namespace
