@@ -7,16 +7,20 @@
 //   sctcheck FILE [--bound N] [--no-fwd] [--alias] [--seq-only]
 //            [--indirect-targets a,b,..] [--rsb-targets a,b,..]
 //            [--fence-branches] [--fence-stores] [--first]
-//            [--threads N] [--shards N] [--prune-seen]
-//            [--replay-snapshots] [--validate]
+//            [--threads N] [--shards N] [--no-prune-seen]
+//            [--replay-snapshots] [--checkpoint-interval K]
+//            [--minimize-witnesses] [--minimize-budget N] [--validate]
 //
 // Checks run through the engine layer (CheckSession): --threads fans the
 // exploration frontier over N work-stealing workers, --shards overrides
-// the frontier sharding (1 = the single shared frontier), --prune-seen
-// enables the cross-schedule seen-state table, --replay-snapshots
-// switches fork checkpoints to prefix-replay, and --validate replays
-// every witness differentially to confirm it as a concrete trace
-// divergence.
+// the frontier sharding (1 = the single shared frontier), --no-prune-seen
+// disables the cross-schedule seen-state table (on by default),
+// --replay-snapshots switches fork checkpoints to prefix-replay,
+// --checkpoint-interval K selects the replay-snapshot hybrid (shared
+// checkpoint every K directives), --minimize-witnesses delta-debugs each
+// witness to a minimal attack schedule (docs/WITNESSES.md), and
+// --validate replays every witness differentially to confirm it as a
+// concrete trace divergence.
 //
 //===----------------------------------------------------------------------===//
 
@@ -54,8 +58,12 @@ void usage(const char *Prog) {
       "  --threads N            engine worker threads (default 1)\n"
       "  --shards N             frontier shards (default: one per worker;\n"
       "                         1 = single shared frontier)\n"
-      "  --prune-seen           prune configurations seen on any schedule\n"
+      "  --no-prune-seen        disable seen-state pruning (on by default)\n"
       "  --replay-snapshots     prefix-replay fork checkpoints\n"
+      "  --checkpoint-interval K  hybrid snapshots: shared checkpoint\n"
+      "                         every K directives (replay cost <= K)\n"
+      "  --minimize-witnesses   delta-debug witnesses to minimal attacks\n"
+      "  --minimize-budget N    replays spent minimizing each witness\n"
       "  --validate             differentially confirm each witness\n"
       "  --print                echo the (possibly transformed) program\n",
       Prog);
@@ -101,7 +109,8 @@ int main(int Argc, char **Argv) {
   Program Prog = std::move(*Parsed.Prog);
 
   ExplorerOptions Opts;
-  bool SeqOnly = false, Print = false, Validate = false;
+  bool SeqOnly = false, Print = false, Validate = false, Minimize = false;
+  MinimizeOptions MinOpts;
   const char *IndirectList = nullptr, *RsbList = nullptr;
   for (int I = 2; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--bound") && I + 1 < Argc)
@@ -128,8 +137,17 @@ int main(int Argc, char **Argv) {
       Opts.Shards = static_cast<unsigned>(atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--prune-seen"))
       Opts.PruneSeen = true;
+    else if (!std::strcmp(Argv[I], "--no-prune-seen"))
+      Opts.PruneSeen = false;
     else if (!std::strcmp(Argv[I], "--replay-snapshots"))
       Opts.Snapshots = SnapshotPolicy::Replay;
+    else if (!std::strcmp(Argv[I], "--checkpoint-interval") && I + 1 < Argc) {
+      Opts.Snapshots = SnapshotPolicy::Hybrid;
+      Opts.CheckpointInterval = static_cast<unsigned>(atoi(Argv[++I]));
+    } else if (!std::strcmp(Argv[I], "--minimize-witnesses"))
+      Minimize = true;
+    else if (!std::strcmp(Argv[I], "--minimize-budget") && I + 1 < Argc)
+      MinOpts.MaxReplays = static_cast<uint64_t>(atoll(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--validate"))
       Validate = true;
     else if (!std::strcmp(Argv[I], "--print"))
@@ -162,6 +180,8 @@ int main(int Argc, char **Argv) {
   Req.Id = Argv[1];
   Req.Prog = Prog;
   Req.Opts = Opts;
+  Req.MinimizeWitnesses = Minimize;
+  Req.Minimize = MinOpts;
   CheckResult Check = Session.check(Req);
   SctReport Report = toReport(Check);
   std::printf("%s", describeResult(Prog, Report.Exploration).c_str());
@@ -173,6 +193,25 @@ int main(int Argc, char **Argv) {
     std::printf("seen-state pruning dropped %llu convergent subtrees\n",
                 static_cast<unsigned long long>(
                     Report.Exploration.PrunedNodes));
+  if (Check.Opts.Snapshots == SnapshotPolicy::Hybrid)
+    std::printf("hybrid snapshots: %llu checkpoints (K=%u), %llu replayed "
+                "directives\n",
+                static_cast<unsigned long long>(
+                    Report.Exploration.Checkpoints),
+                Check.Opts.CheckpointInterval,
+                static_cast<unsigned long long>(
+                    Report.Exploration.ReplaySteps));
+  if (Check.Minimization)
+    std::printf("witness minimization: %llu -> %llu directives over %zu "
+                "witness(es), %llu replays%s\n",
+                static_cast<unsigned long long>(
+                    Check.Minimization->RawDirectives),
+                static_cast<unsigned long long>(
+                    Check.Minimization->MinimizedDirectives),
+                Report.Exploration.Leaks.size(),
+                static_cast<unsigned long long>(Check.Minimization->Replays),
+                Check.Minimization->BudgetExhausted ? " (budget exhausted)"
+                                                    : "");
   if (!Report.secure()) {
     Machine M(Prog);
     std::printf("\n%s", describeLeak(M, Configuration::initial(Prog),

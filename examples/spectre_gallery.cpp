@@ -3,7 +3,10 @@
 // A tour of the attack classes the semantics captures — v1 (Figure 1),
 // v1.1 (Figure 6), v4 (Figure 7), v2 (Figure 11), ret2spec (Figure 12),
 // and the hypothetical aliasing predictor (Figure 2) — each with its
-// paper walkthrough replayed and the checker knob that exposes it.
+// paper walkthrough replayed and the checker knob that exposes it.  All
+// eight figures are checked as one CheckSession batch with witness
+// minimization on, so every verdict comes with the minimal attack
+// schedule next to the paper's hand-written one.
 //
 //===----------------------------------------------------------------------===//
 
@@ -12,15 +15,23 @@
 #include "workloads/Figures.h"
 
 #include <cstdio>
+#include <vector>
 
 using namespace sct;
 
 namespace {
 
-void tour(const FigureCase &C, const char *Variant, const char *Knob) {
-  std::printf("--- %s (%s) ---\n", Variant, C.Name.c_str());
+struct TourStop {
+  FigureCase Fig;
+  const char *Variant;
+  const char *Knob;
+};
+
+void tour(const TourStop &Stop, const CheckResult &Check) {
+  const FigureCase &C = Stop.Fig;
+  std::printf("--- %s (%s) ---\n", Stop.Variant, C.Name.c_str());
   std::printf("%s\n", C.Description.c_str());
-  std::printf("checker knob: %s\n", Knob);
+  std::printf("checker knob: %s\n", Stop.Knob);
 
   Machine M(C.Prog);
   if (!C.PaperSchedule.empty()) {
@@ -35,30 +46,61 @@ void tour(const FigureCase &C, const char *Variant, const char *Knob) {
     }
     std::printf("\n");
   }
-  SctReport Report = checkSct(C.Prog, C.CheckOpts);
-  std::printf("verdict: %s (expected %s)\n\n",
-              Report.secure() ? "secure" : "VIOLATION",
+  std::printf("verdict: %s (expected %s)\n",
+              Check.secure() ? "secure" : "VIOLATION",
               C.ExpectLeak ? "violation" : "secure");
+  if (!Check.secure()) {
+    const LeakRecord &L = Check.Exploration.Leaks.front();
+    std::printf("minimized attack (%zu directives, raw %zu): %s\n",
+                L.MinSched.size(), L.Sched.size(),
+                printSchedule(L.MinSched).c_str());
+  }
+  std::printf("\n");
 }
 
 } // namespace
 
-int main() {
-  tour(figure1(), "Spectre v1 — bounds check bypass",
-       "default exploration (branch mispredict forks)");
-  tour(figure6(), "Spectre v1.1 — speculative store forward",
-       "v1v11Mode(): bound 250, no forwarding-hazard forks needed");
-  tour(figure7(), "Spectre v4 — speculative store bypass",
-       "v4Mode(): forwarding-hazard detection on, bound 20");
-  tour(figure2(), "Aliasing predictor (hypothetical, §3.5)",
-       "ExploreAliasPrediction = true");
-  tour(figure11(), "Spectre v2 — mistrained indirect branch",
-       "IndirectTargets = {gadget}");
-  tour(figure12(), "ret2spec — RSB underflow",
-       "RsbUnderflowTargets = {gadget}");
-  tour(figure8(), "v1 + fence mitigation (Figure 8)",
-       "any — the fence blocks the loads");
-  tour(figure13(), "v2 + retpoline mitigation (Figure 13)",
-       "all attacker knobs on — speculation only reaches the trap");
+int main(int Argc, char **Argv) {
+  std::vector<TourStop> Stops = {
+      {figure1(), "Spectre v1 — bounds check bypass",
+       "default exploration (branch mispredict forks)"},
+      {figure6(), "Spectre v1.1 — speculative store forward",
+       "v1v11Mode(): bound 250, no forwarding-hazard forks needed"},
+      {figure7(), "Spectre v4 — speculative store bypass",
+       "v4Mode(): forwarding-hazard detection on, bound 20"},
+      {figure2(), "Aliasing predictor (hypothetical, §3.5)",
+       "ExploreAliasPrediction = true"},
+      {figure11(), "Spectre v2 — mistrained indirect branch",
+       "IndirectTargets = {gadget}"},
+      {figure12(), "ret2spec — RSB underflow",
+       "RsbUnderflowTargets = {gadget}"},
+      {figure8(), "v1 + fence mitigation (Figure 8)",
+       "any — the fence blocks the loads"},
+      {figure13(), "v2 + retpoline mitigation (Figure 13)",
+       "all attacker knobs on — speculation only reaches the trap"},
+  };
+
+  // One batch: each figure keeps its own CheckOpts (the knob that exposes
+  // its variant), witness minimization on everywhere with the CLI's
+  // budget (request-level opt-in overrides the session's options, so
+  // they are copied over).
+  SessionOptions SOpts = sessionOptionsFromArgs(Argc, Argv);
+  std::vector<CheckRequest> Reqs;
+  Reqs.reserve(Stops.size());
+  for (const TourStop &S : Stops) {
+    CheckRequest Req;
+    Req.Id = S.Fig.Name;
+    Req.Prog = S.Fig.Prog;
+    Req.Opts = S.Fig.CheckOpts;
+    Req.MinimizeWitnesses = true;
+    Req.Minimize = SOpts.Minimize;
+    Reqs.push_back(std::move(Req));
+  }
+  CheckSession Session(SOpts);
+  std::vector<CheckResult> Results =
+      Session.checkMany(std::span<const CheckRequest>(Reqs));
+
+  for (size_t I = 0; I < Stops.size(); ++I)
+    tour(Stops[I], Results[I]);
   return 0;
 }

@@ -27,9 +27,10 @@
 /// stateless: they build a fresh CheckSession per call and may run
 /// concurrently on distinct or identical programs.  The verdict
 /// (`secure()`) and the deduplicated leak set of a report are independent
-/// of `Threads`/`Shards`/`PruneSeen`/`Snapshots`; exploration counters are
-/// reproducible exactly when `Threads <= 1` and `PruneSeen` is off (the
-/// engine's determinism contract, sched/ScheduleExplorer.h).
+/// of `Threads`/`Shards`/`PruneSeen`/`Snapshots`; exploration counters
+/// are reproducible exactly whenever `Threads <= 1` — pruned (the
+/// default) or not — and additionally N-independent with `PruneSeen` off
+/// (the engine's determinism contract, sched/ScheduleExplorer.h).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -12,14 +12,28 @@ std::string sct::summarizeLeak(const Program &P, const LeakRecord &L) {
     Where += " (" + *Name + ")";
   std::string Instr =
       P.contains(L.Origin) ? printInstruction(P, L.Origin) : "<expanded>";
-  return "leak at " + Where + ": `" + Instr + "` emits " + L.Obs.str() +
-         " via " + std::string(ruleName(L.Rule)) + " after " +
-         std::to_string(L.Sched.size()) + " directives";
+  std::string Out = "leak at " + Where + ": `" + Instr + "` emits " +
+                    L.Obs.str() + " via " + std::string(ruleName(L.Rule)) +
+                    " after " + std::to_string(L.Sched.size()) +
+                    " directives";
+  if (!L.MinSched.empty())
+    Out += " (minimized: " + std::to_string(L.MinSched.size()) + ")";
+  return Out;
 }
 
 std::string sct::describeLeak(const Machine &M, const Configuration &Init,
                               const LeakRecord &L) {
   std::string Out = summarizeLeak(M.program(), L) + "\n";
+  // Prefer the minimized witness for the replayed table — it is the
+  // readable attack — but always print the raw schedule's length so the
+  // shrink is visible; docs/WITNESSES.md walks the format.
+  if (!L.MinSched.empty()) {
+    Out += "raw witness: " + std::to_string(L.Sched.size()) +
+           " directives (full exploration prefix)\n";
+    Out += "minimized witness schedule: " + printSchedule(L.MinSched) + "\n";
+    Out += printRun(M, Init, L.MinSched);
+    return Out;
+  }
   Out += "witness schedule: " + printSchedule(L.Sched) + "\n";
   Out += printRun(M, Init, L.Sched);
   return Out;

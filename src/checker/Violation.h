@@ -25,7 +25,10 @@ namespace sct {
 std::string summarizeLeak(const Program &P, const LeakRecord &L);
 
 /// Renders one leak in full: summary, the witness schedule, and the
-/// replayed directive/effect/leakage table (paper-figure style).
+/// replayed directive/effect/leakage table (paper-figure style).  When
+/// the leak carries a minimized witness (LeakRecord::MinSched, filled by
+/// engine/WitnessMinimizer.h), the table replays that short schedule and
+/// the raw prefix is reported by length only.
 std::string describeLeak(const Machine &M, const Configuration &Init,
                          const LeakRecord &L);
 

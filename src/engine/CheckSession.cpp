@@ -20,6 +20,17 @@ SessionOptions sct::sessionOptionsFromArgs(int Argc, char **Argv) {
       SOpts.DefaultOpts.Shards = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--prune-seen"))
       SOpts.DefaultOpts.PruneSeen = true;
+    else if (!std::strcmp(Argv[I], "--no-prune-seen"))
+      SOpts.DefaultOpts.PruneSeen = false;
+    else if (!std::strcmp(Argv[I], "--checkpoint-interval") && I + 1 < Argc) {
+      SOpts.DefaultOpts.Snapshots = SnapshotPolicy::Hybrid;
+      SOpts.DefaultOpts.CheckpointInterval =
+          static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (!std::strcmp(Argv[I], "--minimize-witnesses"))
+      SOpts.MinimizeWitnesses = true;
+    else if (!std::strcmp(Argv[I], "--minimize-budget") && I + 1 < Argc)
+      SOpts.Minimize.MaxReplays =
+          static_cast<uint64_t>(std::atoll(Argv[++I]));
   }
   return SOpts;
 }
@@ -44,9 +55,18 @@ CheckResult CheckSession::runOne(const CheckRequest &Req,
       Req.Init ? *Req.Init : Configuration::initial(Req.Prog);
 
   auto T0 = std::chrono::steady_clock::now();
-  Res.Exploration = explore(M, std::move(Init), Res.Opts);
+  Res.Exploration = explore(M, Init, Res.Opts);
   auto T1 = std::chrono::steady_clock::now();
   Res.Seconds = std::chrono::duration<double>(T1 - T0).count();
+
+  // Witness minimization rides after exploration: the raw prefixes stay
+  // in LeakRecord::Sched, the delta-debugged schedules land in MinSched.
+  if (Req.MinimizeWitnesses || Opts.MinimizeWitnesses) {
+    const MinimizeOptions &MinOpts =
+        Req.MinimizeWitnesses ? Req.Minimize : Opts.Minimize;
+    Res.Minimization =
+        minimizeWitnesses(M, Init, Res.Exploration.Leaks, MinOpts);
+  }
   return Res;
 }
 

@@ -50,6 +50,7 @@
 #ifndef SCT_ENGINE_CHECKSESSION_H
 #define SCT_ENGINE_CHECKSESSION_H
 
+#include "engine/WitnessMinimizer.h"
 #include "sched/ScheduleExplorer.h"
 
 #include <span>
@@ -73,6 +74,15 @@ struct CheckRequest {
   /// lets differential drivers check mutated-secret variants through the
   /// same API.
   std::optional<Configuration> Init;
+  /// Delta-debug every witness after exploration
+  /// (engine/WitnessMinimizer.h): each leak's `MinSched` is filled with a
+  /// minimized schedule replaying to the identical `LeakRecord::key()`,
+  /// and `CheckResult::Minimization` reports the aggregate shrink.  Also
+  /// enabled session-wide by `SessionOptions::MinimizeWitnesses`.
+  bool MinimizeWitnesses = false;
+  /// Minimization budget and knobs (used when this request enables
+  /// minimization; session-enabled requests use the session's).
+  MinimizeOptions Minimize;
 };
 
 /// The outcome of one CheckRequest.
@@ -84,6 +94,9 @@ struct CheckResult {
   ExplorerOptions Opts;
   /// Wall-clock seconds spent exploring.
   double Seconds = 0;
+  /// Aggregate witness-minimization outcome; engaged iff minimization ran
+  /// (raw and minimized directive totals, replays spent, budget state).
+  std::optional<MinimizeStats> Minimization;
 
   bool secure() const { return Exploration.secure(); }
 };
@@ -96,6 +109,10 @@ struct SessionOptions {
   /// Defaults applied by the Program-only conveniences.
   ExplorerOptions DefaultOpts;
   MachineOptions DefaultMOpts;
+  /// Minimize witnesses on every check in this session (requests can also
+  /// opt in individually via CheckRequest::MinimizeWitnesses).
+  bool MinimizeWitnesses = false;
+  MinimizeOptions Minimize;
 };
 
 /// The unified entry point for running checks.
@@ -128,9 +145,11 @@ private:
 };
 
 /// Session options for a CLI driver: parses `--threads N`, `--shards N`,
-/// and `--prune-seen` out of argv (the latter two into
-/// `DefaultOpts.Shards` / `DefaultOpts.PruneSeen`), defaulting the thread
-/// budget to the hardware concurrency.  Shared by the bench mains.
+/// `--prune-seen` / `--no-prune-seen` (PruneSeen is on by default),
+/// `--checkpoint-interval N` (selects `SnapshotPolicy::Hybrid` with that
+/// K), `--minimize-witnesses`, and `--minimize-budget N` out of argv,
+/// defaulting the thread budget to the hardware concurrency.  Shared by
+/// the bench mains.
 SessionOptions sessionOptionsFromArgs(int Argc, char **Argv);
 
 } // namespace sct

@@ -1,0 +1,271 @@
+//===- engine/WitnessMinimizer.cpp - Minimal leak witnesses -----------------===//
+//
+// ddmin over directive schedules with buffer-index repair.  The only
+// oracle is strict replay: a candidate reproduces iff stepping it from
+// the initial configuration reaches a secret observation with the
+// original leak's key (origin, kind, rule, taint mask), and the adopted
+// schedule is always the replayed-and-truncated one — so whatever the
+// heuristics propose, the result is a valid witness by construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/WitnessMinimizer.h"
+
+#include <algorithm>
+
+using namespace sct;
+
+namespace {
+
+class Minimizer {
+public:
+  Minimizer(const Machine &M, const Configuration &Init, uint64_t TargetKey,
+            const MinimizeOptions &Opts)
+      : M(M), Init(Init), TargetKey(TargetKey), Opts(Opts) {}
+
+  Schedule run(const Schedule &Raw, MinimizeStats &Stats) {
+    Stats.RawDirectives += Raw.size();
+    Schedule Kept;
+    std::vector<AllocInfo> KA;
+    bool Seeded = evaluate(Raw, Kept, KA);
+    if (Seeded) {
+      Cur = std::move(Kept);
+      CurAlloc = std::move(KA);
+      for (unsigned Pass = 0; Pass < Opts.MaxPasses && !Exhausted; ++Pass) {
+        Schedule Before = Cur;
+        ddmin();
+        if (Opts.Canonicalize && !Exhausted)
+          canonicalize();
+        if (Cur == Before)
+          break; // Fixpoint: another pass would change nothing.
+      }
+      Stats.MinimizedDirectives += Cur.size();
+    }
+    Stats.Replays += Replays;
+    Stats.BudgetExhausted |= Exhausted;
+    return Seeded ? Cur : Schedule{};
+  }
+
+private:
+  /// What a directive did to buffer indices when the current schedule
+  /// last replayed: a fetch allocated entries [From, From + Slots); a
+  /// retire removed the group led by Retired (0 otherwise).  Indices are
+  /// monotone over a run (ReorderBuffer), so this is exactly the
+  /// bookkeeping needed to renumber execute directives — and to cascade
+  /// the retire of a deleted instruction — after a deletion.
+  struct AllocInfo {
+    BufIdx From = 0;
+    unsigned Slots = 0;
+    BufIdx Retired = 0;
+  };
+
+  const Machine &M;
+  const Configuration &Init;
+  const uint64_t TargetKey;
+  const MinimizeOptions &Opts;
+  uint64_t Replays = 0;
+  bool Exhausted = false;
+
+  /// Current best witness and its per-position allocation record.
+  Schedule Cur;
+  std::vector<AllocInfo> CurAlloc;
+
+  /// Replays \p Cand leniently: inapplicable directives are skipped, not
+  /// fatal, so the candidate is garbage-collected as it runs (a deleted
+  /// fetch's orphaned executes, a corrected guess's dead wrong-path
+  /// work).  Success iff some step emits a secret observation with the
+  /// target key; \p Kept then holds exactly the directives that applied,
+  /// truncated at that step, with \p KeptAlloc their allocation record —
+  /// by construction \p Kept replays *strictly* to the same leak, so
+  /// adopting it never needs a second validation pass.
+  bool evaluate(const Schedule &Cand, Schedule &Kept,
+                std::vector<AllocInfo> &KeptAlloc) {
+    if (Exhausted || Replays >= Opts.MaxReplays) {
+      Exhausted = true;
+      return false;
+    }
+    ++Replays;
+    Configuration C = Init;
+    Kept.clear();
+    KeptAlloc.clear();
+    for (const Directive &D : Cand) {
+      AllocInfo A;
+      if (D.isFetch())
+        A.From = C.Buf.nextIndex();
+      if (D.isRetire() && !C.Buf.empty())
+        A.Retired = C.Buf.minIndex();
+      PC Origin = leakOriginOf(C, D);
+      auto Out = M.step(C, D);
+      if (!Out)
+        continue;
+      if (D.isFetch())
+        A.Slots = static_cast<unsigned>(C.Buf.nextIndex() - A.From);
+      Kept.push_back(D);
+      KeptAlloc.push_back(A);
+      if (Out->Obs.isSecret()) {
+        LeakRecord Probe{Schedule{}, Out->Obs, Origin, Out->Rule};
+        if (Probe.key() == TargetKey)
+          return true; // Truncated at the (re-)found leak.
+      }
+    }
+    return false;
+  }
+
+  /// Builds the candidate that deletes the marked positions of Cur,
+  /// repairing the survivors: executes naming an entry a deleted fetch
+  /// allocated are cascaded out, and the remaining buffer indices are
+  /// shifted down by the slots deleted beneath them.
+  Schedule buildWithout(const std::vector<char> &Del) const {
+    std::vector<AllocInfo> Gone; // Deleted allocations, in index order.
+    for (size_t I = 0; I < Cur.size(); ++I)
+      if (Del[I] && CurAlloc[I].Slots)
+        Gone.push_back(CurAlloc[I]);
+    // Maps an old buffer index to its repaired value; false if the entry
+    // itself was deleted (the referencing directive must cascade).
+    auto Repair = [&Gone](BufIdx Idx, BufIdx &Out) {
+      BufIdx Shift = 0;
+      for (const AllocInfo &G : Gone) {
+        if (Idx < G.From)
+          break; // Gone is sorted by From: no further range can contain Idx.
+        if (Idx < G.From + G.Slots)
+          return false;
+        Shift += G.Slots;
+      }
+      Out = Idx - Shift;
+      return true;
+    };
+    Schedule Cand;
+    for (size_t I = 0; I < Cur.size(); ++I) {
+      if (Del[I])
+        continue;
+      Directive D = Cur[I];
+      if (D.isExecute()) {
+        if (!Repair(D.Idx, D.Idx))
+          continue;
+        if (D.K == Directive::Kind::ExecuteFwd && !Repair(D.FwdFrom, D.FwdFrom))
+          continue;
+      } else if (D.isRetire() && CurAlloc[I].Retired) {
+        // The retire of a deleted instruction cascades with its fetch —
+        // otherwise every junk instruction stays anchored in the witness
+        // by the retire that drained it from the buffer.
+        BufIdx Dummy;
+        if (!Repair(CurAlloc[I].Retired, Dummy))
+          continue;
+      }
+      Cand.push_back(D);
+    }
+    return Cand;
+  }
+
+  /// Zeller's ddmin over the positions of Cur, with cascade-repaired
+  /// candidates.  Terminates 1-minimal w.r.t. single-position deletion
+  /// (plus cascades) or when the replay budget runs out.
+  void ddmin() {
+    size_t N = 2;
+    while (!Exhausted && Cur.size() >= 2) {
+      size_t Len = Cur.size();
+      if (N > Len)
+        N = Len;
+      size_t Chunk = (Len + N - 1) / N;
+      bool Reduced = false;
+      for (size_t Start = 0; Start < Len && !Exhausted; Start += Chunk) {
+        std::vector<char> Del(Len, 0);
+        for (size_t I = Start; I < std::min(Start + Chunk, Len); ++I)
+          Del[I] = 1;
+        Schedule Cand = buildWithout(Del);
+        if (Cand.empty() || Cand.size() >= Cur.size())
+          continue;
+        Schedule Kept;
+        std::vector<AllocInfo> KA;
+        if (evaluate(Cand, Kept, KA) && Kept.size() < Cur.size()) {
+          Cur = std::move(Kept);
+          CurAlloc = std::move(KA);
+          Reduced = true;
+          break;
+        }
+      }
+      if (Reduced) {
+        N = std::max<size_t>(2, N - 1);
+        continue;
+      }
+      if (Chunk <= 1)
+        break;
+      N = std::min(N * 2, Cur.size());
+    }
+  }
+
+  /// Rewrites each surviving directive to the simplest form that still
+  /// reproduces the leak: prefer plain fetch/retire over the fork
+  /// directives and plain execute over the resolution variants, so the
+  /// minimized schedule spells out only the predictions the attack
+  /// genuinely needs.
+  void canonicalize() {
+    for (size_t I = 0; I < Cur.size() && !Exhausted; ++I) {
+      // Simpler-form alternatives are adopted at equal length (the
+      // rewrite itself is the win, and it can only move toward plain
+      // forms, so it cannot oscillate).
+      std::vector<Directive> Alts;
+      switch (Cur[I].K) {
+      case Directive::Kind::FetchBool:
+      case Directive::Kind::FetchTarget:
+        Alts = {Directive::fetch(), Directive::retire()};
+        break;
+      case Directive::Kind::ExecuteValue:
+      case Directive::Kind::ExecuteAddr:
+      case Directive::Kind::ExecuteFwd:
+        Alts = {Directive::execute(Cur[I].Idx), Directive::retire()};
+        break;
+      default:
+        continue;
+      }
+      for (const Directive &Alt : Alts) {
+        Schedule Cand = Cur;
+        Cand[I] = Alt;
+        Schedule Kept;
+        std::vector<AllocInfo> KA;
+        if (evaluate(Cand, Kept, KA) && Kept.size() <= Cur.size()) {
+          Cur = std::move(Kept);
+          CurAlloc = std::move(KA);
+          break;
+        }
+      }
+      // Guess flip, adopted only on a strict shrink: correcting an
+      // irrelevant misprediction makes its wrong-path excursion
+      // inapplicable and the lenient replay garbage-collects it in the
+      // same evaluation.  (The strict-shrink bar is what keeps
+      // minimization idempotent — a flip that buys nothing, or would
+      // merely flip back, never changes the schedule.)
+      if (Cur[I].K == Directive::Kind::FetchBool) {
+        Schedule Cand = Cur;
+        Cand[I] = Directive::fetchBool(!Cur[I].Guess);
+        Schedule Kept;
+        std::vector<AllocInfo> KA;
+        if (evaluate(Cand, Kept, KA) && Kept.size() < Cur.size()) {
+          Cur = std::move(Kept);
+          CurAlloc = std::move(KA);
+        }
+      }
+    }
+  }
+};
+
+} // namespace
+
+Schedule sct::minimizeWitness(const Machine &M, const Configuration &Init,
+                              const LeakRecord &L, const MinimizeOptions &Opts,
+                              MinimizeStats *Stats) {
+  MinimizeStats Local;
+  Minimizer Min(M, Init, L.key(), Opts);
+  Schedule S = Min.run(L.Sched, Stats ? *Stats : Local);
+  return S;
+}
+
+MinimizeStats sct::minimizeWitnesses(const Machine &M,
+                                     const Configuration &Init,
+                                     std::vector<LeakRecord> &Leaks,
+                                     const MinimizeOptions &Opts) {
+  MinimizeStats Stats;
+  for (LeakRecord &L : Leaks)
+    L.MinSched = minimizeWitness(M, Init, L, Opts, &Stats);
+  return Stats;
+}

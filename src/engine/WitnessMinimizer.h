@@ -1,0 +1,110 @@
+//===- engine/WitnessMinimizer.h - Minimal leak witnesses ------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Witness minimization: shrink a leaking directive schedule to a short,
+/// readable attack.  The explorer's raw witnesses are full exploration
+/// prefixes — every directive the engine issued on the path from the
+/// initial configuration to the leaking step, frequently hundreds or
+/// thousands of directives on real trees — while the *attack* they
+/// contain is usually a handful: mispredict one branch, fetch the gadget
+/// loads, execute them.  Pitchfork reports exactly such attack schedules;
+/// this pass recovers them from ours.
+///
+/// The algorithm is delta debugging (Zeller's ddmin) over the directive
+/// sequence, specialized to the semantics in two ways:
+///
+///  - **Buffer-index repair.**  Reorder-buffer indices are monotone over a
+///    run, so deleting a fetch shifts the index of every later-allocated
+///    entry.  A naive ddmin candidate would then issue `execute i` against
+///    the wrong entry and almost always fail, trapping the search at the
+///    raw schedule.  The minimizer records how many buffer slots each
+///    fetch directive allocated when the current schedule last replayed,
+///    cascades the deletion of a fetch to every directive that names one
+///    of its entries, and renumbers the surviving `execute` directives.
+///  - **Per-directive canonicalization.**  After ddmin reaches a
+///    1-minimal schedule, each remaining directive is rewritten to the
+///    simplest form that still reproduces the leak: plain `fetch` or
+///    `retire` over the fork directives (`fetch: b`, `fetch: n`), plain
+///    `execute i` over `execute i : addr/value/fwd j`.  The surviving
+///    fork directives are exactly the predictions the attack needs.
+///
+/// Candidates are validated by lenient replay through `Machine::step`:
+/// inapplicable directives are skipped (garbage-collecting whatever a
+/// deletion or guess-flip orphaned), and a candidate counts as
+/// reproducing iff some step emits a secret-labelled observation whose
+/// `LeakRecord::key()` — origin, observation kind, rule, taint mask —
+/// equals the original leak's.  What gets adopted is the *effective*
+/// schedule — exactly the directives that applied, truncated at the
+/// reproducing step — which by construction replays strictly,
+/// end-to-end, to the same leak; soundness never depends on the repair
+/// heuristics.  ddmin + canonicalization iterate to a fixpoint, so
+/// minimization is idempotent (minimizing a minimized witness returns it
+/// unchanged), budget permitting.
+///
+/// Every candidate costs one replay of at most |schedule| machine steps;
+/// `MinimizeOptions::MaxReplays` bounds the total per witness.  When the
+/// budget runs out the best schedule found so far is returned — it is
+/// still a valid witness, just possibly not 1-minimal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_ENGINE_WITNESSMINIMIZER_H
+#define SCT_ENGINE_WITNESSMINIMIZER_H
+
+#include "sched/ScheduleExplorer.h"
+
+namespace sct {
+
+/// Minimization knobs.
+struct MinimizeOptions {
+  /// Replay budget per witness: each candidate schedule costs one replay.
+  /// ddmin needs O(n log n) replays on well-behaved inputs and O(n^2) in
+  /// the worst case; the default comfortably minimizes every witness in
+  /// the repo's suites.
+  uint64_t MaxReplays = 1 << 14;
+  /// Run the per-directive canonicalization pass after ddmin.
+  bool Canonicalize = true;
+  /// Upper bound on ddmin+canonicalization fixpoint iterations (each pass
+  /// is a no-op once the schedule is stable; this is a safety rail, not a
+  /// tuning knob).
+  unsigned MaxPasses = 8;
+};
+
+/// What one (or an aggregated batch of) minimization(s) did.
+struct MinimizeStats {
+  /// Directives in the raw witness prefix(es).
+  uint64_t RawDirectives = 0;
+  /// Directives in the minimized schedule(s).
+  uint64_t MinimizedDirectives = 0;
+  /// Candidate replays spent.
+  uint64_t Replays = 0;
+  /// True iff some witness hit MaxReplays before reaching a fixpoint (its
+  /// minimized schedule is valid but possibly not 1-minimal).
+  bool BudgetExhausted = false;
+};
+
+/// Minimizes \p L's witness schedule against \p M from \p Init.  Returns
+/// a schedule that strictly replays to an observation with the identical
+/// `LeakRecord::key()`; empty only if even the raw schedule fails to
+/// reproduce (never the case for explorer-produced witnesses) or the
+/// budget is exhausted before the first replay.  \p Stats, when non-null,
+/// accumulates (does not reset) counters so batch callers can aggregate.
+Schedule minimizeWitness(const Machine &M, const Configuration &Init,
+                         const LeakRecord &L,
+                         const MinimizeOptions &Opts = {},
+                         MinimizeStats *Stats = nullptr);
+
+/// Minimizes every leak in \p Leaks in place, filling each
+/// `LeakRecord::MinSched`; returns the aggregated stats.
+MinimizeStats minimizeWitnesses(const Machine &M, const Configuration &Init,
+                                std::vector<LeakRecord> &Leaks,
+                                const MinimizeOptions &Opts = {});
+
+} // namespace sct
+
+#endif // SCT_ENGINE_WITNESSMINIMIZER_H

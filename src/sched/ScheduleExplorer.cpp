@@ -3,8 +3,9 @@
 // The exploration engine: an explicit work queue of ExploreNodes (schedule
 // prefix + snapshot) drained by worker threads.  A worker pops a node,
 // materialises its configuration (moving the stored snapshot out, or
-// replaying the directive prefix under SnapshotPolicy::Replay), and runs
-// the path forward.  Decision points (Definition B.18's schedule-set
+// replaying directives — the whole prefix from the initial configuration
+// under SnapshotPolicy::Replay, the tail past a shared checkpoint under
+// SnapshotPolicy::Hybrid), and runs the path forward.  Decision points (Definition B.18's schedule-set
 // forks) do not recurse: the fork's probed configuration becomes a new
 // node, the worker switches to the first fork and pushes the rest plus its
 // own continuation, which for a single worker reproduces the legacy
@@ -42,6 +43,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <set>
@@ -55,8 +57,16 @@ namespace {
 struct ExploreNode {
   /// The configuration at this point (engaged under SnapshotPolicy::Copy).
   std::optional<Configuration> Snap;
+  /// Hybrid snapshots: the nearest published checkpoint, shared between
+  /// every node forked from the same stretch of path, plus how many of
+  /// Sched's directives it already has applied.  Materialization replays
+  /// only Sched[BaseLen..] from *Base.  Null under Copy/Replay (Replay
+  /// re-derives from the initial configuration, BaseLen 0).
+  std::shared_ptr<const Configuration> Base;
+  size_t BaseLen = 0;
   /// Directive prefix reaching this point; always kept — it is both the
-  /// witness prefix and, under SnapshotPolicy::Replay, the snapshot.
+  /// witness prefix and, under SnapshotPolicy::Replay/Hybrid, the
+  /// (remainder of the) snapshot.
   Schedule Sched;
   /// Steps spent on this path (per-schedule budget accounting).
   size_t PathSteps = 0;
@@ -113,6 +123,11 @@ private:
     Schedule Sched;
     size_t Steps = 0;
     unsigned WorkerId = 0;
+    /// Hybrid snapshots: the checkpoint this path (and every node it
+    /// forks) replays from, refreshed by runPath once the path has moved
+    /// CheckpointInterval directives past it.
+    std::shared_ptr<const Configuration> Base;
+    size_t BaseLen = 0;
     /// Set when the seen-state table proves this path converged onto an
     /// already-visited configuration (its subtree belongs to the first
     /// visitor); the path stops without completing a schedule.
@@ -152,6 +167,8 @@ private:
   std::atomic<uint64_t> SchedulesCompleted{0};
   std::atomic<uint64_t> PrunedNodes{0};
   std::atomic<uint64_t> Steals{0};
+  std::atomic<uint64_t> ReplaySteps{0};
+  std::atomic<uint64_t> Checkpoints{0};
   std::atomic<bool> StopFlag{false};
   std::atomic<bool> TruncatedFlag{false};
 
@@ -170,13 +187,25 @@ private:
 
   //===------------------------------------------------------ queueing ---===//
 
-  void enqueueNode(Configuration &&C, Schedule &&Sched, size_t Steps,
-                   unsigned WorkerId) {
+  void enqueueNode(Path &&Pth) {
     ExploreNode N;
-    if (Opts.Snapshots == SnapshotPolicy::Copy)
-      N.Snap = std::move(C);
-    N.Sched = std::move(Sched);
-    N.PathSteps = Steps;
+    switch (Opts.Snapshots) {
+    case SnapshotPolicy::Copy:
+      N.Snap = std::move(Pth.C);
+      break;
+    case SnapshotPolicy::Replay:
+      break; // Prefix-only; materialize replays from Init.
+    case SnapshotPolicy::Hybrid:
+      // Share the path's checkpoint: materialization replays only the
+      // directives issued since it was published (bounded by the
+      // refresh in runPath plus a fork's few probing steps).
+      N.Base = Pth.Base;
+      N.BaseLen = Pth.BaseLen;
+      break;
+    }
+    N.Sched = std::move(Pth.Sched);
+    N.PathSteps = Pth.Steps;
+    unsigned WorkerId = Pth.WorkerId;
     if (NumWorkers == 1) {
       Frontier.push_back(std::move(N));
       return;
@@ -194,9 +223,10 @@ private:
   }
 
   /// Reconstructs the node's path.  Replay re-derives the configuration
-  /// from the initial one by re-issuing the directive prefix — replayed
-  /// steps do not count toward budgets and do not re-record leaks (they
-  /// were accounted when first taken).
+  /// by re-issuing directives — from the initial configuration under
+  /// SnapshotPolicy::Replay, from the node's shared checkpoint under
+  /// Hybrid.  Replayed steps do not count toward budgets and do not
+  /// re-record leaks (they were accounted when first taken).
   Path materialize(ExploreNode &&N, unsigned WorkerId) {
     Path Pth;
     Pth.WorkerId = WorkerId;
@@ -206,13 +236,32 @@ private:
       Pth.Sched = std::move(N.Sched);
       return Pth;
     }
-    Pth.C = Init;
-    for (const Directive &D : N.Sched) {
-      [[maybe_unused]] auto Out = M.step(Pth.C, D);
+    Pth.C = N.Base ? *N.Base : Init; // COW: O(1) until a side writes.
+    Pth.Base = std::move(N.Base);
+    Pth.BaseLen = N.BaseLen;
+    for (size_t I = Pth.BaseLen; I < N.Sched.size(); ++I) {
+      [[maybe_unused]] auto Out = M.step(Pth.C, N.Sched[I]);
       assert(Out && "replay of an explored prefix cannot go stuck");
     }
+    ReplaySteps.fetch_add(N.Sched.size() - Pth.BaseLen,
+                          std::memory_order_relaxed);
     Pth.Sched = std::move(N.Sched);
     return Pth;
+  }
+
+  /// Hybrid snapshots: once the path has issued CheckpointInterval
+  /// directives past its checkpoint, publish its current configuration as
+  /// the new one.  Every node forked from here on shares this checkpoint,
+  /// so materializing any of them replays at most ~K directives.
+  void refreshCheckpoint(Path &Pth) {
+    if (Opts.Snapshots != SnapshotPolicy::Hybrid)
+      return;
+    size_t K = Opts.CheckpointInterval ? Opts.CheckpointInterval : 1;
+    if (Pth.Base && Pth.Sched.size() - Pth.BaseLen < K)
+      return;
+    Pth.Base = std::make_shared<const Configuration>(Pth.C);
+    Pth.BaseLen = Pth.Sched.size();
+    Checkpoints.fetch_add(1, std::memory_order_relaxed);
   }
 
   void stopAll(bool Truncated) {
@@ -315,6 +364,8 @@ private:
     R.TotalSteps = TotalSteps.load();
     R.PrunedNodes = PrunedNodes.load();
     R.Steals = Steals.load();
+    R.ReplaySteps = ReplaySteps.load();
+    R.Checkpoints = Checkpoints.load();
     R.Truncated = TruncatedFlag.load();
     // Merge per-worker buffers in worker order; keys are already
     // globally unique (SeenLeaks gated every insert).
@@ -327,16 +378,6 @@ private:
 
   //===------------------------------------------------------ stepping ---===//
 
-  /// Program point responsible for a directive's observation (read before
-  /// stepping; rollbacks may remove the entry).
-  PC originOf(const Configuration &C, const Directive &D) const {
-    if (D.isExecute() && C.Buf.contains(D.Idx))
-      return C.Buf.at(D.Idx).Origin;
-    if (D.isRetire() && !C.Buf.empty())
-      return C.Buf.at(C.Buf.minIndex()).Origin;
-    return C.N;
-  }
-
   /// Issues one directive that must be applicable; records leaks.
   void mustStep(Path &Pth, const Directive &D) {
     [[maybe_unused]] bool Ok = tryStep(Pth, D);
@@ -345,11 +386,22 @@ private:
 
   /// Issues one directive if applicable; returns false otherwise.  Under
   /// PruneSeen, a forwarding-hazard rollback that lands on an
-  /// already-visited configuration marks the path Dead: hazard
+  /// already-claimed configuration marks the path Dead: hazard
   /// re-executions converge onto states other schedules forked directly
-  /// (the recurring v4 pattern), and the first visitor owns the subtree.
+  /// (the recurring v4 pattern), and the claimant owns the subtree.
+  ///
+  /// The convergence check is a pure query — it must NOT insert.  tryStep
+  /// also runs the probing steps of fork candidates, and a fork may be
+  /// discarded right after probing (e.g. a store-forward fork whose load
+  /// did not actually forward).  An insert here would let such a
+  /// discarded probe claim the post-rollback state without anyone ever
+  /// exploring its subtree, and the genuine path converging there later
+  /// would be pruned together with its leaks (v1.1-07 regressed exactly
+  /// this way when pruning became the default).  States are claimed only
+  /// where nodes are kept: the fork filter and the continuation re-queue
+  /// in runPath.
   bool tryStep(Path &Pth, const Directive &D) {
-    PC Origin = originOf(Pth.C, D);
+    PC Origin = leakOriginOf(Pth.C, D);
     auto Outcome = M.step(Pth.C, D);
     if (!Outcome)
       return false;
@@ -362,7 +414,7 @@ private:
         (Outcome->Rule == RuleId::StoreExecuteAddrHazard ||
          Outcome->Rule == RuleId::LoadExecuteAddrHazard ||
          Outcome->Rule == RuleId::LoadExecuteAddrMemHazard) &&
-        !Seen.insert(Pth.C.hash())) {
+        Seen.contains(Pth.C.hash())) {
       PrunedNodes.fetch_add(1, std::memory_order_relaxed);
       Pth.Dead = true;
     }
@@ -468,6 +520,7 @@ private:
     for (;;) {
       if (stopped() || Pth.Dead)
         return;
+      refreshCheckpoint(Pth);
       if (TotalSteps.load(std::memory_order_relaxed) >= Opts.MaxTotalSteps ||
           SchedulesCompleted.load(std::memory_order_relaxed) >=
               Opts.MaxSchedules) {
@@ -516,13 +569,11 @@ private:
             PrunedNodes.fetch_add(1, std::memory_order_relaxed);
             Alive = false;
           }
-          if (Alive)
-            enqueueNode(std::move(Pth.C), std::move(Pth.Sched), Pth.Steps,
-                        Pth.WorkerId);
-          for (size_t I = Forks.size(); I-- > 1;)
-            enqueueNode(std::move(Forks[I].C), std::move(Forks[I].Sched),
-                        Forks[I].Steps, Pth.WorkerId);
           unsigned WorkerId = Pth.WorkerId;
+          if (Alive)
+            enqueueNode(std::move(Pth));
+          for (size_t I = Forks.size(); I-- > 1;)
+            enqueueNode(std::move(Forks[I]));
           Pth = std::move(Forks.front());
           Pth.WorkerId = WorkerId;
           continue;
@@ -552,6 +603,8 @@ private:
       F.Sched = Pth.Sched;
       F.Steps = Pth.Steps;
       F.WorkerId = Pth.WorkerId;
+      F.Base = Pth.Base; // Hybrid: siblings share the parent's checkpoint.
+      F.BaseLen = Pth.BaseLen;
       return F;
     };
 
@@ -825,6 +878,14 @@ private:
 };
 
 } // namespace
+
+PC sct::leakOriginOf(const Configuration &C, const Directive &D) {
+  if (D.isExecute() && C.Buf.contains(D.Idx))
+    return C.Buf.at(D.Idx).Origin;
+  if (D.isRetire() && !C.Buf.empty())
+    return C.Buf.at(C.Buf.minIndex()).Origin;
+  return C.N;
+}
 
 ExploreResult sct::explore(const Machine &M, Configuration Init,
                            const ExplorerOptions &Opts) {

@@ -42,25 +42,32 @@
 /// forked states constantly, and identical configurations have identical
 /// subtrees.
 ///
-/// Forks snapshot either by copying the configuration
-/// (`SnapshotPolicy::Copy`; cheap now that memory is copy-on-write) or by
-/// storing only the directive prefix and re-deriving the configuration by
-/// replay (`SnapshotPolicy::Replay`) — a `Schedule` is already a
-/// replayable witness, so the prefix alone determines the state.
+/// Forks snapshot by copying the configuration (`SnapshotPolicy::Copy`;
+/// cheap now that memory is copy-on-write), by storing only the directive
+/// prefix and re-deriving the configuration by replay
+/// (`SnapshotPolicy::Replay`) — a `Schedule` is already a replayable
+/// witness, so the prefix alone determines the state — or by the hybrid
+/// (`SnapshotPolicy::Hybrid`): a running path publishes a shared
+/// checkpoint of its configuration every `CheckpointInterval` directives,
+/// forked nodes store only the prefix plus a reference to the nearest
+/// checkpoint, and materialization replays at most ~CheckpointInterval
+/// directives from that checkpoint.  Replay cost is bounded by K while
+/// frontier memory stays near `Replay` levels (siblings share one
+/// checkpoint; see `ExploreResult::Checkpoints`/`ReplaySteps`).
 ///
 /// **Determinism contract.**  `Threads <= 1` drains the frontier on the
 /// calling thread in the legacy depth-first order: schedules complete in
 /// a fixed sequence and every counter in `ExploreResult` is reproducible
-/// run-to-run (with `PruneSeen` on, still deterministic — the same
-/// duplicates are pruned at the same points).  `Threads = N > 1` drains
+/// run-to-run (with `PruneSeen` on — the default — still deterministic:
+/// the same duplicates are pruned at the same points).  `Threads = N > 1` drains
 /// in a racy order but produces the **identical deduplicated leak set**
 /// for any N, Shards value, and snapshot policy: schedule-tree forks are
 /// independent of drain order, per-worker leak buffers merge through
 /// `LeakRecord::key()`, and the MaxLeaks budget counts globally-unique
 /// keys.  With `PruneSeen` off, `TotalSteps`/`SchedulesCompleted` are
-/// also N-independent (work conservation); with it on they shrink and,
-/// under N > 1, may vary run-to-run by which racing twin got pruned —
-/// the leak set still does not.
+/// also N-independent (work conservation); with it on (the default) they
+/// shrink and, under N > 1, may vary run-to-run by which racing twin got
+/// pruned — the leak set still does not.
 ///
 /// **Thread-safety.**  One `explore()` call builds its own workers,
 /// frontier, and seen table; concurrent `explore()` calls (as
@@ -88,6 +95,15 @@ enum class SnapshotPolicy : unsigned char {
   /// initial configuration.  Trades CPU for near-zero frontier memory —
   /// useful when the frontier grows to millions of nodes.
   Replay,
+  /// The replay-snapshot hybrid: a running path publishes a shared,
+  /// immutable checkpoint of its configuration every
+  /// `ExplorerOptions::CheckpointInterval` directives; forked nodes store
+  /// the directive prefix plus a reference to the nearest checkpoint and
+  /// re-derive their configuration by replaying at most ~K directives
+  /// from it.  Bounds replay CPU by K and frontier memory by one shared
+  /// checkpoint per K directives of path progress — the middle ground the
+  /// K-sweep in bench/SnapshotBench.cpp measures.
+  Hybrid,
 };
 
 /// Exploration knobs (§4.2.1's two configurations are:
@@ -141,6 +157,13 @@ struct ExplorerOptions {
   unsigned Threads = 0;
   /// How forked nodes checkpoint state (see SnapshotPolicy).
   SnapshotPolicy Snapshots = SnapshotPolicy::Copy;
+  /// Hybrid snapshots only: a path publishes a fresh shared checkpoint
+  /// once it has run this many directives past the previous one, so
+  /// materializing any frontier node replays at most ~CheckpointInterval
+  /// directives.  Smaller = more checkpoint memory, less replay CPU;
+  /// 0 is treated as 1 (every node checkpoints, ≈ Copy with sharing).
+  /// The default follows the committed BENCH_SNAPSHOT.json K-sweep.
+  unsigned CheckpointInterval = 16;
   /// Frontier sharding (only meaningful when Threads > 1).  0 (default):
   /// one work-stealing deque per worker.  1: the single mutex-guarded
   /// shared frontier — the pre-sharding engine, kept as a contention
@@ -158,10 +181,21 @@ struct ExplorerOptions {
   /// corpus empirically collision-free) and budget accounting: a pruned
   /// twin inherits the first visitor's per-schedule step budget, so a
   /// run that would truncate anyway may truncate at a different point —
-  /// `Truncated` reports it either way.  Off by default so exploration
-  /// statistics stay exactly reproducible against the unpruned engine.
-  bool PruneSeen = false;
+  /// `Truncated` reports it either way.  On by default (it preserves the
+  /// leak set everywhere tested and completes previously budget-truncated
+  /// trees, see BENCH_CONTENTION.json); opt out with `--no-prune-seen` or
+  /// `PruneSeen = false` when exploration statistics must match the
+  /// unpruned engine exactly.
+  bool PruneSeen = true;
 };
+
+/// Program point responsible for a directive's observation in \p C, read
+/// *before* stepping (a rollback may remove the entry): the executed
+/// entry's origin, the retiring (oldest) entry's origin, or the current
+/// fetch point.  The explorer, the witness minimizer, and the tests all
+/// attribute leaks through this one helper so their `LeakRecord::key()`s
+/// agree.
+PC leakOriginOf(const Configuration &C, const Directive &D);
 
 /// One secret-labelled observation with its replayable witness schedule.
 struct LeakRecord {
@@ -169,6 +203,12 @@ struct LeakRecord {
   Observation Obs;   ///< The secret-labelled observation.
   PC Origin;         ///< Program point of the leaking instruction.
   RuleId Rule;       ///< Rule that produced the observation.
+  /// Minimized witness: empty unless witness minimization ran
+  /// (engine/WitnessMinimizer.h, requested via
+  /// CheckRequest::MinimizeWitnesses).  When set, it replays from the
+  /// same initial configuration to an observation with the identical
+  /// key(), in far fewer directives than the raw exploration prefix.
+  Schedule MinSched;
 
   /// Key used to deduplicate leaks across schedules: a 64-bit hash-combine
   /// over (origin, observation kind, rule, taint mask).  Each field is
@@ -198,6 +238,13 @@ struct ExploreResult {
   /// Successful steal operations between frontier shards (Threads > 1
   /// with work-stealing; each may move many nodes at once).
   uint64_t Steals = 0;
+  /// Directives re-executed while materializing frontier nodes under
+  /// Replay/Hybrid snapshots.  Replayed steps never touch budgets, leak
+  /// recording, or TotalSteps — they re-derive state already accounted.
+  uint64_t ReplaySteps = 0;
+  /// Full-configuration checkpoints published by the Hybrid policy (the
+  /// frontier-memory proxy bench/SnapshotBench.cpp sweeps).
+  uint64_t Checkpoints = 0;
   /// True iff some budget was exhausted (exploration incomplete).
   bool Truncated = false;
 

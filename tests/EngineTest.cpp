@@ -62,7 +62,9 @@ Program twoLeakGadget() {
 TEST(ParallelEngine, KocherLeakSetsMatchSequentialBothModes) {
   // The satellite requirement verbatim: for every Kocher variant,
   // Threads=4 yields the same deduplicated leak set (origins + rules) as
-  // Threads=1, under both v1v11Mode and v4Mode.
+  // Threads=1, under both v1v11Mode and v4Mode.  PruneSeen is disabled
+  // because the counter-equality assertions need work conservation;
+  // parallel pruned counters may vary by which racing twin got dropped.
   std::vector<SuiteCase> Cases = kocherCases();
   for (const SuiteCase &C : kocherOriginalCases())
     Cases.push_back(C);
@@ -70,8 +72,10 @@ TEST(ParallelEngine, KocherLeakSetsMatchSequentialBothModes) {
     for (auto ModeFn : {v1v11Mode, v4Mode}) {
       ExplorerOptions Seq = ModeFn();
       Seq.Threads = 1;
+      Seq.PruneSeen = false;
       ExplorerOptions Par = ModeFn();
       Par.Threads = 4;
+      Par.PruneSeen = false;
       ExploreResult A = exploreProgram(C.Prog, Seq);
       ExploreResult B = exploreProgram(C.Prog, Par);
       EXPECT_EQ(leakSet(A), leakSet(B))
@@ -96,10 +100,12 @@ TEST(ParallelEngine, KocherLeakSetsMatchUnderStealingAndPruning) {
       const char *Mode = ModeFn == v1v11Mode ? " v1v11" : " v4";
       ExplorerOptions Seq = ModeFn();
       Seq.Threads = 1;
+      Seq.PruneSeen = false;
       ExploreResult Ref = exploreProgram(C.Prog, Seq);
 
       ExplorerOptions Steal = ModeFn();
       Steal.Threads = 8; // Shards = 0: one deque per worker.
+      Steal.PruneSeen = false;
       ExploreResult A = exploreProgram(C.Prog, Steal);
       EXPECT_EQ(leakSet(Ref), leakSet(A)) << C.Id << Mode << " stealing";
       // Without pruning, stealing conserves work exactly.
@@ -107,7 +113,7 @@ TEST(ParallelEngine, KocherLeakSetsMatchUnderStealingAndPruning) {
       EXPECT_EQ(Ref.SchedulesCompleted, A.SchedulesCompleted) << C.Id << Mode;
 
       ExplorerOptions StealPrune = Steal;
-      StealPrune.PruneSeen = true;
+      StealPrune.PruneSeen = true; // The default, spelled out.
       ExploreResult B = exploreProgram(C.Prog, StealPrune);
       EXPECT_EQ(leakSet(Ref), leakSet(B))
           << C.Id << Mode << " stealing+pruning";
@@ -116,6 +122,7 @@ TEST(ParallelEngine, KocherLeakSetsMatchUnderStealingAndPruning) {
       ExplorerOptions Shared = ModeFn();
       Shared.Threads = 8;
       Shared.Shards = 1; // The pre-sharding baseline.
+      Shared.PruneSeen = false;
       ExploreResult D = exploreProgram(C.Prog, Shared);
       EXPECT_EQ(leakSet(Ref), leakSet(D)) << C.Id << Mode << " shared";
 
@@ -202,6 +209,85 @@ TEST(SnapshotPolicy, ReplayWorksParallel) {
   Opts.Threads = 4;
   ExploreResult R = exploreProgram(C.Prog, Opts);
   EXPECT_EQ(leakSet(R), leakSet(exploreProgram(C.Prog, C.CheckOpts)));
+}
+
+TEST(SnapshotPolicy, HybridMatchesCopyAndReplayOnKocher) {
+  // The acceptance criterion: SnapshotPolicy::Hybrid yields identical
+  // leak sets to Copy and Replay — here on every Kocher variant in both
+  // modes and at several checkpoint intervals, with the sequential
+  // counters identical too (materialization replays never touch budgets).
+  std::vector<SuiteCase> Cases = kocherCases();
+  for (const SuiteCase &C : kocherOriginalCases())
+    Cases.push_back(C);
+  for (const SuiteCase &C : Cases) {
+    for (auto ModeFn : {v1v11Mode, v4Mode}) {
+      ExplorerOptions Copy = ModeFn();
+      Copy.Snapshots = SnapshotPolicy::Copy;
+      ExploreResult A = exploreProgram(C.Prog, Copy);
+
+      ExplorerOptions Replay = ModeFn();
+      Replay.Snapshots = SnapshotPolicy::Replay;
+      ExploreResult B = exploreProgram(C.Prog, Replay);
+      EXPECT_EQ(leakSet(A), leakSet(B)) << C.Id << " replay";
+      EXPECT_EQ(A.TotalSteps, B.TotalSteps) << C.Id;
+
+      for (unsigned K : {1u, 4u, 16u, 64u}) {
+        ExplorerOptions Hybrid = ModeFn();
+        Hybrid.Snapshots = SnapshotPolicy::Hybrid;
+        Hybrid.CheckpointInterval = K;
+        ExploreResult H = exploreProgram(C.Prog, Hybrid);
+        EXPECT_EQ(leakSet(A), leakSet(H)) << C.Id << " hybrid K=" << K;
+        EXPECT_EQ(A.TotalSteps, H.TotalSteps) << C.Id << " K=" << K;
+        EXPECT_EQ(A.SchedulesCompleted, H.SchedulesCompleted)
+            << C.Id << " K=" << K;
+        EXPECT_EQ(A.Truncated, H.Truncated) << C.Id << " K=" << K;
+      }
+    }
+  }
+}
+
+TEST(SnapshotPolicy, HybridBoundsReplayWorkByInterval) {
+  // The hybrid's contract: smaller K means more checkpoints and less
+  // replayed work.  On a fixed tree both counters must move
+  // monotonically with K (sequential drain, so they are deterministic).
+  FigureCase C = figure7();
+  uint64_t PrevCheckpoints = ~0ull, PrevReplay = 0;
+  for (unsigned K : {1u, 8u, 64u}) {
+    ExplorerOptions Opts = C.CheckOpts;
+    Opts.Snapshots = SnapshotPolicy::Hybrid;
+    Opts.CheckpointInterval = K;
+    ExploreResult R = exploreProgram(C.Prog, Opts);
+    EXPECT_LE(R.Checkpoints, PrevCheckpoints) << K;
+    EXPECT_GE(R.ReplaySteps, PrevReplay) << K;
+    PrevCheckpoints = R.Checkpoints;
+    PrevReplay = R.ReplaySteps;
+  }
+  // Copy never replays; Replay never checkpoints.
+  ExplorerOptions Copy = C.CheckOpts;
+  ExploreResult RC = exploreProgram(C.Prog, Copy);
+  EXPECT_EQ(RC.ReplaySteps, 0u);
+  EXPECT_EQ(RC.Checkpoints, 0u);
+  ExplorerOptions Rep = C.CheckOpts;
+  Rep.Snapshots = SnapshotPolicy::Replay;
+  ExploreResult RR = exploreProgram(C.Prog, Rep);
+  EXPECT_EQ(RR.Checkpoints, 0u);
+}
+
+TEST(SnapshotPolicy, HybridWorksUnderStealingAndPruning) {
+  // Hybrid checkpoints are shared between workers (shared_ptr to an
+  // immutable configuration); the full parallel engine must reproduce
+  // the sequential leak set.
+  FigureCase C = figure7();
+  for (unsigned K : {2u, 16u}) {
+    ExplorerOptions Opts = C.CheckOpts;
+    Opts.Snapshots = SnapshotPolicy::Hybrid;
+    Opts.CheckpointInterval = K;
+    Opts.Threads = 8;
+    Opts.PruneSeen = true;
+    ExploreResult R = exploreProgram(C.Prog, Opts);
+    EXPECT_EQ(leakSet(R), leakSet(exploreProgram(C.Prog, C.CheckOpts)))
+        << K;
+  }
 }
 
 //===----------------------------------------------------------- budgets ---===//

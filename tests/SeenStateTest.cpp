@@ -299,6 +299,7 @@ Program convergentV4Gadget() {
 TEST(SeenStatePruning, ConvergentSubtreeExploredOnce) {
   Program P = convergentV4Gadget();
   ExplorerOptions Plain = v4Mode();
+  Plain.PruneSeen = false; // The unpruned engine as the work reference.
   ExplorerOptions Pruned = v4Mode();
   Pruned.PruneSeen = true;
 
@@ -323,7 +324,9 @@ TEST(SeenStatePruning, HazardReexecutionsPruneOnSuite) {
   // verdict.
   uint64_t PrunedTotal = 0;
   for (const SuiteCase &C : spectreV4Cases()) {
-    ExploreResult Plain = exploreProgram(C.Prog, v4Mode());
+    ExplorerOptions PlainOpts = v4Mode();
+    PlainOpts.PruneSeen = false;
+    ExploreResult Plain = exploreProgram(C.Prog, PlainOpts);
     ExplorerOptions Opts = v4Mode();
     Opts.PruneSeen = true;
     ExploreResult Pruned = exploreProgram(C.Prog, Opts);
@@ -338,7 +341,9 @@ TEST(SeenStatePruning, PrunedParallelStillFindsEveryKocherLeak) {
   // Pruning under the full parallel stealing engine, vs the unpruned
   // sequential reference, across the fork-heaviest standard corpus.
   for (const SuiteCase &C : kocherCases()) {
-    ExploreResult Ref = exploreProgram(C.Prog, v4Mode());
+    ExplorerOptions RefOpts = v4Mode();
+    RefOpts.PruneSeen = false;
+    ExploreResult Ref = exploreProgram(C.Prog, RefOpts);
     ExplorerOptions Opts = v4Mode();
     Opts.Threads = 8;
     Opts.PruneSeen = true;
