@@ -1,0 +1,345 @@
+//===- bench/MinimizerBench.cpp - Minimization: threads x seeding sweep -----===//
+//
+// The measurement behind the parallel, checkpoint-seeded minimization
+// phase.  Each case builds a deterministic leak corpus — the explorer's
+// own witnesses (Threads=1 hybrid-snapshot exploration with checkpoint
+// chains recorded) plus, for the deep trees, bloated random-schedule
+// witnesses (fixed seeds; the junk-rich "unreadable witness" inputs
+// docs/WITNESSES.md frames as minimization's motivating case) — and
+// minimizes it under:
+//
+//   - `prior-minimizer`: the PR 3 pipeline verbatim — sequential, every
+//     candidate replayed in full from the initial configuration, no
+//     excursion slicing, no candidate memo.  The "sequential
+//     from-initial baseline".
+//   - `from-initial`: the shipped pipeline (slicing on) with the replay
+//     engine pinned from-initial (no seeding, no memo), sequential.
+//     This is the byte-identity reference: seeding, memoization, and
+//     threads are all provably output-preserving, so every row below
+//     must match it exactly.
+//   - `seeded-tN`: the full phase — checkpoint-seeded replays, candidate
+//     memo, excursion slicing — at Threads in {1, 2, 4, 8}.
+//
+// Two ratios fall out, reported per case and summarized for the deepest
+// tree: the full phase against the prior minimizer (the end-to-end
+// speedup; slicing converges to its own — equally valid, same leak key,
+// never longer — 1-minimal fixpoint, so `matches_prior` is reported but
+// not required), and the full phase against `from-initial` (byte-equal
+// outputs enforced: a mismatch fails the whole bench).  `replayed_steps`
+// counts machine steps actually executed — the honest CPU cost;
+// `seeded_steps` is what checkpoint seeding skipped.  Wall-clock rows on
+// a single-core host show the step ratio; thread scaling needs cores.
+//
+// Results are printed as a table and recorded to BENCH_MINIMIZER.json
+// (override with --out FILE).  `--quick` runs a reduced matrix for CI
+// smoke.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SctChecker.h"
+#include "sched/RandomScheduler.h"
+#include "support/Printing.h"
+#include "workloads/CryptoLibs.h"
+#include "workloads/Kocher.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace sct;
+
+namespace {
+
+struct BenchCase {
+  std::string Id;
+  Program Prog;
+  ExplorerOptions Mode;
+  /// Also harvest bloated random-schedule witnesses (deep trees only —
+  /// kocher gadgets are too small to bloat).
+  bool BloatedCorpus = false;
+};
+
+struct RunRecord {
+  std::string Config;
+  unsigned Threads = 1;
+  bool Seeded = false;
+  bool Sliced = false;
+  double Seconds = 0;
+  MinimizeStats Stats;
+  bool MatchesFromInitial = true;
+  bool MatchesPrior = true;
+};
+
+/// MinSched per leak key — the identity oracle between configurations.
+std::map<uint64_t, Schedule> minSchedByKey(const std::vector<LeakRecord> &Ls) {
+  std::map<uint64_t, Schedule> Out;
+  for (const LeakRecord &L : Ls)
+    Out[L.key()] = L.MinSched;
+  return Out;
+}
+
+/// Deterministic bloated witnesses: random well-formed schedules run to
+/// their first secret observation, kept when the prefix is long enough
+/// to be junk-rich.  Mirrors tests/MinimizerTest.cpp's corpus recipe.
+std::vector<LeakRecord> bloatedWitnesses(const Machine &M,
+                                         const Configuration &Init,
+                                         size_t MaxWitnesses) {
+  std::vector<LeakRecord> Out;
+  for (uint64_t Seed = 1; Seed <= 80 && Out.size() < MaxWitnesses; ++Seed) {
+    RandomRunOptions ROpts;
+    ROpts.Seed = Seed;
+    ROpts.MaxSteps = 600;
+    ROpts.FetchWeight = 6; // Deep speculation: leaky and junk-rich.
+    RunResult R = runRandom(M, Init, ROpts);
+    Schedule Prefix;
+    Configuration C = Init;
+    for (const StepRecord &S : R.Trace) {
+      PC Origin = leakOriginOf(C, S.D);
+      auto Res = M.step(C, S.D);
+      if (!Res)
+        break;
+      Prefix.push_back(S.D);
+      if (Res->Obs.isSecret()) {
+        if (Prefix.size() >= 64)
+          Out.push_back(LeakRecord{Prefix, Res->Obs, Origin, Res->Rule});
+        break;
+      }
+    }
+  }
+  return Out;
+}
+
+RunRecord runOne(const Machine &M, const Configuration &Init,
+                 const std::vector<LeakRecord> &RawLeaks, const char *Config,
+                 unsigned Threads, bool Seed, bool Memo, bool Slice,
+                 const std::map<uint64_t, Schedule> *RefFromInitial,
+                 const std::map<uint64_t, Schedule> *RefPrior) {
+  std::vector<LeakRecord> Leaks = RawLeaks; // Fresh copies: MinSched empty.
+  MinimizeOptions Opts;
+  Opts.Threads = Threads;
+  Opts.SeedReplays = Seed;
+  Opts.MemoizeCandidates = Memo;
+  Opts.SliceExcursions = Slice;
+  auto T0 = std::chrono::steady_clock::now();
+  MinimizeStats Stats = minimizeWitnesses(M, Init, Leaks, Opts);
+  auto T1 = std::chrono::steady_clock::now();
+
+  RunRecord Rec;
+  Rec.Config = Config;
+  Rec.Threads = Threads;
+  Rec.Seeded = Seed;
+  Rec.Sliced = Slice;
+  Rec.Seconds = std::chrono::duration<double>(T1 - T0).count();
+  Rec.Stats = Stats;
+  std::map<uint64_t, Schedule> Mine = minSchedByKey(Leaks);
+  if (RefFromInitial)
+    Rec.MatchesFromInitial = Mine == *RefFromInitial;
+  if (RefPrior)
+    Rec.MatchesPrior = Mine == *RefPrior;
+  return Rec;
+}
+
+void jsonRun(FILE *F, const RunRecord &R, bool Last) {
+  std::fprintf(
+      F,
+      "      {\"config\": \"%s\", \"threads\": %u, \"seeded\": %s, "
+      "\"sliced\": %s, \"seconds\": %.6f, \"replays\": %llu, "
+      "\"replayed_steps\": %llu, \"seeded_steps\": %llu, "
+      "\"sliced_excursions\": %llu, \"minimized_directives\": %llu, "
+      "\"matches_from_initial\": %s, \"matches_prior\": %s}%s\n",
+      R.Config.c_str(), R.Threads, R.Seeded ? "true" : "false",
+      R.Sliced ? "true" : "false", R.Seconds,
+      static_cast<unsigned long long>(R.Stats.Replays),
+      static_cast<unsigned long long>(R.Stats.ReplayedSteps),
+      static_cast<unsigned long long>(R.Stats.SeededSteps),
+      static_cast<unsigned long long>(R.Stats.SlicedExcursions),
+      static_cast<unsigned long long>(R.Stats.MinimizedDirectives),
+      R.MatchesFromInitial ? "true" : "false",
+      R.MatchesPrior ? "true" : "false", Last ? "" : ",");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = "BENCH_MINIMIZER.json";
+  bool Quick = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc)
+      OutPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--quick"))
+      Quick = true;
+    else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--quick]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<BenchCase> Cases;
+  {
+    BenchCase Kocher;
+    Kocher.Id = "kocher-05-v4";
+    Kocher.Prog = kocherCases()[4].Prog;
+    Kocher.Mode = v4Mode();
+    Cases.push_back(std::move(Kocher));
+  }
+  if (!Quick) {
+    BenchCase Mee;
+    Mee.Id = "mee-c-v4";
+    Mee.Prog = meeC().Prog;
+    Mee.Mode = v4Mode();
+    Mee.BloatedCorpus = true;
+    Cases.push_back(std::move(Mee));
+  }
+  {
+    // The deep-tree case the acceptance ratio is read on (last in the
+    // matrix); --quick keeps it with a smaller bloated corpus.
+    BenchCase Ssl;
+    Ssl.Id = "ssl3-c-v4";
+    Ssl.Prog = ssl3C().Prog;
+    Ssl.Mode = v4Mode();
+    Ssl.BloatedCorpus = true;
+    Cases.push_back(std::move(Ssl));
+  }
+
+  std::vector<unsigned> ThreadLadder =
+      Quick ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+
+  FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath);
+    return 2;
+  }
+  std::fprintf(
+      Out,
+      "{\n  \"bench\": \"minimizer-scaling\",\n"
+      "  \"baselines\": {\n"
+      "    \"prior-minimizer\": \"the sequential from-initial baseline: "
+      "every candidate replayed in full from the initial configuration, "
+      "no slicing, no memo (the pre-phase pipeline)\",\n"
+      "    \"from-initial\": \"the shipped pipeline with replays pinned "
+      "from-initial — the byte-identity reference for seeding, "
+      "memoization, and threads\"\n  },\n  \"cases\": [\n");
+
+  bool AllOk = true;
+  double PhaseStepX = 0, PhaseWallX = 0, SeedStepX = 0, SeedWallX = 0;
+  for (size_t CI = 0; CI < Cases.size(); ++CI) {
+    const BenchCase &C = Cases[CI];
+    // One deterministic exploration feeds every config: Threads=1 hybrid
+    // snapshots with the checkpoint chain recorded, exactly what a
+    // minimizing CheckSession would request.
+    ExplorerOptions EOpts = C.Mode;
+    EOpts.Threads = 1;
+    EOpts.Snapshots = SnapshotPolicy::Hybrid;
+    EOpts.RecordCheckpointChain = true;
+    Machine M(C.Prog);
+    Configuration Init = Configuration::initial(C.Prog);
+    ExploreResult R = explore(M, Init, EOpts);
+    std::vector<LeakRecord> Corpus = R.Leaks;
+    if (C.BloatedCorpus)
+      for (LeakRecord &L : bloatedWitnesses(M, Init, Quick ? 2 : 8))
+        Corpus.push_back(std::move(L));
+
+    uint64_t RawTotal = 0;
+    for (const LeakRecord &L : Corpus)
+      RawTotal += L.Sched.size();
+    std::printf("%s: %zu witnesses, %llu raw directives\n", C.Id.c_str(),
+                Corpus.size(), static_cast<unsigned long long>(RawTotal));
+
+    std::vector<RunRecord> Runs;
+    Runs.push_back(runOne(M, Init, Corpus, "prior-minimizer", 1,
+                          /*Seed=*/false, /*Memo=*/false, /*Slice=*/false,
+                          nullptr, nullptr));
+    std::map<uint64_t, Schedule> RefPrior, RefFrom;
+    {
+      std::vector<LeakRecord> Tmp = Corpus;
+      MinimizeOptions O;
+      O.Threads = 1;
+      O.SeedReplays = false;
+      O.MemoizeCandidates = false;
+      O.SliceExcursions = false;
+      minimizeWitnesses(M, Init, Tmp, O);
+      RefPrior = minSchedByKey(Tmp);
+      Tmp = Corpus;
+      O.SliceExcursions = true;
+      minimizeWitnesses(M, Init, Tmp, O);
+      RefFrom = minSchedByKey(Tmp);
+    }
+    Runs.push_back(runOne(M, Init, Corpus, "from-initial", 1, false, false,
+                          true, &RefFrom, &RefPrior));
+    for (unsigned T : ThreadLadder)
+      Runs.push_back(runOne(M, Init, Corpus,
+                            ("seeded-t" + std::to_string(T)).c_str(), T,
+                            true, true, true, &RefFrom, &RefPrior));
+
+    const RunRecord &Prior = Runs[0];
+    const RunRecord &From = Runs[1];
+    std::vector<std::vector<std::string>> Table;
+    for (const RunRecord &Rec : Runs) {
+      double StepX = Rec.Stats.ReplayedSteps
+                         ? double(Prior.Stats.ReplayedSteps) /
+                               double(Rec.Stats.ReplayedSteps)
+                         : 0;
+      double WallX = Rec.Seconds ? Prior.Seconds / Rec.Seconds : 0;
+      Table.push_back({Rec.Config, std::to_string(Rec.Threads),
+                       std::to_string(Rec.Seconds).substr(0, 6),
+                       std::to_string(Rec.Stats.Replays),
+                       std::to_string(Rec.Stats.ReplayedSteps),
+                       std::to_string(StepX).substr(0, 4) + "x",
+                       std::to_string(WallX).substr(0, 4) + "x",
+                       Rec.MatchesFromInitial ? "ok" : "MISMATCH"});
+      AllOk &= Rec.MatchesFromInitial;
+    }
+    std::printf("%s\n",
+                renderTable({"config", "threads", "seconds", "replays",
+                             "replayed steps", "steps vs prior",
+                             "wall vs prior", "vs from-initial"},
+                            Table)
+                    .c_str());
+
+    // The summary ratios are read on the deepest tree in the matrix.
+    if (CI + 1 == Cases.size()) {
+      const RunRecord &Full = Runs.back();
+      if (Full.Stats.ReplayedSteps) {
+        PhaseStepX = double(Prior.Stats.ReplayedSteps) /
+                     double(Full.Stats.ReplayedSteps);
+        SeedStepX = double(From.Stats.ReplayedSteps) /
+                    double(Full.Stats.ReplayedSteps);
+      }
+      if (Full.Seconds) {
+        PhaseWallX = Prior.Seconds / Full.Seconds;
+        SeedWallX = From.Seconds / Full.Seconds;
+      }
+    }
+
+    std::fprintf(Out,
+                 "    {\"id\": \"%s\", \"witnesses\": %zu, "
+                 "\"raw_directives\": %llu, \"runs\": [\n",
+                 C.Id.c_str(), Corpus.size(),
+                 static_cast<unsigned long long>(RawTotal));
+    for (size_t I = 0; I < Runs.size(); ++I)
+      jsonRun(Out, Runs[I], I + 1 == Runs.size());
+    std::fprintf(Out, "    ]}%s\n", CI + 1 == Cases.size() ? "" : ",");
+  }
+
+  std::fprintf(
+      Out,
+      "  ],\n  \"deep_tree_summary\": {\n"
+      "    \"full_phase_vs_prior_minimizer\": {\"replay_steps\": %.2f, "
+      "\"wall_clock\": %.2f},\n"
+      "    \"full_phase_vs_from_initial\": {\"replay_steps\": %.2f, "
+      "\"wall_clock\": %.2f},\n"
+      "    \"note\": \"threads do not shorten wall-clock on a 1-core "
+      "host; the CI smoke run shows the parallel axis\"\n  },\n"
+      "  \"all_min_scheds_match_from_initial\": %s\n}\n",
+      PhaseStepX, PhaseWallX, SeedStepX, SeedWallX, AllOk ? "true" : "false");
+  std::fclose(Out);
+  std::printf("recorded %s\n", OutPath);
+  if (!AllOk) {
+    std::printf("MIN SCHED MISMATCH against the from-initial reference\n");
+    return 1;
+  }
+  return 0;
+}

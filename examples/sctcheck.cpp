@@ -64,6 +64,11 @@ void usage(const char *Prog) {
       "                         every K directives (replay cost <= K)\n"
       "  --minimize-witnesses   delta-debug witnesses to minimal attacks\n"
       "  --minimize-budget N    replays spent minimizing each witness\n"
+      "  --minimize-threads N   minimization worker threads (default:\n"
+      "                         the check's frontier thread share)\n"
+      "  --no-slice-excursions  disable the excursion slice pass\n"
+      "  --no-seed-replays      replay every candidate from the initial\n"
+      "                         configuration (identical results)\n"
       "  --validate             differentially confirm each witness\n"
       "  --print                echo the (possibly transformed) program\n",
       Prog);
@@ -148,6 +153,12 @@ int main(int Argc, char **Argv) {
       Minimize = true;
     else if (!std::strcmp(Argv[I], "--minimize-budget") && I + 1 < Argc)
       MinOpts.MaxReplays = static_cast<uint64_t>(atoll(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--minimize-threads") && I + 1 < Argc)
+      MinOpts.Threads = static_cast<unsigned>(atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--no-slice-excursions"))
+      MinOpts.SliceExcursions = false;
+    else if (!std::strcmp(Argv[I], "--no-seed-replays"))
+      MinOpts.SeedReplays = false;
     else if (!std::strcmp(Argv[I], "--validate"))
       Validate = true;
     else if (!std::strcmp(Argv[I], "--print"))

@@ -31,6 +31,12 @@ SessionOptions sct::sessionOptionsFromArgs(int Argc, char **Argv) {
     else if (!std::strcmp(Argv[I], "--minimize-budget") && I + 1 < Argc)
       SOpts.Minimize.MaxReplays =
           static_cast<uint64_t>(std::atoll(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--minimize-threads") && I + 1 < Argc)
+      SOpts.Minimize.Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--no-slice-excursions"))
+      SOpts.Minimize.SliceExcursions = false;
+    else if (!std::strcmp(Argv[I], "--no-seed-replays"))
+      SOpts.Minimize.SeedReplays = false;
   }
   return SOpts;
 }
@@ -54,16 +60,30 @@ CheckResult CheckSession::runOne(const CheckRequest &Req,
   Configuration Init =
       Req.Init ? *Req.Init : Configuration::initial(Req.Prog);
 
+  bool Minimizing = Req.MinimizeWitnesses || Opts.MinimizeWitnesses;
+  MinimizeOptions MinOpts =
+      Req.MinimizeWitnesses ? Req.Minimize : Opts.Minimize;
+  // The minimizer seeds its ddmin replays from the explorer's hybrid
+  // checkpoints; chain them up (LeakRecord::Ckpt) whenever minimization
+  // will consume them.  Copy/Replay explorations have no checkpoints —
+  // the minimizer then builds its ladder from scratch.
+  if (Minimizing && MinOpts.SeedReplays &&
+      Res.Opts.Snapshots == SnapshotPolicy::Hybrid)
+    Res.Opts.RecordCheckpointChain = true;
+
   auto T0 = std::chrono::steady_clock::now();
   Res.Exploration = explore(M, Init, Res.Opts);
   auto T1 = std::chrono::steady_clock::now();
   Res.Seconds = std::chrono::duration<double>(T1 - T0).count();
 
-  // Witness minimization rides after exploration: the raw prefixes stay
-  // in LeakRecord::Sched, the delta-debugged schedules land in MinSched.
-  if (Req.MinimizeWitnesses || Opts.MinimizeWitnesses) {
-    const MinimizeOptions &MinOpts =
-        Req.MinimizeWitnesses ? Req.Minimize : Opts.Minimize;
+  // Witness minimization rides after exploration as a second parallel
+  // phase: the raw prefixes stay in LeakRecord::Sched, the delta-debugged
+  // schedules land in MinSched.  An unset minimizer thread count inherits
+  // this check's frontier share, so one `--threads N` budget governs both
+  // phases.
+  if (Minimizing) {
+    if (MinOpts.Threads == 0)
+      MinOpts.Threads = Res.Opts.Threads ? Res.Opts.Threads : 1;
     Res.Minimization =
         minimizeWitnesses(M, Init, Res.Exploration.Leaks, MinOpts);
   }

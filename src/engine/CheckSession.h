@@ -12,7 +12,10 @@
 ///
 /// Two axes of parallelism share the budget:
 ///  - a single check spreads its schedule-tree frontier across the
-///    session's workers (ExplorerOptions::Threads);
+///    session's workers (ExplorerOptions::Threads), and when witness
+///    minimization is requested the same thread share then drains the
+///    per-leak minimization jobs (engine/WitnessMinimizer.h) — one
+///    `--threads N` budget governs both phases of a check;
 ///  - checkMany() fans a batch of programs out over a pool of session
 ///    workers, splitting the thread budget between concurrent programs.
 ///
@@ -147,7 +150,9 @@ private:
 /// Session options for a CLI driver: parses `--threads N`, `--shards N`,
 /// `--prune-seen` / `--no-prune-seen` (PruneSeen is on by default),
 /// `--checkpoint-interval N` (selects `SnapshotPolicy::Hybrid` with that
-/// K), `--minimize-witnesses`, and `--minimize-budget N` out of argv,
+/// K), `--minimize-witnesses`, `--minimize-budget N`,
+/// `--minimize-threads N` (0 = inherit the check's frontier share),
+/// `--no-slice-excursions`, and `--no-seed-replays` out of argv,
 /// defaulting the thread budget to the hardware concurrency.  Shared by
 /// the bench mains.
 SessionOptions sessionOptionsFromArgs(int Argc, char **Argv);

@@ -1,17 +1,25 @@
 //===- engine/WitnessMinimizer.cpp - Minimal leak witnesses -----------------===//
 //
-// ddmin over directive schedules with buffer-index repair.  The only
-// oracle is strict replay: a candidate reproduces iff stepping it from
-// the initial configuration reaches a secret observation with the
-// original leak's key (origin, kind, rule, taint mask), and the adopted
-// schedule is always the replayed-and-truncated one — so whatever the
-// heuristics propose, the result is a valid witness by construction.
+// Slice + ddmin over directive schedules with buffer-index repair and
+// checkpoint-seeded replays.  The only oracle is strict replay: a
+// candidate reproduces iff stepping it reaches a secret observation with
+// the original leak's key (origin, kind, rule, taint mask), and the
+// adopted schedule is always the replayed-and-truncated one — so whatever
+// the heuristics propose, the result is a valid witness by construction.
+// Seeding only changes where a replay starts (a checkpointed state of the
+// candidate's unedited prefix), never what it concludes.
 //
 //===----------------------------------------------------------------------===//
 
 #include "engine/WitnessMinimizer.h"
 
+#include "sched/WorkDeque.h"
+
 #include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <thread>
 
 using namespace sct;
 
@@ -23,16 +31,27 @@ public:
             const MinimizeOptions &Opts)
       : M(M), Init(Init), TargetKey(TargetKey), Opts(Opts) {}
 
-  Schedule run(const Schedule &Raw, MinimizeStats &Stats) {
+  Schedule run(const LeakRecord &L, MinimizeStats &Stats) {
+    const Schedule &Raw = L.Sched;
     Stats.RawDirectives += Raw.size();
     Schedule Kept;
     std::vector<AllocInfo> KA;
+    // The seeding replay: full-length, from the initial configuration —
+    // it must compute every position's allocation record, which no
+    // checkpoint carries.  Its rungs (recorded along the *kept* prefix)
+    // and the explorer's checkpoint chain seed everything after.
+    if (Opts.SeedReplays)
+      for (std::shared_ptr<const Checkpoint> C = L.Ckpt; C; C = C->Prev)
+        if (C->Len > 0 && C->Len < Raw.size())
+          ChainRungs.emplace(C->Len, C);
     bool Seeded = evaluate(Raw, Kept, KA);
+    ChainRungs.clear();
     if (Seeded) {
-      Cur = std::move(Kept);
-      CurAlloc = std::move(KA);
+      adopt(std::move(Kept), std::move(KA));
       for (unsigned Pass = 0; Pass < Opts.MaxPasses && !Exhausted; ++Pass) {
         Schedule Before = Cur;
+        if (Opts.SliceExcursions)
+          slice();
         ddmin();
         if (Opts.Canonicalize && !Exhausted)
           canonicalize();
@@ -42,33 +61,103 @@ public:
       Stats.MinimizedDirectives += Cur.size();
     }
     Stats.Replays += Replays;
+    Stats.ReplayedSteps += ReplayedSteps;
+    Stats.SeededSteps += SeededSteps;
+    Stats.SlicedExcursions += SlicedExcursions;
     Stats.BudgetExhausted |= Exhausted;
     return Seeded ? Cur : Schedule{};
   }
 
 private:
-  /// What a directive did to buffer indices when the current schedule
-  /// last replayed: a fetch allocated entries [From, From + Slots); a
-  /// retire removed the group led by Retired (0 otherwise).  Indices are
-  /// monotone over a run (ReorderBuffer), so this is exactly the
+  /// What a directive did when the current schedule last replayed: a
+  /// fetch allocated buffer entries [From, From + Slots); a retire
+  /// removed the group led by Retired (0 otherwise); Rule is the step's
+  /// semantics rule and PostN the program point it left.  Indices are
+  /// monotone while entries live (ReorderBuffer), so this is exactly the
   /// bookkeeping needed to renumber execute directives — and to cascade
-  /// the retire of a deleted instruction — after a deletion.
+  /// the retire of a deleted instruction — after a deletion, and to spot
+  /// misprediction rollbacks for the slice pass.
   struct AllocInfo {
     BufIdx From = 0;
     unsigned Slots = 0;
     BufIdx Retired = 0;
+    RuleId Rule = RuleId::SimpleFetch;
+    PC PostN = 0;
   };
+
+  /// A mid-schedule replay seed: the state after the current schedule's
+  /// first `Len` directives.
+  using Ladder = std::map<size_t, std::shared_ptr<const Configuration>>;
 
   const Machine &M;
   const Configuration &Init;
   const uint64_t TargetKey;
   const MinimizeOptions &Opts;
   uint64_t Replays = 0;
+  uint64_t ReplayedSteps = 0;
+  uint64_t SeededSteps = 0;
+  uint64_t SlicedExcursions = 0;
   bool Exhausted = false;
 
   /// Current best witness and its per-position allocation record.
   Schedule Cur;
   std::vector<AllocInfo> CurAlloc;
+  /// Checkpoints along Cur's prefix, keyed by prefix length.  Invariant:
+  /// every rung's state is what Cur[0, Len) strictly replays to — rungs
+  /// above an adopted candidate's first edit are erased, and new rungs
+  /// are recorded only while a candidate's unedited prefix replays.
+  Ladder Rungs;
+
+  /// First position where the last evaluated candidate differed from Cur
+  /// (the longest common prefix, measured on directive values by
+  /// evaluate itself — deletion cascades can rewrite survivors *before*
+  /// the deleted chunk when rollback-reused buffer indices overlap, so
+  /// no call site can be trusted to know its own first edit).
+  size_t LastEdit = 0;
+
+  /// Exact-schedule failure memo: the oracle is a pure function of the
+  /// candidate (machine, initial configuration, and target key are fixed
+  /// per witness), so a failed candidate stays failed forever.  The
+  /// fixpoint loop re-proposes byte-identical candidates constantly — the
+  /// verification pass re-tries everything the last productive pass
+  /// tried, canonicalize re-probes stable positions every pass — and
+  /// each hit skips a whole replay.  Keys are the exact packed directive
+  /// sequences (no hashing, no collisions), successes are never cached
+  /// (they change Cur and cannot recur).
+  std::set<std::vector<uint64_t>> FailedCands;
+
+  static std::vector<uint64_t> packSchedule(const Schedule &S) {
+    std::vector<uint64_t> P;
+    P.reserve(2 * S.size());
+    for (const Directive &D : S) {
+      // Two words per directive, lossless: buffer indices are bounded by
+      // the schedule length (indices allocate one per fetched entry), so
+      // 32 bits each cannot truncate here.
+      P.push_back(uint64_t(D.K) | (uint64_t(D.Guess) << 8) |
+                  (uint64_t(D.Target) << 16));
+      P.push_back((uint64_t(D.Idx) << 32) | uint64_t(D.FwdFrom));
+    }
+    return P;
+  }
+
+  /// Adopts \p Kept (the effective schedule of a successful replay) as
+  /// the current witness.  Rungs at or below the producing candidate's
+  /// first edit survive (that prefix is unchanged); rungs above are
+  /// stale.
+  void adopt(Schedule &&Kept, std::vector<AllocInfo> &&KA) {
+    Cur = std::move(Kept);
+    CurAlloc = std::move(KA);
+    Rungs.erase(Rungs.upper_bound(LastEdit), Rungs.end());
+  }
+
+  /// The explorer's hybrid checkpoint chain (LeakRecord::Ckpt), indexed
+  /// by prefix length while the seeding replay runs.  Each rung claims to
+  /// be the state Raw[0, Len) replays to; the seeding replay *verifies*
+  /// that claim by hash as it passes Len and only then adopts the rung
+  /// (sharing the checkpoint's configuration, no copy).  A stale chain —
+  /// a caller pairing a rewritten Sched with the old Ckpt — is thereby
+  /// detected and ignored instead of corrupting seeded replays.
+  std::map<size_t, std::shared_ptr<const Checkpoint>> ChainRungs;
 
   /// Replays \p Cand leniently: inapplicable directives are skipped, not
   /// fatal, so the candidate is garbage-collected as it runs (a deleted
@@ -78,6 +167,15 @@ private:
   /// truncated at that step, with \p KeptAlloc their allocation record —
   /// by construction \p Kept replays *strictly* to the same leak, so
   /// adopting it never needs a second validation pass.
+  ///
+  /// The replay may start from the newest ladder rung at or below the
+  /// candidate's first edit — the longest common prefix with Cur,
+  /// measured here on directive values (the prefix-validity check: the
+  /// candidate's directives up to the rung are byte-identical to Cur's,
+  /// which strictly replays to the rung's state with its only target-key
+  /// observation at Cur's final step — so skipping them changes neither
+  /// the effective schedule nor the verdict).  The from-initial result
+  /// is bit-for-bit the same; only the executed step count differs.
   bool evaluate(const Schedule &Cand, Schedule &Kept,
                 std::vector<AllocInfo> &KeptAlloc) {
     if (Exhausted || Replays >= Opts.MaxReplays) {
@@ -85,21 +183,80 @@ private:
       return false;
     }
     ++Replays;
-    Configuration C = Init;
-    Kept.clear();
-    KeptAlloc.clear();
-    for (const Directive &D : Cand) {
+    // Memo probe.  A hit still costs its replay from the budget
+    // (incremented above) — the memo trades machine steps, not budget, so
+    // budget exhaustion fires at exactly the same candidate with the memo
+    // on or off and the search stays bit-for-bit reproducible.
+    std::vector<uint64_t> Packed;
+    if (Opts.MemoizeCandidates) {
+      Packed = packSchedule(Cand);
+      if (FailedCands.count(Packed))
+        return false;
+    }
+    // The seeding replay (empty Cur) has no prefix to preserve: every
+    // state it passes becomes a rung of the witness it adopts.
+    size_t FirstEdit = Cand.size();
+    if (!Cur.empty()) {
+      FirstEdit = 0;
+      while (FirstEdit < Cand.size() && FirstEdit < Cur.size() &&
+             Cand[FirstEdit] == Cur[FirstEdit])
+        ++FirstEdit;
+    }
+    LastEdit = FirstEdit;
+    size_t SeedLen = 0;
+    const Configuration *Seed = nullptr;
+    if (Opts.SeedReplays && FirstEdit > 0 && !Rungs.empty()) {
+      auto It = Rungs.upper_bound(FirstEdit);
+      if (It != Rungs.begin()) {
+        --It;
+        SeedLen = It->first;
+        Seed = It->second.get();
+      }
+    }
+    Configuration C = Seed ? *Seed : Init; // COW: cheap until a write.
+    Kept.assign(Cur.begin(), Cur.begin() + SeedLen);
+    KeptAlloc.assign(CurAlloc.begin(), CurAlloc.begin() + SeedLen);
+    SeededSteps += SeedLen;
+    size_t K = Opts.SeedInterval ? Opts.SeedInterval : 1;
+    size_t NextRung = SeedLen + K;
+    for (size_t Pos = SeedLen; Pos < Cand.size(); ++Pos) {
+      const Directive &D = Cand[Pos];
+      // Adopt an explorer checkpoint once the seeding replay proves it:
+      // the chain rung at this prefix length must hash-match the state
+      // the prefix actually replays to (the aliasing share keeps the
+      // checkpoint alive, costs no copy).
+      if (!ChainRungs.empty() && Pos == Kept.size()) {
+        auto It = ChainRungs.find(Kept.size());
+        if (It != ChainRungs.end() && It->second->Config.hash() == C.hash())
+          Rungs.emplace(Kept.size(), std::shared_ptr<const Configuration>(
+                                         It->second, &It->second->Config));
+      }
+      // Densify the ladder while the unedited prefix replays: here the
+      // state is exactly what Cur[0, Kept.size()) reaches, valid as a
+      // rung no matter how this candidate ends.  (During the seeding
+      // replay FirstEdit covers the whole schedule, so the ladder spans
+      // the adopted witness end to end.)
+      if (Opts.SeedReplays && Kept.size() >= NextRung &&
+          Kept.size() <= FirstEdit && Pos == Kept.size()) {
+        if (!Rungs.count(Kept.size()))
+          Rungs.emplace(Kept.size(),
+                        std::make_shared<const Configuration>(C));
+        NextRung = Kept.size() + K;
+      }
       AllocInfo A;
       if (D.isFetch())
         A.From = C.Buf.nextIndex();
       if (D.isRetire() && !C.Buf.empty())
         A.Retired = C.Buf.minIndex();
       PC Origin = leakOriginOf(C, D);
+      ++ReplayedSteps;
       auto Out = M.step(C, D);
       if (!Out)
         continue;
       if (D.isFetch())
         A.Slots = static_cast<unsigned>(C.Buf.nextIndex() - A.From);
+      A.Rule = Out->Rule;
+      A.PostN = C.N;
       Kept.push_back(D);
       KeptAlloc.push_back(A);
       if (Out->Obs.isSecret()) {
@@ -108,8 +265,11 @@ private:
           return true; // Truncated at the (re-)found leak.
       }
     }
+    if (Opts.MemoizeCandidates)
+      FailedCands.insert(std::move(Packed));
     return false;
   }
+
 
   /// Builds the candidate that deletes the marked positions of Cur,
   /// repairing the survivors: executes naming an entry a deleted fetch
@@ -157,6 +317,79 @@ private:
     return Cand;
   }
 
+  /// The excursion slice pass: delete a whole wrong-path excursion — the
+  /// misprediction fetch, its transient fetches/executes, and the
+  /// rollback — as one candidate, before chunk ddmin nibbles at it.
+  ///
+  /// A rollback at position R (rule cond/jmpi-execute-incorrect)
+  /// resolves buffer entry B: the machine discards every entry at or
+  /// above B, re-inserts the resolved jump at index B, and redirects the
+  /// program point — the same state the *correct* prediction reaches
+  /// directly.  So the candidate flips the prediction fetch (position F,
+  /// the latest fetch whose allocation covers B) to its resolving form,
+  /// drops every fetch and every execute of an entry above B strictly
+  /// between F and R (all wrong-path: fetches follow the mispredicted
+  /// program point until the rollback, and entries above B are squashed
+  /// by it), keeps the interleaved architectural work (retires and
+  /// executes of entries below B), and keeps R itself, which now
+  /// resolves correct.  No index repair is needed: the rollback resets
+  /// allocation to B+1, so the suffix's indices mean the same thing in
+  /// the sliced replay.  Nested excursions vanish with their enclosing
+  /// one — the scan restarts outermost-first (descending R) after every
+  /// adoption.
+  void slice() {
+    bool Changed = true;
+    while (Changed && !Exhausted) {
+      Changed = false;
+      for (size_t R = Cur.size(); R-- > 0 && !Exhausted;) {
+        if (CurAlloc[R].Rule != RuleId::CondExecuteIncorrect &&
+            CurAlloc[R].Rule != RuleId::JmpiExecuteIncorrect)
+          continue;
+        BufIdx B = Cur[R].Idx;
+        // The prediction that created entry B: the latest covering fetch
+        // before R (rollbacks reuse indices, so earlier covering ranges
+        // may be stale).
+        size_t F = SIZE_MAX;
+        for (size_t I = 0; I < R; ++I)
+          if (CurAlloc[I].Slots && CurAlloc[I].From <= B &&
+              B < CurAlloc[I].From + CurAlloc[I].Slots)
+            F = I;
+        if (F == SIZE_MAX)
+          continue;
+        Directive Flip;
+        if (Cur[F].K == Directive::Kind::FetchBool)
+          Flip = Directive::fetchBool(!Cur[F].Guess);
+        else if (Cur[F].K == Directive::Kind::FetchTarget)
+          // The rollback recorded where the jump actually went; predict
+          // that and the kept execute resolves correct.
+          Flip = Directive::fetchTarget(CurAlloc[R].PostN);
+        else
+          continue; // Hazard re-executions share the rules' rollback
+                    // shape but not the prediction fetch; never sliced.
+        Schedule Cand(Cur.begin(), Cur.begin() + F);
+        Cand.push_back(Flip);
+        for (size_t I = F + 1; I < R; ++I) {
+          const Directive &D = Cur[I];
+          if (D.isFetch() || (D.isExecute() && D.Idx > B))
+            continue;
+          Cand.push_back(D);
+        }
+        Cand.insert(Cand.end(), Cur.begin() + R, Cur.end());
+        Schedule Kept;
+        std::vector<AllocInfo> KA;
+        // Adopted only on a strict shrink, which is also what keeps the
+        // pass idempotent: a sliced witness has no incorrect resolutions
+        // left to find.
+        if (evaluate(Cand, Kept, KA) && Kept.size() < Cur.size()) {
+          adopt(std::move(Kept), std::move(KA));
+          ++SlicedExcursions;
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+
   /// Zeller's ddmin over the positions of Cur, with cascade-repaired
   /// candidates.  Terminates 1-minimal w.r.t. single-position deletion
   /// (plus cascades) or when the replay budget runs out.
@@ -178,8 +411,7 @@ private:
         Schedule Kept;
         std::vector<AllocInfo> KA;
         if (evaluate(Cand, Kept, KA) && Kept.size() < Cur.size()) {
-          Cur = std::move(Kept);
-          CurAlloc = std::move(KA);
+          adopt(std::move(Kept), std::move(KA));
           Reduced = true;
           break;
         }
@@ -224,8 +456,7 @@ private:
         Schedule Kept;
         std::vector<AllocInfo> KA;
         if (evaluate(Cand, Kept, KA) && Kept.size() <= Cur.size()) {
-          Cur = std::move(Kept);
-          CurAlloc = std::move(KA);
+          adopt(std::move(Kept), std::move(KA));
           break;
         }
       }
@@ -240,10 +471,8 @@ private:
         Cand[I] = Directive::fetchBool(!Cur[I].Guess);
         Schedule Kept;
         std::vector<AllocInfo> KA;
-        if (evaluate(Cand, Kept, KA) && Kept.size() < Cur.size()) {
-          Cur = std::move(Kept);
-          CurAlloc = std::move(KA);
-        }
+        if (evaluate(Cand, Kept, KA) && Kept.size() < Cur.size())
+          adopt(std::move(Kept), std::move(KA));
       }
     }
   }
@@ -256,7 +485,7 @@ Schedule sct::minimizeWitness(const Machine &M, const Configuration &Init,
                               MinimizeStats *Stats) {
   MinimizeStats Local;
   Minimizer Min(M, Init, L.key(), Opts);
-  Schedule S = Min.run(L.Sched, Stats ? *Stats : Local);
+  Schedule S = Min.run(L, Stats ? *Stats : Local);
   return S;
 }
 
@@ -265,7 +494,45 @@ MinimizeStats sct::minimizeWitnesses(const Machine &M,
                                      std::vector<LeakRecord> &Leaks,
                                      const MinimizeOptions &Opts) {
   MinimizeStats Stats;
-  for (LeakRecord &L : Leaks)
-    L.MinSched = minimizeWitness(M, Init, L, Opts, &Stats);
+  unsigned Workers = Opts.Threads;
+  if (Workers > Leaks.size())
+    Workers = static_cast<unsigned>(Leaks.size());
+  if (Workers <= 1) {
+    // Sequential: today's deterministic order (and what any thread count
+    // reproduces per leak — each job is a pure function of its inputs).
+    for (LeakRecord &L : Leaks)
+      L.MinSched = minimizeWitness(M, Init, L, Opts, &Stats);
+    return Stats;
+  }
+
+  // Per-leak jobs on the explorer's work-stealing deques: worker W owns
+  // deque W preloaded round-robin, pops LIFO, and steals half a random
+  // victim's deque when dry.  Jobs never create jobs, so a worker exits
+  // once every deque probes empty.  Each worker replays through its own
+  // Configurations (COW forks of the shared Init — the same sharing
+  // discipline the explorer's frontier workers use) and fills only its
+  // jobs' MinSched slots; stats merge by summation at join.
+  StealQueue<size_t> Jobs(Workers);
+  for (size_t I = 0; I < Leaks.size(); ++I)
+    Jobs.push(static_cast<unsigned>(I % Workers), size_t(I));
+  std::vector<MinimizeStats> PerWorker(Workers);
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers);
+  for (unsigned Id = 0; Id < Workers; ++Id)
+    Pool.emplace_back([&, Id] {
+      std::minstd_rand Rng(Id * 0x9e3779b9u + 0x1b873593u);
+      for (;;) {
+        size_t Job;
+        if (!Jobs.tryPop(Id, Job) &&
+            !Jobs.trySteal(Id, static_cast<unsigned>(Rng()), Job))
+          return;
+        Leaks[Job].MinSched =
+            minimizeWitness(M, Init, Leaks[Job], Opts, &PerWorker[Id]);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  for (const MinimizeStats &S : PerWorker)
+    Stats.merge(S);
   return Stats;
 }

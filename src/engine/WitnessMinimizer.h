@@ -16,8 +16,18 @@
 /// this pass recovers them from ours.
 ///
 /// The algorithm is delta debugging (Zeller's ddmin) over the directive
-/// sequence, specialized to the semantics in two ways:
+/// sequence, specialized to the semantics in three ways:
 ///
+///  - **Excursion slicing.**  Before chunk ddmin runs, a dedicated pass
+///    deletes an entire wrong-path excursion as one candidate: the
+///    misprediction fetch is flipped to the resolving prediction, every
+///    wrong-path fetch and transient execute between it and the rollback
+///    is dropped, and the rollback execute is kept (it now resolves
+///    correct — the machine re-inserts the resolved jump at the same
+///    buffer index either way, so the post-rollback suffix replays
+///    verbatim).  ddmin removes the same junk one cascading deletion at a
+///    time; the slice removes it in one replay per excursion, which is
+///    what cuts nested-speculation witnesses down fast.
 ///  - **Buffer-index repair.**  Reorder-buffer indices are monotone over a
 ///    run, so deleting a fetch shifts the index of every later-allocated
 ///    entry.  A naive ddmin candidate would then issue `execute i` against
@@ -42,14 +52,43 @@
 /// schedule — exactly the directives that applied, truncated at the
 /// reproducing step — which by construction replays strictly,
 /// end-to-end, to the same leak; soundness never depends on the repair
-/// heuristics.  ddmin + canonicalization iterate to a fixpoint, so
-/// minimization is idempotent (minimizing a minimized witness returns it
-/// unchanged), budget permitting.
+/// heuristics.  Slicing + ddmin + canonicalization iterate to a fixpoint,
+/// so minimization is idempotent (minimizing a minimized witness returns
+/// it unchanged), budget permitting.
+///
+/// **Checkpoint-seeded replays.**  Every candidate differs from the
+/// current schedule only from its first edited position onward, so the
+/// replay needs the state *at* that position, not a walk from the initial
+/// configuration.  The minimizer keeps a ladder of mid-schedule
+/// checkpoints — seeded by the explorer's `SnapshotPolicy::Hybrid`
+/// checkpoint chain threaded through `LeakRecord::Ckpt`, and densified
+/// lazily with rungs recorded every `MinimizeOptions::SeedInterval` kept
+/// directives while prefixes replay — and starts each candidate replay
+/// from the newest rung at or below the candidate's first edit (the
+/// prefix-validity bar: a rung is only used when the candidate has not
+/// edited any directive at or before it; rungs above an adopted edit are
+/// discarded).  Seeding changes which machine steps run, never the
+/// outcome: the skipped prefix is byte-identical to the current
+/// schedule's, which is known to replay strictly with its only
+/// target-key observation at its final step.  `MinimizeStats` reports
+/// the steps executed and the steps seeding skipped.
 ///
 /// Every candidate costs one replay of at most |schedule| machine steps;
 /// `MinimizeOptions::MaxReplays` bounds the total per witness.  When the
 /// budget runs out the best schedule found so far is returned — it is
 /// still a valid witness, just possibly not 1-minimal.
+///
+/// **Parallel minimization.**  The per-leak searches are independent, so
+/// `minimizeWitnesses` drains them as jobs from the same work-stealing
+/// deques the explorer's frontier uses (sched/WorkDeque.h) when
+/// `MinimizeOptions::Threads > 1`: each worker owns a deque of leak
+/// indices, steals half a random victim's when dry, and replays through
+/// its own per-worker `Configuration`s (copy-on-write forks of the shared
+/// initial state).  Each leak's result is a pure function of (machine,
+/// initial configuration, leak, options), so the minimized schedules are
+/// byte-identical at any thread count; `Threads <= 1` keeps the
+/// deterministic sequential order.  Per-worker `MinimizeStats` merge by
+/// summation, which is order-independent.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,16 +101,42 @@ namespace sct {
 
 /// Minimization knobs.
 struct MinimizeOptions {
-  /// Replay budget per witness: each candidate schedule costs one replay.
+  /// Replay budget per witness: each candidate schedule costs one replay
+  /// (seeded or not — seeding shortens a replay, it does not refund one).
   /// ddmin needs O(n log n) replays on well-behaved inputs and O(n^2) in
   /// the worst case; the default comfortably minimizes every witness in
   /// the repo's suites.
   uint64_t MaxReplays = 1 << 14;
   /// Run the per-directive canonicalization pass after ddmin.
   bool Canonicalize = true;
-  /// Upper bound on ddmin+canonicalization fixpoint iterations (each pass
-  /// is a no-op once the schedule is stable; this is a safety rail, not a
-  /// tuning knob).
+  /// Run the excursion slice pass before each ddmin pass.
+  bool SliceExcursions = true;
+  /// Seed candidate replays from mid-schedule checkpoints (the explorer's
+  /// hybrid chain via `LeakRecord::Ckpt` plus self-recorded rungs)
+  /// instead of always replaying from the initial configuration.  Off
+  /// reproduces the from-initial replay cost exactly; the minimized
+  /// schedules are identical either way.
+  bool SeedReplays = true;
+  /// Remember failed candidates (exact directive sequences) and skip
+  /// their replays when the fixpoint loop re-proposes them — the
+  /// verification pass and canonicalize retries are then nearly free.
+  /// A memo hit still counts against MaxReplays, so the search visits
+  /// the same candidates in the same order with the memo on or off and
+  /// the minimized schedules are identical either way.
+  bool MemoizeCandidates = true;
+  /// Record a ladder rung every this many kept directives while a
+  /// candidate's unedited prefix replays (0 is treated as 1).  Smaller =
+  /// denser seeding, more checkpoint copies; the default follows the
+  /// committed BENCH_MINIMIZER.json sweep.
+  unsigned SeedInterval = 4;
+  /// Worker threads for `minimizeWitnesses` batches: 0 or 1 minimizes
+  /// leaks sequentially in order; N > 1 drains per-leak jobs from
+  /// work-stealing deques.  0 additionally means "unset" to CheckSession,
+  /// which substitutes the session's frontier thread share.
+  unsigned Threads = 0;
+  /// Upper bound on slice+ddmin+canonicalization fixpoint iterations
+  /// (each pass is a no-op once the schedule is stable; this is a safety
+  /// rail, not a tuning knob).
   unsigned MaxPasses = 8;
 };
 
@@ -83,9 +148,28 @@ struct MinimizeStats {
   uint64_t MinimizedDirectives = 0;
   /// Candidate replays spent.
   uint64_t Replays = 0;
+  /// Machine steps actually executed across all candidate replays.
+  uint64_t ReplayedSteps = 0;
+  /// Directives checkpoint seeding skipped instead of re-executing (the
+  /// from-initial baseline would have replayed these too).
+  uint64_t SeededSteps = 0;
+  /// Wrong-path excursions removed by the slice pass.
+  uint64_t SlicedExcursions = 0;
   /// True iff some witness hit MaxReplays before reaching a fixpoint (its
   /// minimized schedule is valid but possibly not 1-minimal).
   bool BudgetExhausted = false;
+
+  /// Accumulates \p Other (summation — order-independent, so per-worker
+  /// stats merge to the same totals at any thread count).
+  void merge(const MinimizeStats &Other) {
+    RawDirectives += Other.RawDirectives;
+    MinimizedDirectives += Other.MinimizedDirectives;
+    Replays += Other.Replays;
+    ReplayedSteps += Other.ReplayedSteps;
+    SeededSteps += Other.SeededSteps;
+    SlicedExcursions += Other.SlicedExcursions;
+    BudgetExhausted |= Other.BudgetExhausted;
+  }
 };
 
 /// Minimizes \p L's witness schedule against \p M from \p Init.  Returns
@@ -100,7 +184,10 @@ Schedule minimizeWitness(const Machine &M, const Configuration &Init,
                          MinimizeStats *Stats = nullptr);
 
 /// Minimizes every leak in \p Leaks in place, filling each
-/// `LeakRecord::MinSched`; returns the aggregated stats.
+/// `LeakRecord::MinSched`; returns the aggregated stats.  With
+/// `Opts.Threads > 1` the per-leak jobs run on a work-stealing worker
+/// pool; the filled schedules are byte-identical to the sequential order
+/// (each job is independent and deterministic).
 MinimizeStats minimizeWitnesses(const Machine &M, const Configuration &Init,
                                 std::vector<LeakRecord> &Leaks,
                                 const MinimizeOptions &Opts = {});

@@ -58,12 +58,11 @@ struct ExploreNode {
   /// The configuration at this point (engaged under SnapshotPolicy::Copy).
   std::optional<Configuration> Snap;
   /// Hybrid snapshots: the nearest published checkpoint, shared between
-  /// every node forked from the same stretch of path, plus how many of
-  /// Sched's directives it already has applied.  Materialization replays
-  /// only Sched[BaseLen..] from *Base.  Null under Copy/Replay (Replay
-  /// re-derives from the initial configuration, BaseLen 0).
-  std::shared_ptr<const Configuration> Base;
-  size_t BaseLen = 0;
+  /// every node forked from the same stretch of path; Base->Len of
+  /// Sched's directives are already applied in it.  Materialization
+  /// replays only Sched[Base->Len..] from Base->Config.  Null under
+  /// Copy/Replay (Replay re-derives from the initial configuration).
+  std::shared_ptr<const Checkpoint> Base;
   /// Directive prefix reaching this point; always kept — it is both the
   /// witness prefix and, under SnapshotPolicy::Replay/Hybrid, the
   /// (remainder of the) snapshot.
@@ -126,8 +125,7 @@ private:
     /// Hybrid snapshots: the checkpoint this path (and every node it
     /// forks) replays from, refreshed by runPath once the path has moved
     /// CheckpointInterval directives past it.
-    std::shared_ptr<const Configuration> Base;
-    size_t BaseLen = 0;
+    std::shared_ptr<const Checkpoint> Base;
     /// Set when the seen-state table proves this path converged onto an
     /// already-visited configuration (its subtree belongs to the first
     /// visitor); the path stops without completing a schedule.
@@ -200,7 +198,6 @@ private:
       // directives issued since it was published (bounded by the
       // refresh in runPath plus a fork's few probing steps).
       N.Base = Pth.Base;
-      N.BaseLen = Pth.BaseLen;
       break;
     }
     N.Sched = std::move(Pth.Sched);
@@ -236,14 +233,14 @@ private:
       Pth.Sched = std::move(N.Sched);
       return Pth;
     }
-    Pth.C = N.Base ? *N.Base : Init; // COW: O(1) until a side writes.
+    size_t BaseLen = N.Base ? N.Base->Len : 0;
+    Pth.C = N.Base ? N.Base->Config : Init; // COW: O(1) until a side writes.
     Pth.Base = std::move(N.Base);
-    Pth.BaseLen = N.BaseLen;
-    for (size_t I = Pth.BaseLen; I < N.Sched.size(); ++I) {
+    for (size_t I = BaseLen; I < N.Sched.size(); ++I) {
       [[maybe_unused]] auto Out = M.step(Pth.C, N.Sched[I]);
       assert(Out && "replay of an explored prefix cannot go stuck");
     }
-    ReplaySteps.fetch_add(N.Sched.size() - Pth.BaseLen,
+    ReplaySteps.fetch_add(N.Sched.size() - BaseLen,
                           std::memory_order_relaxed);
     Pth.Sched = std::move(N.Sched);
     return Pth;
@@ -257,10 +254,15 @@ private:
     if (Opts.Snapshots != SnapshotPolicy::Hybrid)
       return;
     size_t K = Opts.CheckpointInterval ? Opts.CheckpointInterval : 1;
-    if (Pth.Base && Pth.Sched.size() - Pth.BaseLen < K)
+    if (Pth.Base && Pth.Sched.size() - Pth.Base->Len < K)
       return;
-    Pth.Base = std::make_shared<const Configuration>(Pth.C);
-    Pth.BaseLen = Pth.Sched.size();
+    // Without RecordCheckpointChain the superseded checkpoint is dropped
+    // as soon as its last frontier referent dies (the PR 3 memory
+    // behavior); with it the chain stays alive so leak consumers can seed
+    // replays from any rung.
+    Pth.Base = std::make_shared<const Checkpoint>(Checkpoint{
+        Pth.C, Pth.Sched.size(),
+        Opts.RecordCheckpointChain ? Pth.Base : nullptr});
     Checkpoints.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -424,6 +426,13 @@ private:
   void recordLeak(Path &Pth, const Observation &Obs, PC Origin, RuleId Rule) {
     LeakEvents.fetch_add(1, std::memory_order_relaxed);
     LeakRecord L{Pth.Sched, Obs, Origin, Rule};
+    // Hand the minimizer the path's checkpoint chain: Sched[0, Ckpt->Len)
+    // replays Init to exactly Ckpt->Config, so candidate replays sharing
+    // that prefix can start mid-schedule.  Gated on the chain flag — a
+    // pinned checkpoint lives as long as the LeakRecord, and only a
+    // minimizing session consumes it.
+    if (Opts.RecordCheckpointChain)
+      L.Ckpt = Pth.Base;
     bool New;
     size_t Nth;
     {
@@ -604,7 +613,6 @@ private:
       F.Steps = Pth.Steps;
       F.WorkerId = Pth.WorkerId;
       F.Base = Pth.Base; // Hybrid: siblings share the parent's checkpoint.
-      F.BaseLen = Pth.BaseLen;
       return F;
     };
 

@@ -85,6 +85,29 @@
 
 namespace sct {
 
+/// A full-configuration checkpoint published by a Hybrid-policy path: the
+/// state reached after applying the first `Len` directives of the path's
+/// schedule.  Shared (immutable, behind shared_ptr) between every node
+/// forked from the same stretch of path.  When
+/// `ExplorerOptions::RecordCheckpointChain` is set each checkpoint also
+/// links to the one it superseded, so a consumer holding the newest
+/// checkpoint of a path can walk back to the nearest checkpoint at or
+/// before *any* prefix length — the witness minimizer seeds its ddmin
+/// candidate replays from these rungs instead of the initial
+/// configuration (engine/WitnessMinimizer.h).
+struct Checkpoint {
+  Configuration Config;
+  /// How many directives of the publishing path's schedule `Config` has
+  /// applied; the prefix Sched[0, Len) of any schedule that reaches this
+  /// checkpoint replays Init to exactly `Config`.
+  size_t Len = 0;
+  /// The previous checkpoint on the same path; null unless
+  /// `RecordCheckpointChain` (keeping the whole chain alive costs one
+  /// configuration per CheckpointInterval directives of path progress, so
+  /// it is opt-in for consumers that replay mid-schedule).
+  std::shared_ptr<const Checkpoint> Prev;
+};
+
 /// How a fork in the schedule tree checkpoints machine state.
 enum class SnapshotPolicy : unsigned char {
   /// Store the forked configuration itself.  Copy-on-write memory makes
@@ -172,6 +195,13 @@ struct ExplorerOptions {
   /// values above Threads are clamped (a deque no worker calls home
   /// could never receive work).
   unsigned Shards = 0;
+  /// Hybrid snapshots only: link every published checkpoint to the one it
+  /// superseded and hand the chain head to each `LeakRecord` (see
+  /// `Checkpoint::Prev`).  Off by default — the chain keeps every
+  /// checkpoint of a path alive for the lifetime of the leaks referencing
+  /// it; CheckSession turns it on when witness minimization will consume
+  /// the rungs as mid-schedule replay seeds.
+  bool RecordCheckpointChain = false;
   /// Cross-schedule state pruning: fingerprint every frontier candidate
   /// with Configuration::hash() and drop candidates whose configuration
   /// was already visited on any schedule; additionally cut a path short
@@ -209,6 +239,14 @@ struct LeakRecord {
   /// same initial configuration to an observation with the identical
   /// key(), in far fewer directives than the raw exploration prefix.
   Schedule MinSched;
+  /// The checkpoint chain of the path that recorded this leak (null
+  /// unless the exploration ran under SnapshotPolicy::Hybrid with
+  /// `ExplorerOptions::RecordCheckpointChain` — a pinned checkpoint
+  /// lives as long as this record, so it is only kept when a consumer
+  /// asked for it).  Each rung's `Len`-prefix of `Sched` replays Init to
+  /// exactly its `Config`; the `Prev` links reach every earlier rung of
+  /// the path — the minimizer's mid-schedule replay seeds.
+  std::shared_ptr<const Checkpoint> Ckpt;
 
   /// Key used to deduplicate leaks across schedules: a 64-bit hash-combine
   /// over (origin, observation kind, rule, taint mask).  Each field is

@@ -5,6 +5,17 @@
 //    the minimized schedule strictly replays to an observation with the
 //    identical LeakRecord::key();
 //  - idempotence: minimizing a minimized witness is a fixpoint;
+//  - equivalence: parallel minimization (Threads in {2, 8}),
+//    checkpoint-seeded replays, and the candidate memo produce
+//    byte-identical MinSched per leak key vs the sequential from-initial
+//    baseline, on every Kocher variant in both modes — with identical
+//    stats counters, since the search must visit the same candidates;
+//  - excursion slicing: idempotent, never lengthens a witness, still
+//    replays to the identical key, and actually fires on
+//    nested-speculation witnesses;
+//  - checkpoint chains: hybrid explorations thread LeakRecord::Ckpt and
+//    every rung's configuration is exactly what the witness prefix
+//    replays to;
 //  - effectiveness: explorer witnesses only shrink, and on genuinely
 //    bloated witnesses (leaking random well-formed schedules — the
 //    "unreadable full prefix" case minimization exists for) the median
@@ -20,12 +31,14 @@
 #include "checker/SctChecker.h"
 #include "sched/Executor.h"
 #include "sched/RandomScheduler.h"
+#include "workloads/CryptoLibs.h"
 #include "workloads/Figures.h"
 #include "workloads/Kocher.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <vector>
 
 using namespace sct;
@@ -61,6 +74,39 @@ std::optional<uint64_t> finalLeakKey(const Machine &M,
     }
   }
   return Key;
+}
+
+/// One bloated random-schedule witness: runs the seeded random scheduler
+/// and replays its trace to the first secret observation, exactly how
+/// the explorer records a raw witness.  Returns nullopt when the run
+/// never leaks or the prefix is shorter than \p MinLen (short accidental
+/// witnesses are not the bloated case minimization exists for).  The
+/// same recipe feeds bench/MinimizerBench's corpus.
+std::optional<LeakRecord> bloatedWitness(const Machine &M,
+                                         const Configuration &Init,
+                                         uint64_t Seed, size_t MinLen,
+                                         uint64_t MaxSteps = 400) {
+  RandomRunOptions ROpts;
+  ROpts.Seed = Seed;
+  ROpts.MaxSteps = MaxSteps;
+  ROpts.FetchWeight = 6; // Deep speculation: leaky and junk-rich.
+  RunResult R = runRandom(M, Init, ROpts);
+  Schedule Prefix;
+  Configuration C = Init;
+  for (const StepRecord &S : R.Trace) {
+    PC Origin = leakOriginOf(C, S.D);
+    auto Out = M.step(C, S.D);
+    if (!Out)
+      return std::nullopt; // A recorded trace must replay; bail loudly
+                           // via the caller's leak-count assertions.
+    Prefix.push_back(S.D);
+    if (Out->Obs.isSecret()) {
+      if (Prefix.size() < MinLen)
+        return std::nullopt;
+      return LeakRecord{Prefix, Out->Obs, Origin, Out->Rule};
+    }
+  }
+  return std::nullopt;
 }
 
 //===----------------------------------------------------------- soundness ---===//
@@ -111,6 +157,158 @@ TEST(Minimizer, DdminIsIdempotent) {
   }
 }
 
+//===---------------------------------------------------------- equivalence ---===//
+
+/// Explores \p C under \p Opts the way a minimizing session would: one
+/// deterministic thread, hybrid snapshots, checkpoint chains recorded.
+ExploreResult exploreWithChains(const Machine &M, const Configuration &Init,
+                                ExplorerOptions Opts) {
+  Opts.Threads = 1;
+  Opts.Snapshots = SnapshotPolicy::Hybrid;
+  Opts.RecordCheckpointChain = true;
+  return explore(M, Init, Opts);
+}
+
+TEST(Minimizer, SeededParallelMatchesSequentialFromInitial) {
+  // The acceptance criterion verbatim: parallel minimization at Threads
+  // in {2, 8} and checkpoint-seeded (plus memoized) replays produce
+  // byte-identical MinSched per leak key vs the sequential from-initial
+  // baseline, on every Kocher variant in both modes.  The stats must
+  // agree too — Replays exactly (the search visits the same candidates
+  // in the same order), raw/minimized totals trivially.
+  size_t Corpora = 0;
+  for (const SuiteCase &C : allKocher()) {
+    Machine M(C.Prog);
+    Configuration Init = Configuration::initial(C.Prog);
+    for (auto ModeFn : {v1v11Mode, v4Mode}) {
+      ExploreResult R = exploreWithChains(M, Init, ModeFn());
+      if (R.Leaks.empty())
+        continue;
+      ++Corpora;
+      std::vector<LeakRecord> Baseline = R.Leaks;
+      MinimizeOptions SeqOpts;
+      SeqOpts.Threads = 1;
+      SeqOpts.SeedReplays = false;
+      SeqOpts.MemoizeCandidates = false;
+      MinimizeStats SeqStats = minimizeWitnesses(M, Init, Baseline, SeqOpts);
+      EXPECT_EQ(SeqStats.SeededSteps, 0u) << C.Id;
+      for (unsigned Threads : {1u, 2u, 8u}) {
+        std::vector<LeakRecord> Par = R.Leaks;
+        MinimizeOptions ParOpts;
+        ParOpts.Threads = Threads;
+        ParOpts.SeedReplays = true;
+        ParOpts.MemoizeCandidates = true;
+        MinimizeStats ParStats = minimizeWitnesses(M, Init, Par, ParOpts);
+        ASSERT_EQ(Par.size(), Baseline.size());
+        for (size_t I = 0; I < Par.size(); ++I) {
+          EXPECT_EQ(Par[I].key(), Baseline[I].key()) << C.Id;
+          EXPECT_EQ(Par[I].MinSched, Baseline[I].MinSched)
+              << C.Id << " leak " << I << " Threads=" << Threads;
+        }
+        EXPECT_EQ(ParStats.Replays, SeqStats.Replays) << C.Id;
+        EXPECT_EQ(ParStats.RawDirectives, SeqStats.RawDirectives) << C.Id;
+        EXPECT_EQ(ParStats.MinimizedDirectives,
+                  SeqStats.MinimizedDirectives)
+            << C.Id;
+        // Seeding must actually engage somewhere (witnesses of length
+        // >= one rung interval exist in every corpus).
+        EXPECT_GT(ParStats.SeededSteps + ParStats.ReplayedSteps, 0u);
+        EXPECT_LE(ParStats.ReplayedSteps, SeqStats.ReplayedSteps) << C.Id;
+      }
+    }
+  }
+  EXPECT_GE(Corpora, allKocher().size());
+}
+
+TEST(Minimizer, CheckpointChainsThreadThroughLeakRecords) {
+  // Hybrid explorations hand every leak the newest checkpoint of its
+  // path; with RecordCheckpointChain the Prev links walk back rung by
+  // rung.  Each rung's configuration must be exactly what the witness
+  // prefix of its length replays to — the property seeding relies on.
+  SuiteCase C = kocherCases()[4];
+  Machine M(C.Prog);
+  Configuration Init = Configuration::initial(C.Prog);
+  ExploreResult R = exploreWithChains(M, Init, v4Mode());
+  ASSERT_FALSE(R.Leaks.empty());
+  size_t RungsChecked = 0;
+  for (const LeakRecord &L : R.Leaks) {
+    size_t PrevLen = SIZE_MAX;
+    for (std::shared_ptr<const Checkpoint> K = L.Ckpt; K; K = K->Prev) {
+      ASSERT_LE(K->Len, L.Sched.size());
+      ASSERT_LT(K->Len, PrevLen) << "chain lengths must strictly decrease";
+      PrevLen = K->Len;
+      Configuration F = Init;
+      for (size_t I = 0; I < K->Len; ++I)
+        ASSERT_TRUE(M.step(F, L.Sched[I]).has_value());
+      EXPECT_EQ(F.hash(), K->Config.hash());
+      ++RungsChecked;
+    }
+  }
+  EXPECT_GT(RungsChecked, 0u) << "v4 witnesses must carry checkpoints";
+  // Without hybrid snapshots there is nothing to thread.
+  ExplorerOptions Copy = v4Mode();
+  Copy.Threads = 1;
+  ExploreResult RC = explore(M, Init, Copy);
+  for (const LeakRecord &L : RC.Leaks)
+    EXPECT_EQ(L.Ckpt, nullptr);
+}
+
+//===------------------------------------------------------------- slicing ---===//
+
+TEST(Minimizer, SlicingIsIdempotentAndNeverLengthens) {
+  // The slice pass deletes whole wrong-path excursions.  Its contract:
+  // the result still replays to the identical key, is never longer than
+  // the raw witness, and re-minimizing it changes nothing.  On the deep
+  // v4 corpus (nested speculation) the pass must actually fire.
+  uint64_t TotalSliced = 0;
+  for (const SuiteCase &C : allKocher()) {
+    Machine M(C.Prog);
+    Configuration Init = Configuration::initial(C.Prog);
+    ExploreResult R = exploreWithChains(M, Init, v4Mode());
+    for (const LeakRecord &L : R.Leaks) {
+      MinimizeOptions Opts; // Slicing on by default.
+      MinimizeStats Stats;
+      Schedule Once = minimizeWitness(M, Init, L, Opts, &Stats);
+      TotalSliced += Stats.SlicedExcursions;
+      ASSERT_FALSE(Once.empty()) << C.Id;
+      EXPECT_LE(Once.size(), L.Sched.size()) << C.Id;
+      std::optional<uint64_t> Key = finalLeakKey(M, Init, Once);
+      ASSERT_TRUE(Key.has_value()) << C.Id;
+      EXPECT_EQ(*Key, L.key()) << C.Id;
+      LeakRecord Again = L;
+      Again.Sched = Once;
+      // Deliberately keep the stale chain (recorded for L.Sched, not
+      // Once): the seeding replay must hash-reject its rungs rather
+      // than seed from foreign states.
+      EXPECT_EQ(minimizeWitness(M, Init, Again, Opts), Once) << C.Id;
+    }
+  }
+  // Explorer witnesses end *inside* the speculation that leaks — their
+  // excursion is the attack, so there is rarely anything to slice.  The
+  // junk-rich case is a bloated random-schedule witness: mispredictions
+  // taken and rolled back long before the leak.  The pass must fire
+  // there, and the sliced result must obey the same contract.
+  SuiteCase Deep = ssl3C();
+  Machine M(Deep.Prog);
+  Configuration Init = Configuration::initial(Deep.Prog);
+  for (uint64_t Seed = 1; Seed <= 40 && TotalSliced == 0; ++Seed) {
+    std::optional<LeakRecord> Raw =
+        bloatedWitness(M, Init, Seed, /*MinLen=*/64, /*MaxSteps=*/600);
+    if (!Raw)
+      continue;
+    MinimizeStats Stats;
+    Schedule Min = minimizeWitness(M, Init, *Raw, {}, &Stats);
+    ASSERT_FALSE(Min.empty());
+    EXPECT_LE(Min.size(), Raw->Sched.size());
+    std::optional<uint64_t> Key = finalLeakKey(M, Init, Min);
+    ASSERT_TRUE(Key.has_value());
+    EXPECT_EQ(*Key, Raw->key());
+    TotalSliced += Stats.SlicedExcursions;
+  }
+  // A slice pass that never fires is not exercising its reason to exist.
+  EXPECT_GT(TotalSliced, 0u);
+}
+
 //===-------------------------------------------------------- effectiveness ---===//
 
 TEST(Minimizer, BloatedRandomWitnessesShrinkPastHalfMedian) {
@@ -130,30 +328,10 @@ TEST(Minimizer, BloatedRandomWitnessesShrinkPastHalfMedian) {
     Machine M(C.Prog);
     Configuration Init = Configuration::initial(C.Prog);
     for (uint64_t Seed = 1; Seed <= 100; ++Seed) {
-      RandomRunOptions ROpts;
-      ROpts.Seed = Seed;
-      ROpts.MaxSteps = 400;
-      ROpts.FetchWeight = 6; // Deep speculation: leaky and junk-rich.
-      RunResult R = runRandom(M, Init, ROpts);
-      // The raw witness: the schedule prefix up to the first secret
-      // observation, exactly how the explorer records one.
-      Schedule Prefix;
-      std::optional<LeakRecord> Raw;
-      {
-        Configuration C2 = Init;
-        for (const StepRecord &S : R.Trace) {
-          PC Origin = leakOriginOf(C2, S.D);
-          auto Out = M.step(C2, S.D);
-          ASSERT_TRUE(Out.has_value());
-          Prefix.push_back(S.D);
-          if (Out->Obs.isSecret()) {
-            Raw = LeakRecord{Prefix, Out->Obs, Origin, Out->Rule};
-            break;
-          }
-        }
-      }
-      if (!Raw || Raw->Sched.size() < 24)
-        continue; // Short accidental witnesses are not the bloated case.
+      std::optional<LeakRecord> Raw =
+          bloatedWitness(M, Init, Seed, /*MinLen=*/24);
+      if (!Raw)
+        continue;
       Schedule Min = minimizeWitness(M, Init, *Raw);
       ASSERT_FALSE(Min.empty()) << C.Id << " seed " << Seed;
       std::optional<uint64_t> Key = finalLeakKey(M, Init, Min);
@@ -217,6 +395,52 @@ TEST(Minimizer, CheckRequestFillsMinSchedAndStats) {
   EXPECT_FALSE(Plain.Minimization.has_value());
   for (const LeakRecord &L : Plain.Exploration.Leaks)
     EXPECT_TRUE(L.MinSched.empty());
+}
+
+TEST(Minimizer, SessionThreadsChainAndFlagsPlumbThrough) {
+  // A minimizing session under hybrid snapshots records checkpoint
+  // chains for its leaks (runOne flips RecordCheckpointChain), inherits
+  // the check's thread share when MinimizeOptions::Threads is unset, and
+  // produces the same minimized witnesses at any share.
+  SuiteCase C = kocherCases()[4];
+  CheckRequest Req;
+  Req.Id = C.Id;
+  Req.Prog = C.Prog;
+  Req.Opts = v4Mode();
+  Req.Opts.Snapshots = SnapshotPolicy::Hybrid;
+  Req.MinimizeWitnesses = true;
+
+  SessionOptions Seq;
+  Seq.Threads = 1;
+  CheckResult RSeq = CheckSession(Seq).check(Req);
+  ASSERT_FALSE(RSeq.secure());
+  ASSERT_TRUE(RSeq.Minimization.has_value());
+  EXPECT_GT(RSeq.Minimization->SeededSteps, 0u)
+      << "hybrid session minimization must seed from checkpoints";
+  for (const LeakRecord &L : RSeq.Exploration.Leaks)
+    EXPECT_NE(L.Ckpt, nullptr);
+
+  SessionOptions Par;
+  Par.Threads = 8;
+  CheckResult RPar = CheckSession(Par).check(Req);
+  ASSERT_EQ(RPar.Exploration.Leaks.size(), RSeq.Exploration.Leaks.size());
+  std::map<uint64_t, Schedule> SeqMin, ParMin;
+  for (const LeakRecord &L : RSeq.Exploration.Leaks)
+    SeqMin[L.key()] = L.MinSched;
+  for (const LeakRecord &L : RPar.Exploration.Leaks)
+    ParMin[L.key()] = L.MinSched;
+  EXPECT_EQ(SeqMin, ParMin);
+
+  // The CLI surface: --minimize-threads pins the pool,
+  // --no-slice-excursions and --no-seed-replays disable their passes.
+  const char *Argv[] = {"bench",  "--minimize-witnesses",
+                        "--minimize-threads", "4",
+                        "--no-slice-excursions", "--no-seed-replays"};
+  SessionOptions SOpts = sessionOptionsFromArgs(6, const_cast<char **>(Argv));
+  EXPECT_TRUE(SOpts.MinimizeWitnesses);
+  EXPECT_EQ(SOpts.Minimize.Threads, 4u);
+  EXPECT_FALSE(SOpts.Minimize.SliceExcursions);
+  EXPECT_FALSE(SOpts.Minimize.SeedReplays);
 }
 
 TEST(Minimizer, BudgetDegradesGracefully) {
