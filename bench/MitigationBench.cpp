@@ -1,93 +1,96 @@
-//===- bench/MitigationBench.cpp - Mitigation cost ablation -----------------===//
+//===- bench/MitigationBench.cpp - Mitigation engine ablation ---------------===//
 //
-// An ablation over the §3.6 / Appendix A.2 countermeasures on the leaky
-// suite programs: which mitigation restores SCT, and at what cost
-// (instructions added, sequential schedule growth — the abstract
-// machine's stand-in for runtime overhead).
+// The §3.6 / Appendix A.2 countermeasures run through the mitigation
+// engine (engine/MitigationSession.h) over the leaky suite programs:
+// which mitigation closes which leaks, at what placement cost
+// (instructions added, sequential-schedule growth), how much of the
+// re-check the baseline's seen-state table paid for, and how far the
+// minimal-fence-placement search shrinks the blanket policy.
 //
-// Each policy runs as two engine batches — every case checked unmitigated,
-// then every still-relevant case re-checked after fencing — so the whole
-// ablation fans out over the session pool.  `MitigationBench
-// [--threads N]`; N defaults to the hardware concurrency.
+//   MitigationBench [--threads N] [--quick] [--no-reuse]
+//
+// --quick restricts to the Kocher suite + the v2 figure (the CI smoke);
+// --no-reuse disables seen-state reuse (the from-scratch re-check
+// baseline — verdicts must not move, only step counts).
 //
 //===----------------------------------------------------------------------===//
 
-#include "checker/FenceInsertion.h"
 #include "checker/Retpoline.h"
 #include "checker/SctChecker.h"
-#include "sched/SequentialScheduler.h"
+#include "engine/MitigationSession.h"
 #include "support/Printing.h"
+#include "workloads/CryptoLibs.h"
 #include "workloads/Figures.h"
 #include "workloads/Kocher.h"
 #include "workloads/SpectreSuites.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace sct;
 
 namespace {
 
-size_t seqScheduleLength(const Program &P) {
-  Machine M(P);
-  SequentialResult R = runSequential(M, Configuration::initial(P));
-  return R.Run.Stuck ? 0 : R.Sched.size();
-}
+struct PlacementTally {
+  unsigned LeakyCases = 0;
+  unsigned StrictlyFewer = 0;
+  unsigned Restored = 0;
+};
 
-void reportPolicy(const CheckSession &Session, const char *Title,
-                  const std::vector<SuiteCase> &Cases, FencePolicy Policy,
-                  const ExplorerOptions &Mode) {
+void reportGroup(const MitigationSession &MS, const char *Title,
+                 const std::vector<SuiteCase> &Cases, FencePolicy Policy,
+                 const ExplorerOptions &Mode, PlacementTally &Tally,
+                 bool Quick) {
   std::printf("%s\n", Title);
-
-  // Batch 1: every case unmitigated.
-  std::vector<CheckRequest> BeforeReqs;
-  for (const SuiteCase &C : Cases) {
-    CheckRequest Req;
-    Req.Id = C.Id;
-    Req.Prog = C.Prog;
-    Req.Opts = Mode;
-    BeforeReqs.push_back(std::move(Req));
-  }
-  std::vector<CheckResult> Before =
-      Session.checkMany(std::span<const CheckRequest>(BeforeReqs));
-
-  // Batch 2: the leaky ones, fenced.
-  std::vector<size_t> LeakyIdx;
-  std::vector<Program> FencedProgs;
-  std::vector<CheckRequest> AfterReqs;
-  for (size_t I = 0; I < Cases.size(); ++I) {
-    if (Before[I].secure())
-      continue; // Only ablate the leaky ones.
-    LeakyIdx.push_back(I);
-    CheckRequest Req;
-    Req.Id = Cases[I].Id + "/fenced";
-    Req.Prog = insertFences(Cases[I].Prog, Policy);
-    FencedProgs.push_back(Req.Prog);
-    Req.Opts = Mode;
-    AfterReqs.push_back(std::move(Req));
-  }
-  std::vector<CheckResult> After =
-      Session.checkMany(std::span<const CheckRequest>(AfterReqs));
-
   std::vector<std::vector<std::string>> Table;
-  for (size_t J = 0; J < LeakyIdx.size(); ++J) {
-    const SuiteCase &C = Cases[LeakyIdx[J]];
-    const Program &Fenced = FencedProgs[J];
-    size_t LenBefore = seqScheduleLength(C.Prog);
-    size_t LenAfter = seqScheduleLength(Fenced);
+  unsigned Done = 0;
+  for (const SuiteCase &C : Cases) {
+    // kocher-05's *fenced* tree runs to the 8M-step budget (~1 min per
+    // re-check); the smoke run skips it and caps the corpus.
+    if (Quick && (C.Id == "kocher-05" || Done >= 8))
+      continue;
+    ++Done;
+    MitigationReport Rep = MS.run(C.Prog, Mode, FenceInsertion(Policy));
+    if (Rep.Baseline.secure())
+      continue; // Only ablate the leaky ones.
+    FencePlacementOptions FOpts;
+    FOpts.Blanket = Policy;
+    // Hand the placement search the baseline run() just produced so the
+    // schedule tree is explored once per case, not twice.
+    FencePlacementResult FP = MS.minimizeFencePlacement(
+        C.Prog, Mode, FOpts, MachineOptions{}, &Rep.Baseline);
+    const MitigationVariant &V = Rep.Variants.front();
+    if (!V.applied()) {
+      Table.push_back({C.Id, "not relocatable", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    ++Tally.LeakyCases;
+    Tally.Restored += FP.RestoredSct;
+    Tally.StrictlyFewer += FP.RestoredSct && FP.Sites.size() < FP.BlanketSites;
+
     double Overhead =
-        LenBefore ? 100.0 * (double(LenAfter) - double(LenBefore)) /
-                        double(LenBefore)
-                  : 0.0;
+        Rep.SeqStepsBaseline
+            ? 100.0 * (double(V.SeqSteps) - double(Rep.SeqStepsBaseline)) /
+                  double(Rep.SeqStepsBaseline)
+            : 0.0;
     char OverheadBuf[32];
     std::snprintf(OverheadBuf, sizeof(OverheadBuf), "%.1f%%", Overhead);
-    Table.push_back({C.Id, !After[J].secure() ? "still LEAKS" : "secure",
-                     std::to_string(countFences(Fenced)),
-                     std::to_string(LenBefore), std::to_string(LenAfter),
-                     OverheadBuf});
+    char Closed[32];
+    std::snprintf(Closed, sizeof(Closed), "%zu/%zu", V.closedCount(),
+                  V.Leaks.size());
+    char Minimal[48];
+    if (FP.RestoredSct)
+      std::snprintf(Minimal, sizeof(Minimal), "%zu of %zu (%u checks)",
+                    FP.Sites.size(), FP.BlanketSites, FP.ChecksSpent);
+    else
+      std::snprintf(Minimal, sizeof(Minimal), "blanket insufficient");
+    Table.push_back({C.Id, V.restoredSct() ? "secure" : "still LEAKS",
+                     Closed, std::to_string(V.Cost.FencesAdded), OverheadBuf,
+                     std::to_string(V.ReusePrunedNodes), Minimal});
   }
   std::printf("%s\n",
-              renderTable({"case", "after fencing", "fences", "seq steps",
-                           "fenced steps", "overhead"},
+              renderTable({"case", "after fencing", "closed", "fences",
+                           "overhead", "reuse-pruned", "minimal fences"},
                           Table)
                   .c_str());
 }
@@ -95,34 +98,64 @@ void reportPolicy(const CheckSession &Session, const char *Title,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  CheckSession Session(sessionOptionsFromArgs(Argc, Argv));
-  std::printf("engine: %u worker thread(s)\n\n", Session.options().Threads);
+  bool Quick = false, NoReuse = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strcmp(Argv[I], "--no-reuse"))
+      NoReuse = true;
+  }
+  SessionOptions SOpts = sessionOptionsFromArgs(Argc, Argv);
+  MitigationOptions MOpts;
+  MOpts.ReuseSeenStates = !NoReuse;
+  MitigationSession MS(SOpts, MOpts);
+  std::printf("engine: %u worker thread(s); seen-state reuse %s\n\n",
+              MS.session().options().Threads, NoReuse ? "OFF" : "on");
 
-  reportPolicy(Session,
-               "Fences at branch targets vs the Kocher v1 suite "
-               "(§3.6, Figure 8):",
-               kocherCases(), FencePolicy::BranchTargets, v1v11Mode());
-  reportPolicy(Session, "Fences at branch targets vs the v1.1 suite:",
-               spectreV11Cases(), FencePolicy::BranchTargets, v1v11Mode());
-  reportPolicy(Session, "Fences after stores vs the v4 suite:",
-               spectreV4Cases(), FencePolicy::AfterStores, v4Mode());
+  PlacementTally Tally;
+  reportGroup(MS,
+              "Fences at branch targets vs the Kocher v1 suite "
+              "(§3.6, Figure 8):",
+              kocherCases(), FencePolicy::BranchTargets, v1v11Mode(), Tally,
+              Quick);
+  if (!Quick) {
+    reportGroup(MS, "Fences at branch targets vs the v1.1 suite:",
+                spectreV11Cases(), FencePolicy::BranchTargets, v1v11Mode(),
+                Tally, Quick);
+    reportGroup(MS, "Fences after stores vs the v4 suite:", spectreV4Cases(),
+                FencePolicy::AfterStores, v4Mode(), Tally, Quick);
+    reportGroup(MS,
+                "Fences (branches+stores) vs the Table 2 crypto models, "
+                "v4 mode:",
+                cryptoCases(), FencePolicy::BranchTargetsAndStores, v4Mode(),
+                Tally, Quick);
+  }
+  std::printf("minimal fence placement: restored SCT on %u/%u leaky "
+              "case(s); strictly fewer fences than the blanket on %u\n\n",
+              Tally.Restored, Tally.LeakyCases, Tally.StrictlyFewer);
 
   // Retpoline vs the Figure 11 v2 gadget (fences provably do not help —
   // the figure's point — but the retpoline does).
   FigureCase V2 = figure11();
-  SctReport Before = toReport(Session.check(V2.Prog, V2.CheckOpts));
-  Program Fenced = insertFences(V2.Prog, FencePolicy::BranchTargetsAndStores);
-  SctReport FencedReport = toReport(Session.check(Fenced, V2.CheckOpts));
-  FigureCase Retpolined = figure13();
-  SctReport RetpolineReport =
-      toReport(Session.check(Retpolined.Prog, Retpolined.CheckOpts));
+  MitigationReport FenceRep = MS.run(
+      V2.Prog, V2.CheckOpts, FenceInsertion(FencePolicy::BranchTargetsAndStores));
+  Retpoline Retp({}, {*V2.Prog.regByName("rb")});
+  MitigationReport RetpRep = MS.run(V2.Prog, V2.CheckOpts, Retp);
   std::printf("Spectre v2 (Figure 11 gadget):\n");
   std::printf("  unmitigated:        %s\n",
-              Before.secure() ? "secure" : "LEAKS");
-  std::printf("  fences everywhere:  %s   (fences cannot stop mistrained "
-              "indirect jumps)\n",
-              FencedReport.secure() ? "secure" : "still LEAKS");
-  std::printf("  retpoline:          %s\n",
-              RetpolineReport.secure() ? "secure" : "still LEAKS");
+              FenceRep.Baseline.secure() ? "secure" : "LEAKS");
+  const MitigationVariant &FV = FenceRep.Variants.front();
+  std::printf("  fences everywhere:  %s   (%u applicable fence sites — "
+              "fences cannot stop mistrained indirect jumps)\n",
+              FV.restoredSct() ? "secure" : "still LEAKS", FV.Cost.Sites);
+  const MitigationVariant &RV = RetpRep.Variants.front();
+  if (RV.applied())
+    std::printf("  retpoline:          %s   (+%u instructions, closed "
+                "%zu/%zu)\n",
+                RV.restoredSct() ? "secure" : "still LEAKS",
+                RV.Cost.InstructionsAdded, RV.closedCount(), RV.Leaks.size());
+  else
+    std::printf("  retpoline:          refused (%s)\n",
+                RV.Error->Message.c_str());
   return 0;
 }

@@ -44,7 +44,7 @@ int main() {
   // 3. Speculative constant-time is not.  Both the vulnerable program and
   //    its fence-repaired variant (§3.6) run through one CheckSession
   //    batch; every witness is delta-debugged to a minimal attack.
-  Program Fenced = insertFences(Prog, FencePolicy::BranchTargets);
+  Program Fenced = FenceInsertion(FencePolicy::BranchTargets).run(Prog).Prog;
   CheckRequest Reqs[2];
   Reqs[0].Id = "gadget";
   Reqs[0].Prog = Prog;

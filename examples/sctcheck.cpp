@@ -7,6 +7,7 @@
 //   sctcheck FILE [--bound N] [--no-fwd] [--alias] [--seq-only]
 //            [--indirect-targets a,b,..] [--rsb-targets a,b,..]
 //            [--fence-branches] [--fence-stores] [--first]
+//            [--mitigate fence|retpoline|minimal-fence]
 //            [--threads N] [--shards N] [--no-prune-seen]
 //            [--replay-snapshots] [--checkpoint-interval K]
 //            [--minimize-witnesses] [--minimize-budget N] [--validate]
@@ -22,12 +23,22 @@
 // --validate replays every witness differentially to confirm it as a
 // concrete trace divergence.
 //
+// --mitigate runs the mitigation engine (engine/MitigationSession.h)
+// instead of a plain check: the program is checked, transformed
+// (fence = blanket fences, retpoline, minimal-fence = the placement
+// search), and re-checked with the baseline's seen-state table reused
+// through the transform's provenance; the report lists per-leak closure,
+// placement cost, and what reuse pruned.  Jump-table programs yield the
+// transform's structured not-relocatable error instead of a miscompile.
+//
 //===----------------------------------------------------------------------===//
 
 #include "checker/DifferentialChecker.h"
 #include "checker/FenceInsertion.h"
+#include "checker/Retpoline.h"
 #include "checker/SctChecker.h"
 #include "checker/SequentialCt.h"
+#include "engine/MitigationSession.h"
 #include "isa/AsmParser.h"
 #include "isa/AsmPrinter.h"
 
@@ -54,6 +65,10 @@ void usage(const char *Prog) {
       "  --seq-only             classical sequential CT check only\n"
       "  --fence-branches       insert fences at branch targets first\n"
       "  --fence-stores         insert fences after stores first\n"
+      "  --mitigate KIND        run the mitigation engine: check, apply\n"
+      "                         KIND (fence|retpoline|minimal-fence),\n"
+      "                         re-check reusing the baseline's seen\n"
+      "                         states, report per-leak closure + cost\n"
       "  --first                stop at the first violation\n"
       "  --threads N            engine worker threads (default 1)\n"
       "  --shards N             frontier shards (default: one per worker;\n"
@@ -67,6 +82,7 @@ void usage(const char *Prog) {
       "  --minimize-threads N   minimization worker threads (default:\n"
       "                         the check's frontier thread share)\n"
       "  --no-slice-excursions  disable the excursion slice pass\n"
+      "  --no-slice-polish      disable the slice-polish basin hop\n"
       "  --no-seed-replays      replay every candidate from the initial\n"
       "                         configuration (identical results)\n"
       "  --validate             differentially confirm each witness\n"
@@ -117,6 +133,20 @@ int main(int Argc, char **Argv) {
   bool SeqOnly = false, Print = false, Validate = false, Minimize = false;
   MinimizeOptions MinOpts;
   const char *IndirectList = nullptr, *RsbList = nullptr;
+  const char *MitigateKind = nullptr;
+  auto ApplyFences = [&Prog](FencePolicy Policy) {
+    MitigationResult R = FenceInsertion(Policy).run(Prog);
+    if (!R.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n",
+                   std::string(fencePolicyName(Policy)).c_str(),
+                   R.Error->Message.c_str());
+      for (uint64_t A : R.Error->SuspectAddrs)
+        std::fprintf(stderr, "  suspect data word at 0x%llx\n",
+                     static_cast<unsigned long long>(A));
+      std::exit(2);
+    }
+    Prog = std::move(R.Prog);
+  };
   for (int I = 2; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--bound") && I + 1 < Argc)
       Opts.SpeculationBound = static_cast<unsigned>(atoi(Argv[++I]));
@@ -131,9 +161,11 @@ int main(int Argc, char **Argv) {
     else if (!std::strcmp(Argv[I], "--seq-only"))
       SeqOnly = true;
     else if (!std::strcmp(Argv[I], "--fence-branches"))
-      Prog = insertFences(Prog, FencePolicy::BranchTargets);
+      ApplyFences(FencePolicy::BranchTargets);
     else if (!std::strcmp(Argv[I], "--fence-stores"))
-      Prog = insertFences(Prog, FencePolicy::AfterStores);
+      ApplyFences(FencePolicy::AfterStores);
+    else if (!std::strcmp(Argv[I], "--mitigate") && I + 1 < Argc)
+      MitigateKind = Argv[++I];
     else if (!std::strcmp(Argv[I], "--first"))
       Opts.StopAtFirstLeak = true;
     else if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
@@ -157,6 +189,8 @@ int main(int Argc, char **Argv) {
       MinOpts.Threads = static_cast<unsigned>(atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--no-slice-excursions"))
       MinOpts.SliceExcursions = false;
+    else if (!std::strcmp(Argv[I], "--no-slice-polish"))
+      MinOpts.SlicePolish = false;
     else if (!std::strcmp(Argv[I], "--no-seed-replays"))
       MinOpts.SeedReplays = false;
     else if (!std::strcmp(Argv[I], "--validate"))
@@ -175,6 +209,81 @@ int main(int Argc, char **Argv) {
 
   if (Print)
     std::printf("%s\n", printAsm(Prog).c_str());
+
+  if (MitigateKind) {
+    SessionOptions SOpts;
+    SOpts.Threads = Opts.Threads ? Opts.Threads : 1;
+    MitigationSession MSession(SOpts);
+    bool WantStores = Opts.ExploreForwardingHazards;
+    FencePolicy Blanket = WantStores ? FencePolicy::BranchTargetsAndStores
+                                     : FencePolicy::BranchTargets;
+
+    if (!std::strcmp(MitigateKind, "minimal-fence")) {
+      FencePlacementOptions FOpts;
+      FOpts.Blanket = Blanket;
+      FencePlacementResult R =
+          MSession.minimizeFencePlacement(Prog, Opts, FOpts);
+      if (R.Error) {
+        std::fprintf(stderr, "error: %s\n", R.Error->Message.c_str());
+        return 2;
+      }
+      std::printf("baseline: %zu leak(s)\n",
+                  R.Baseline.Exploration.Leaks.size());
+      std::printf("minimal fence placement: %zu of %zu blanket fence(s) "
+                  "suffice (%u re-checks)\n",
+                  R.Sites.size(), R.BlanketSites, R.ChecksSpent);
+      for (PC S : R.Sites) {
+        std::optional<std::string> L = Prog.labelAt(S);
+        std::printf("  fence before %u%s%s\n", S, L ? "  ; " : "",
+                    L ? L->c_str() : "");
+      }
+      std::printf("re-check with minimal set: %s\n",
+                  R.RestoredSct ? "secure" : "still LEAKS");
+      return R.RestoredSct ? 0 : 1;
+    }
+
+    std::unique_ptr<Mitigation> M;
+    if (!std::strcmp(MitigateKind, "fence"))
+      M = std::make_unique<FenceInsertion>(Blanket);
+    else if (!std::strcmp(MitigateKind, "retpoline"))
+      M = std::make_unique<Retpoline>();
+    else {
+      std::fprintf(stderr,
+                   "error: unknown --mitigate kind '%s' "
+                   "(fence|retpoline|minimal-fence)\n",
+                   MitigateKind);
+      return 2;
+    }
+    MitigationReport Rep = MSession.run(Prog, Opts, *M);
+    std::printf("baseline: %zu leak(s), %llu steps\n",
+                Rep.Baseline.Exploration.Leaks.size(),
+                static_cast<unsigned long long>(
+                    Rep.Baseline.Exploration.TotalSteps));
+    const MitigationVariant &V = Rep.Variants.front();
+    if (!V.applied()) {
+      std::fprintf(stderr, "%s refused: %s\n", V.Name.c_str(),
+                   V.Error->Message.c_str());
+      for (uint64_t A : V.Error->SuspectAddrs)
+        std::fprintf(stderr, "  suspect data word at 0x%llx\n",
+                     static_cast<unsigned long long>(A));
+      return 2;
+    }
+    std::printf("%s: +%u instruction(s), %u fence(s), %u site(s)\n",
+                V.Name.c_str(), V.Cost.InstructionsAdded, V.Cost.FencesAdded,
+                V.Cost.Sites);
+    std::printf("sequential schedule: %zu -> %zu steps\n",
+                Rep.SeqStepsBaseline, V.SeqSteps);
+    std::printf("re-check: %s; closed %zu/%zu leak(s); seen-state reuse "
+                "pruned %llu subtree(s)\n",
+                V.restoredSct() ? "secure" : "still LEAKS", V.closedCount(),
+                V.Leaks.size(),
+                static_cast<unsigned long long>(V.ReusePrunedNodes));
+    for (const LeakClosure &L : V.Leaks)
+      std::printf("  leak at pc %u: %s%s\n", L.Origin,
+                  L.Closed ? "closed" : "OPEN",
+                  L.ReplayPredictsOpen ? " (witness still replays)" : "");
+    return V.restoredSct() ? 0 : 1;
+  }
 
   SequentialCtReport Seq = checkSequentialCt(Prog);
   std::printf("sequential constant-time: %s\n",

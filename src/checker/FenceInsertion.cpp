@@ -4,25 +4,57 @@
 
 #include "checker/ProgramRewriter.h"
 
+#include <algorithm>
 #include <set>
 
 using namespace sct;
 
-Program sct::insertFences(const Program &P, FencePolicy Policy) {
-  ProgramRewriter RW(P);
-  std::set<PC> FenceAt;
+std::string_view sct::fencePolicyName(FencePolicy Policy) {
+  switch (Policy) {
+  case FencePolicy::BranchTargets:
+    return "branch-targets";
+  case FencePolicy::AfterStores:
+    return "after-stores";
+  case FencePolicy::BranchTargetsAndStores:
+    return "branch-targets+stores";
+  }
+  return "?";
+}
 
+FenceInsertion::FenceInsertion(FencePolicy Policy,
+                               std::vector<uint64_t> CodePointerAddrs,
+                               std::vector<Reg> CodePointerRegs)
+    : Policy(Policy), CodePointerAddrs(std::move(CodePointerAddrs)),
+      CodePointerRegs(std::move(CodePointerRegs)) {}
+
+FenceInsertion::FenceInsertion(std::vector<PC> Sites,
+                               std::vector<uint64_t> CodePointerAddrs,
+                               std::vector<Reg> CodePointerRegs)
+    : Sites(std::move(Sites)), CodePointerAddrs(std::move(CodePointerAddrs)),
+      CodePointerRegs(std::move(CodePointerRegs)) {
+  std::sort(this->Sites.begin(), this->Sites.end());
+  this->Sites.erase(std::unique(this->Sites.begin(), this->Sites.end()),
+                    this->Sites.end());
+}
+
+std::string FenceInsertion::name() const {
+  if (Policy)
+    return "fence@" + std::string(fencePolicyName(*Policy));
+  return "fence@" + std::to_string(Sites.size()) + "-sites";
+}
+
+std::vector<PC> FenceInsertion::policySites(const Program &P,
+                                            FencePolicy Policy) {
+  std::set<PC> FenceAt;
   bool WantBranches = Policy == FencePolicy::BranchTargets ||
                       Policy == FencePolicy::BranchTargetsAndStores;
   bool WantStores = Policy == FencePolicy::AfterStores ||
                     Policy == FencePolicy::BranchTargetsAndStores;
-
   for (PC N = 0; N < P.endPC(); ++N) {
     const Instruction &I = P.at(N);
     if (WantBranches && I.is(InstrKind::Branch)) {
       // Unconditional encodings (jmp) never misspeculate; skip them.
-      if (I.trueTarget() != I.falseTarget() ||
-          I.opcode() != Opcode::True) {
+      if (I.trueTarget() != I.falseTarget() || I.opcode() != Opcode::True) {
         FenceAt.insert(I.trueTarget());
         FenceAt.insert(I.falseTarget());
       }
@@ -30,10 +62,52 @@ Program sct::insertFences(const Program &P, FencePolicy Policy) {
     if (WantStores && I.is(InstrKind::Store))
       FenceAt.insert(I.next());
   }
+  return std::vector<PC>(FenceAt.begin(), FenceAt.end());
+}
 
-  for (PC At : FenceAt)
-    RW.insertBefore(At, Instruction::makeFence());
-  return RW.apply();
+MitigationResult FenceInsertion::run(const Program &P) const {
+  MitigationResult R;
+  std::vector<PC> At = Policy ? policySites(P, *Policy) : Sites;
+
+  if (At.empty()) {
+    // Nothing to place: the transform is the identity, which is always
+    // safe (no relocation happens, so no code pointer can go stale).
+    R.Prog = P;
+    R.Map = ProvenanceMap::identityFor(P);
+    return R;
+  }
+
+  // Explicit site lists come from callers (the placement search, CLIs);
+  // a site past the program must surface as a structured error, not a
+  // debug-only assert that release builds would turn into a program
+  // reported fenced with fences silently dropped.
+  for (PC N : At)
+    if (N > P.endPC()) {
+      R.Error = MitigationError{
+          MitigationError::Kind::Unsupported,
+          "fence site " + std::to_string(N) + " lies outside the program",
+          {}};
+      return R;
+    }
+
+  if (auto E = checkRelocatable(P, CodePointerAddrs)) {
+    R.Error = std::move(E);
+    return R;
+  }
+
+  ProgramRewriter RW(P);
+  for (uint64_t Addr : CodePointerAddrs)
+    RW.markCodePointer(Addr);
+  for (Reg Rg : CodePointerRegs)
+    RW.markCodePointerReg(Rg);
+  for (PC N : At)
+    RW.insertBefore(N, Instruction::makeFence());
+  R.Prog = RW.apply();
+  R.Map = RW.provenance();
+  R.Cost.InstructionsAdded = static_cast<unsigned>(At.size());
+  R.Cost.FencesAdded = static_cast<unsigned>(At.size());
+  R.Cost.Sites = static_cast<unsigned>(At.size());
+  return R;
 }
 
 size_t sct::countFences(const Program &P) {

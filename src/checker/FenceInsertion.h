@@ -15,12 +15,19 @@
 /// The paper notes fences do *not* help against mistrained indirect jumps
 /// (Figure 11) — use the retpoline transform for those.
 ///
+/// FenceInsertion implements the uniform Mitigation interface
+/// (checker/Mitigation.h): it can place fences per blanket FencePolicy or
+/// at an explicit site list — the handle `engine/MitigationSession.h`'s
+/// minimal-placement search turns — and it *refuses* (structured
+/// NotRelocatable error) on jump-table programs whose code pointers were
+/// not declared, instead of silently miscompiling them.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCT_CHECKER_FENCEINSERTION_H
 #define SCT_CHECKER_FENCEINSERTION_H
 
-#include "isa/Program.h"
+#include "checker/Mitigation.h"
 
 namespace sct {
 
@@ -31,10 +38,37 @@ enum class FencePolicy : unsigned char {
   BranchTargetsAndStores, ///< Union of the two.
 };
 
-/// Returns a copy of \p P with fences inserted per \p Policy; all
-/// control-flow targets are relocated.  Programs that stash code pointers
-/// in data words (jump tables) are not relocatable by this pass.
-Program insertFences(const Program &P, FencePolicy Policy);
+/// Printable policy name.
+std::string_view fencePolicyName(FencePolicy Policy);
+
+/// The fence-insertion transform.
+class FenceInsertion final : public Mitigation {
+public:
+  /// Blanket placement per \p Policy.
+  explicit FenceInsertion(FencePolicy Policy,
+                          std::vector<uint64_t> CodePointerAddrs = {},
+                          std::vector<Reg> CodePointerRegs = {});
+
+  /// Explicit placement: one fence immediately before each program point
+  /// in \p Sites (old coordinates).  This is the minimal-placement
+  /// search's knob.
+  explicit FenceInsertion(std::vector<PC> Sites,
+                          std::vector<uint64_t> CodePointerAddrs = {},
+                          std::vector<Reg> CodePointerRegs = {});
+
+  std::string name() const override;
+  MitigationResult run(const Program &P) const override;
+
+  /// The sites a blanket \p Policy would fence in \p P, sorted.  Exposed
+  /// so the placement search can start from the blanket set.
+  static std::vector<PC> policySites(const Program &P, FencePolicy Policy);
+
+private:
+  std::optional<FencePolicy> Policy;
+  std::vector<PC> Sites;
+  std::vector<uint64_t> CodePointerAddrs;
+  std::vector<Reg> CodePointerRegs;
+};
 
 /// Number of fence instructions in \p P (mitigation-cost metric).
 size_t countFences(const Program &P);

@@ -1,0 +1,46 @@
+//===- checker/Mitigation.cpp - Uniform mitigation interface ----------------===//
+
+#include "checker/Mitigation.h"
+
+using namespace sct;
+
+std::optional<MitigationError>
+sct::checkRelocatable(const Program &P,
+                      const std::vector<uint64_t> &DeclaredAddrs) {
+  // Without indirect control flow no data word can ever become a jump
+  // target, so relocation cannot miscompile through data.  (A `ret`
+  // normally consumes targets that calls pushed at run time — remapped
+  // values of remapped call sites, not initial data.  A program that
+  // seeds a *return address* into initial stack memory and underflows
+  // into it is not caught by this screen; declare such words as code
+  // pointers explicitly.)
+  bool HasIndirect = false;
+  for (PC N = 0; N < P.endPC(); ++N)
+    if (P.at(N).is(InstrKind::JumpI) || P.at(N).is(InstrKind::CallI))
+      HasIndirect = true;
+  if (!HasIndirect)
+    return std::nullopt;
+
+  MitigationError E;
+  E.K = MitigationError::Kind::NotRelocatable;
+  for (const auto &[Addr, V] : P.memInits()) {
+    if (V >= P.endPC())
+      continue; // Cannot be a program point.
+    bool Declared = false;
+    for (uint64_t D : DeclaredAddrs)
+      if (D == Addr)
+        Declared = true;
+    if (!Declared)
+      E.SuspectAddrs.push_back(Addr);
+  }
+  if (E.SuspectAddrs.empty())
+    return std::nullopt;
+
+  E.Message = "program has indirect control flow and ";
+  E.Message += std::to_string(E.SuspectAddrs.size());
+  E.Message += " data word(s) that look like undeclared code pointers; "
+               "relocating the text would miscompile jumps through them "
+               "(declare them as code pointers, or leave the program "
+               "untransformed)";
+  return E;
+}

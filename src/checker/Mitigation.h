@@ -1,0 +1,104 @@
+//===- checker/Mitigation.h - Uniform mitigation interface -----*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform interface every §3.6 / Appendix A.2 countermeasure
+/// implements: a named program-to-program transform that reports its
+/// static cost and the instruction-index provenance of the relocation
+/// (checker/ProgramRewriter.h), or a *structured* refusal when the
+/// program cannot be relocated soundly (jump tables whose code pointers
+/// were not declared).
+///
+/// The interface is what makes mitigations first-class for the engine:
+/// `engine/MitigationSession.h` checks a baseline, applies any list of
+/// Mitigations, re-checks each variant while reusing the baseline's
+/// seen-state table through the provenance map, and reports per-leak
+/// closure plus placement cost — mitigation quality as *cost*, not just
+/// soundness (cf. Serberus, Mosier et al., S&P 2024; the Spectre-defenses
+/// SoK, Cauligi et al., S&P 2022).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CHECKER_MITIGATION_H
+#define SCT_CHECKER_MITIGATION_H
+
+#include "checker/ProgramRewriter.h"
+
+#include <string>
+
+namespace sct {
+
+/// Why a transform refused to run.
+struct MitigationError {
+  enum class Kind : unsigned char {
+    /// The program stashes code pointers in data words (or register
+    /// inits) that the rewriter was not told about; relocating the text
+    /// would silently miscompile every indirect jump through them.
+    NotRelocatable,
+    /// The transform does not apply to this program/configuration.
+    Unsupported,
+  };
+  Kind K = Kind::Unsupported;
+  std::string Message;
+  /// NotRelocatable: the data addresses whose initial words look like
+  /// undeclared code pointers.
+  std::vector<uint64_t> SuspectAddrs;
+};
+
+/// Static placement cost of a transform (the dynamic cost — sequential
+/// schedule growth — is measured by the engine, which can run programs).
+struct MitigationCost {
+  /// Instructions the transform added, net.
+  unsigned InstructionsAdded = 0;
+  /// Fence instructions among them.
+  unsigned FencesAdded = 0;
+  /// Program points rewritten (fence insertion sites, retpolined jumps).
+  unsigned Sites = 0;
+};
+
+/// Outcome of applying a Mitigation: either a relocated program with its
+/// provenance and cost, or a structured error.
+struct MitigationResult {
+  Program Prog;       ///< Meaningful iff ok().
+  ProvenanceMap Map;  ///< Old/new instruction-index provenance.
+  MitigationCost Cost;
+  std::optional<MitigationError> Error;
+
+  bool ok() const { return !Error.has_value(); }
+};
+
+/// A named program transform intended to close speculative leaks.
+class Mitigation {
+public:
+  virtual ~Mitigation() = default;
+
+  /// Human-readable transform name ("fence@branch-targets", "retpoline").
+  virtual std::string name() const = 0;
+
+  /// Applies the transform to \p P.  Must either produce a relocated
+  /// program whose architectural behaviour matches \p P's, or a
+  /// structured error — never a silently miscompiled program.
+  virtual MitigationResult run(const Program &P) const = 0;
+};
+
+/// Shared jump-table screening: data words whose initial values land
+/// inside the text section *when the program contains indirect control
+/// flow* (jmpi/calli) are suspect code pointers.  A transform that
+/// relocates code must either be told about them
+/// (ProgramRewriter::markCodePointer) or refuse — the old `insertFences`
+/// silently miscompiled such programs.  Returns the NotRelocatable error
+/// listing the undeclared suspects, or std::nullopt when relocation is
+/// safe as far as static screening can tell.  Register inits are *not*
+/// screened (small indices would be constant false positives); a
+/// register-held code pointer must be declared explicitly
+/// (markCodePointerReg) to survive relocation.
+std::optional<MitigationError>
+checkRelocatable(const Program &P, const std::vector<uint64_t> &DeclaredAddrs);
+
+} // namespace sct
+
+#endif // SCT_CHECKER_MITIGATION_H

@@ -41,6 +41,47 @@ PC ProgramRewriter::newPC(PC OldPC) const {
   return It->second;
 }
 
+ProvenanceMap sct::ProvenanceMap::identityFor(const Program &P) {
+  ProvenanceMap Map;
+  for (PC N = 0; N < P.endPC(); ++N) {
+    Map.InstrOldToNew.push_back(N);
+    Map.InstrNewToOld.push_back(N);
+  }
+  for (PC N = 0; N <= P.endPC(); ++N) {
+    Map.TargetOldToNew.push_back(N);
+    Map.TargetNewToOld.push_back(N);
+  }
+  return Map;
+}
+
+bool sct::ProvenanceMap::identity() const {
+  if (InstrOldToNew.size() != InstrNewToOld.size())
+    return false;
+  for (PC N = 0; N < InstrOldToNew.size(); ++N)
+    if (InstrOldToNew[N] != N)
+      return false;
+  return true;
+}
+
+ProvenanceMap ProgramRewriter::provenance() const {
+  assert(Applied && "provenance known only after apply()");
+  ProvenanceMap Map;
+  Map.InstrNewToOld = SlotOldPC;
+  Map.InstrOldToNew.assign(Orig.endPC(), ProvenanceMap::None);
+  for (PC New = 0; New < SlotOldPC.size(); ++New)
+    if (SlotOldPC[New] != ProvenanceMap::None)
+      Map.InstrOldToNew[SlotOldPC[New]] = New;
+  Map.TargetOldToNew.assign(Orig.endPC() + 1, ProvenanceMap::None);
+  Map.TargetNewToOld.assign(SlotOldPC.size() + 1, ProvenanceMap::None);
+  for (PC Old = 0; Old <= Orig.endPC(); ++Old) {
+    PC New = Remap.at(Old);
+    Map.TargetOldToNew[Old] = New;
+    if (New < Map.TargetNewToOld.size())
+      Map.TargetNewToOld[New] = Old;
+  }
+  return Map;
+}
+
 Program ProgramRewriter::apply() {
   assert(!Applied && "rewriter already applied");
   Applied = true;
@@ -55,29 +96,33 @@ Program ProgramRewriter::apply() {
     bool IsOriginal; // Original instructions remap their successor.
   };
   std::vector<Slot> Slots;
+  auto pushSlot = [&](const Instruction &I, bool IsOriginal, PC OldPC) {
+    Slots.push_back({&I, IsOriginal});
+    SlotOldPC.push_back(OldPC);
+  };
 
   for (PC Old = 0; Old < Orig.endPC(); ++Old) {
     Remap[Old] = static_cast<PC>(Slots.size());
     if (auto It = Inserted.find(Old); It != Inserted.end())
       for (const Instruction &I : It->second)
-        Slots.push_back({&I, false});
+        pushSlot(I, false, ProvenanceMap::None);
     if (auto It = Replaced.find(Old); It != Replaced.end()) {
       for (const Instruction &I : It->second)
-        Slots.push_back({&I, false});
+        pushSlot(I, false, ProvenanceMap::None);
     } else {
-      Slots.push_back({&Orig.at(Old), true});
+      pushSlot(Orig.at(Old), true, Old);
     }
   }
   for (size_t K = 0; K < Appended.size(); ++K) {
     Remap[Orig.endPC() + 1 + static_cast<PC>(K)] =
         static_cast<PC>(Slots.size());
     for (const Instruction &I : Appended[K])
-      Slots.push_back({&I, false});
+      pushSlot(I, false, ProvenanceMap::None);
   }
   Remap[Orig.endPC()] = static_cast<PC>(Slots.size());
   if (auto It = Inserted.find(Orig.endPC()); It != Inserted.end())
     for (const Instruction &I : It->second)
-      Slots.push_back({&I, false});
+      pushSlot(I, false, ProvenanceMap::None);
 
   // --- Pass 2: emission through a builder (keeps register ids stable).
   ProgramBuilder B;
@@ -116,8 +161,13 @@ Program ProgramRewriter::apply() {
 
   for (const MemRegion &R : Orig.regions())
     B.region(R.Name, R.Base, R.Size, R.RegionLabel);
-  for (const auto &[R, V] : Orig.regInits())
-    B.init(R, V);
+  for (const auto &[R, V] : Orig.regInits()) {
+    bool IsCodePtr = false;
+    for (Reg Marked : CodePointerRegs)
+      if (Marked == R)
+        IsCodePtr = true;
+    B.init(R, IsCodePtr ? MapPC(static_cast<PC>(V)) : V);
+  }
   for (const auto &[Addr, V] : Orig.memInits()) {
     bool IsCodePtr = false;
     for (uint64_t Marked : CodePointers)

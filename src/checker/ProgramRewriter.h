@@ -25,8 +25,74 @@
 #include "isa/Program.h"
 
 #include <map>
+#include <optional>
 
 namespace sct {
+
+/// Instruction-index provenance of a rewrite: where each old program
+/// point ended up in the new layout, in both of the senses a consumer
+/// needs.
+///
+///  - The *instruction* maps track the old instruction itself: `newOf(n)`
+///    is the slot the instruction at old point `n` occupies in the new
+///    program (nullopt if it was replaced away), and `oldOf(m)` inverts
+///    that (nullopt for inserted/appended instructions, which have no old
+///    identity).  Transient-instruction origins live in this coordinate
+///    system.
+///  - The *target* maps track control flow: `newTargetOf(n)` is where a
+///    jump to old point `n` lands in the new program — the first
+///    instruction inserted before `n`, when there is one — and
+///    `oldTargetOf(m)` inverts it.  Fetch points, branch targets, and RSB
+///    entries live here.
+///
+/// The engine's seen-state reuse hashes a mitigated program's
+/// configurations back into baseline coordinates through these maps
+/// (sched/SeenStates.h); the mitigation reports use them to relate leak
+/// origins across the transform.
+struct ProvenanceMap {
+  /// Sentinel for "no image".
+  static constexpr PC None = 0xFFFFFFFF;
+
+  /// Old instruction index -> its new slot (None if replaced away).
+  std::vector<PC> InstrOldToNew;
+  /// New slot -> the old instruction it carries (None if inserted).
+  std::vector<PC> InstrNewToOld;
+  /// Old control-flow point -> new landing point (size oldEndPC + 1; the
+  /// end point maps too).
+  std::vector<PC> TargetOldToNew;
+  /// New control-flow point -> the old point it is the image of (None if
+  /// nothing targeted it).
+  std::vector<PC> TargetNewToOld;
+
+  std::optional<PC> newOf(PC Old) const {
+    if (Old >= InstrOldToNew.size() || InstrOldToNew[Old] == None)
+      return std::nullopt;
+    return InstrOldToNew[Old];
+  }
+  std::optional<PC> oldOf(PC New) const {
+    if (New >= InstrNewToOld.size() || InstrNewToOld[New] == None)
+      return std::nullopt;
+    return InstrNewToOld[New];
+  }
+  std::optional<PC> newTargetOf(PC Old) const {
+    if (Old >= TargetOldToNew.size())
+      return std::nullopt;
+    return TargetOldToNew[Old];
+  }
+  std::optional<PC> oldTargetOf(PC New) const {
+    if (New >= TargetNewToOld.size() || TargetNewToOld[New] == None)
+      return std::nullopt;
+    return TargetNewToOld[New];
+  }
+
+  /// True iff the rewrite moved nothing: every instruction kept its index
+  /// and nothing was inserted, replaced, or appended.
+  bool identity() const;
+
+  /// The identity provenance for \p P — what a transform that changed
+  /// nothing reports.
+  static ProvenanceMap identityFor(const Program &P);
+};
 
 /// Rewrites one program.
 class ProgramRewriter {
@@ -57,6 +123,10 @@ public:
   /// pointer and must be remapped.
   void markCodePointer(uint64_t Addr) { CodePointers.push_back(Addr); }
 
+  /// Declares that register \p R's initial value is a code pointer and
+  /// must be remapped (e.g. a function pointer seeded through `.init`).
+  void markCodePointerReg(Reg R) { CodePointerRegs.push_back(R); }
+
   /// Declares an extra (scratch) register for use by rewritten code;
   /// usable in rewriter instructions immediately.
   Reg scratchReg(const std::string &Name);
@@ -67,14 +137,21 @@ public:
   /// After apply(): the new location of old (or virtual) point \p OldPC.
   PC newPC(PC OldPC) const;
 
+  /// After apply(): the full instruction-index provenance of the rewrite.
+  ProvenanceMap provenance() const;
+
 private:
   const Program &Orig;
   std::map<PC, std::vector<Instruction>> Inserted;
   std::map<PC, std::vector<Instruction>> Replaced;
   std::vector<std::vector<Instruction>> Appended;
   std::vector<uint64_t> CodePointers;
+  std::vector<Reg> CodePointerRegs;
   std::vector<std::string> ExtraRegs;
   std::map<PC, PC> Remap;
+  /// Per new slot: the old instruction index it carries, or
+  /// ProvenanceMap::None for inserted/replacement/appended slots.
+  std::vector<PC> SlotOldPC;
   bool Applied = false;
 };
 

@@ -6,18 +6,33 @@
 
 using namespace sct;
 
-RetpolineResult sct::retpolineTransform(
-    const Program &P, const std::vector<uint64_t> &CodePointerAddrs) {
-  ProgramRewriter RW(P);
-  for (uint64_t Addr : CodePointerAddrs)
-    RW.markCodePointer(Addr);
+MitigationResult Retpoline::run(const Program &P) const {
+  MitigationResult R;
 
   bool HasJumpI = false;
   for (PC N = 0; N < P.endPC(); ++N)
     if (P.at(N).is(InstrKind::JumpI))
       HasJumpI = true;
-  if (!HasJumpI)
-    return {RW.apply(), 0};
+  if (!HasJumpI) {
+    // Nothing to rewrite: identity (and trivially safe).
+    R.Prog = P;
+    R.Map = ProvenanceMap::identityFor(P);
+    return R;
+  }
+
+  // The rewrite relocates code, so every code pointer reachable through
+  // data must be declared — jump tables are exactly where jmpi targets
+  // come from, so this screen is load-bearing here.
+  if (auto E = checkRelocatable(P, CodePointerAddrs)) {
+    R.Error = std::move(E);
+    return R;
+  }
+
+  ProgramRewriter RW(P);
+  for (uint64_t Addr : CodePointerAddrs)
+    RW.markCodePointer(Addr);
+  for (Reg Rg : CodePointerRegs)
+    RW.markCodePointerReg(Rg);
 
   Reg Scratch = RW.scratchReg("rretp");
   unsigned Rewritten = 0;
@@ -32,8 +47,7 @@ RetpolineResult sct::retpolineTransform(
     // addressing), overwrite the saved return address, return.
     std::vector<Instruction> Body;
     const std::vector<Operand> &Args = I.args();
-    Body.push_back(
-        Instruction::makeOp(Scratch, Opcode::Mov, {Args[0]}));
+    Body.push_back(Instruction::makeOp(Scratch, Opcode::Mov, {Args[0]}));
     for (size_t A = 1; A < Args.size(); ++A)
       Body.push_back(Instruction::makeOp(
           Scratch, Opcode::Add, {Operand::reg(Scratch), Args[A]}));
@@ -49,5 +63,12 @@ RetpolineResult sct::retpolineTransform(
     RW.replace(N, {Instruction::makeCall(BodyPC), std::move(Trap)});
   }
 
-  return {RW.apply(), Rewritten};
+  R.Prog = RW.apply();
+  R.Map = RW.provenance();
+  R.Cost.Sites = Rewritten;
+  // Each jmpi becomes call+trap plus an appended body, so the program
+  // strictly grows; one trap fence per rewritten jump.
+  R.Cost.InstructionsAdded = static_cast<unsigned>(R.Prog.size() - P.size());
+  R.Cost.FencesAdded = Rewritten;
+  return R;
 }

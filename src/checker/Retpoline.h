@@ -21,29 +21,38 @@
 /// Speculative execution can only ever reach the fence trap; the attacker
 /// never steers the transient target (the paper's Figure 13 walkthrough).
 ///
+/// Retpoline implements the uniform Mitigation interface
+/// (checker/Mitigation.h); like FenceInsertion it refuses with a
+/// structured NotRelocatable error when undeclared code pointers would go
+/// stale.  Requires the sum addressing mode (the default).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCT_CHECKER_RETPOLINE_H
 #define SCT_CHECKER_RETPOLINE_H
 
-#include "isa/Program.h"
+#include "checker/Mitigation.h"
 
 namespace sct {
 
-/// Result of the transform.
-struct RetpolineResult {
-  Program Prog;
-  /// Number of indirect jumps rewritten.
-  unsigned Rewritten = 0;
-};
+/// The retpoline transform.  \p CodePointerAddrs lists data addresses
+/// whose initial words are code pointers (jump tables) and must be
+/// relocated along with the code; \p CodePointerRegs the registers whose
+/// initial values are.
+class Retpoline final : public Mitigation {
+public:
+  explicit Retpoline(std::vector<uint64_t> CodePointerAddrs = {},
+                     std::vector<Reg> CodePointerRegs = {})
+      : CodePointerAddrs(std::move(CodePointerAddrs)),
+        CodePointerRegs(std::move(CodePointerRegs)) {}
 
-/// Rewrites every `jmpi` in \p P into a retpoline.  \p CodePointerAddrs
-/// lists data addresses whose initial words are code pointers (jump
-/// tables) and must be relocated along with the code.  Requires the
-/// sum addressing mode (the default).
-RetpolineResult retpolineTransform(const Program &P,
-                                   const std::vector<uint64_t>
-                                       &CodePointerAddrs = {});
+  std::string name() const override { return "retpoline"; }
+  MitigationResult run(const Program &P) const override;
+
+private:
+  std::vector<uint64_t> CodePointerAddrs;
+  std::vector<Reg> CodePointerRegs;
+};
 
 } // namespace sct
 

@@ -15,6 +15,24 @@ uint64_t Configuration::hash() const {
   return H;
 }
 
+std::optional<uint64_t> Configuration::hash(const PcRemap &R) const {
+  std::optional<PC> MN = R.target(N);
+  if (!MN)
+    return std::nullopt;
+  std::optional<uint64_t> BufH = Buf.hash(R);
+  if (!BufH)
+    return std::nullopt;
+  std::optional<uint64_t> RsbH = Rsb.hash(R);
+  if (!RsbH)
+    return std::nullopt;
+  uint64_t H = hashCombine(HashSeed, Regs.hash());
+  H = hashCombine(H, Mem.hash());
+  H = hashCombine(H, *MN);
+  H = hashCombine(H, *BufH);
+  H = hashCombine(H, *RsbH);
+  return H;
+}
+
 Configuration Configuration::initial(const Program &P) {
   Configuration C;
   C.Regs = RegisterFile(P.numRegs());

@@ -14,6 +14,18 @@ uint64_t ReorderBuffer::hash() const {
   return H;
 }
 
+std::optional<uint64_t> ReorderBuffer::hash(const PcRemap &R) const {
+  uint64_t H = hashCombine(HashSeed, Base);
+  H = hashCombine(H, Entries.size());
+  for (const TransientInstr &T : Entries) {
+    std::optional<uint64_t> TH = T.hash(R);
+    if (!TH)
+      return std::nullopt;
+    H = hashCombine(H, *TH);
+  }
+  return H;
+}
+
 std::string dumpReorderBuffer(const ReorderBuffer &Buf, const Program &P) {
   std::string Out;
   if (Buf.empty())

@@ -93,6 +93,11 @@ public:
   /// contents are genuinely different states.
   uint64_t hash() const;
 
+  /// Remap-aware variant: entries hash through \p R (see
+  /// TransientInstr::hash(const PcRemap &)); nullopt iff any entry's
+  /// program points have no image.
+  std::optional<uint64_t> hash(const PcRemap &R) const;
+
 private:
   std::deque<TransientInstr> Entries;
   BufIdx Base = 1; // The paper's examples number entries from 1.

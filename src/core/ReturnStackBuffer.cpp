@@ -15,6 +15,22 @@ uint64_t ReturnStackBuffer::hash() const {
   return H;
 }
 
+std::optional<uint64_t> ReturnStackBuffer::hash(const PcRemap &R) const {
+  uint64_t H = hashCombine(HashSeed, Journal.size());
+  for (const Entry &E : Journal) {
+    PC Target = E.Target; // Pops record no target (raw 0, like hash()).
+    if (E.IsPush) {
+      std::optional<PC> M = R.target(E.Target);
+      if (!M)
+        return std::nullopt;
+      Target = *M;
+    }
+    H = hashCombine(H, E.Idx);
+    H = hashCombine(H, (uint64_t(Target) << 1) | E.IsPush);
+  }
+  return H;
+}
+
 std::optional<PC> ReturnStackBuffer::top() const {
   // Replay the journal into a stack (the paper's JσK), then take the top.
   std::vector<PC> Stack;

@@ -68,6 +68,10 @@ public:
   /// differently, so the history is what gets hashed).
   uint64_t hash() const;
 
+  /// Remap-aware variant: push targets (return points) map through
+  /// \p R's target channel; nullopt iff any has no image.
+  std::optional<uint64_t> hash(const PcRemap &R) const;
+
 private:
   struct Entry {
     BufIdx Idx;

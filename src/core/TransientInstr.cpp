@@ -157,6 +157,63 @@ uint64_t TransientInstr::hash() const {
   return H;
 }
 
+std::optional<uint64_t> TransientInstr::hash(const PcRemap &R) const {
+  // Only the target fields the entry's kind actually uses are remapped —
+  // the factories leave the others at 0, and the plain hash of the
+  // corresponding original-program entry folds those raw zeros.
+  PC MN0 = N0, MNTrue = NTrue, MNFalse = NFalse;
+  auto MapTarget = [&R](PC N, PC &Out) {
+    std::optional<PC> M = R.target(N);
+    if (!M)
+      return false;
+    Out = *M;
+    return true;
+  };
+  switch (Kind) {
+  case TransientKind::Branch:
+    if (!MapTarget(N0, MN0) || !MapTarget(NTrue, MNTrue) ||
+        !MapTarget(NFalse, MNFalse))
+      return std::nullopt;
+    break;
+  case TransientKind::Jump:
+  case TransientKind::JumpI:
+    if (!MapTarget(N0, MN0))
+      return std::nullopt;
+    break;
+  default:
+    break;
+  }
+  std::optional<PC> MOrigin = R.instr(Origin);
+  if (!MOrigin)
+    return std::nullopt;
+
+  // From here on: byte-for-byte the chaining of hash(), with the mapped
+  // points substituted.
+  uint64_t H = hashFields({uint64_t(Kind), Dest.id(), uint64_t(Opc)});
+  auto FoldOperand = [&H](const Operand &Op) {
+    H = hashCombine(H, Op.isReg() ? 1 : 2);
+    H = hashCombine(H, Op.isReg() ? Op.getReg().id() : Op.getImm());
+  };
+  H = hashCombine(H, Args.size());
+  for (const Operand &Op : Args)
+    FoldOperand(Op);
+  H = hashCombine(H, Val.Bits);
+  H = hashCombine(H, Val.Taint.mask());
+  FoldOperand(StoreVal);
+  H = hashCombine(H, StoreValIsResolved);
+  H = hashCombine(H, StoreResolvedVal.Bits);
+  H = hashCombine(H, StoreResolvedVal.Taint.mask());
+  H = hashCombine(H, StoreAddrIsResolved);
+  H = hashCombine(H, StoreAddr.Bits);
+  H = hashCombine(H, StoreAddr.Taint.mask());
+  H = hashCombine(H, LoadAddr);
+  H = hashCombine(H, Dep ? *Dep + 1 : 0);
+  H = hashCombine(H, (uint64_t(MN0) << 32) | MNTrue);
+  H = hashCombine(H, (uint64_t(MNFalse) << 32) | *MOrigin);
+  H = hashCombine(H, GroupLeader);
+  return H;
+}
+
 bool TransientInstr::isResolved() const {
   switch (Kind) {
   case TransientKind::ResolvedValue:

@@ -35,6 +35,8 @@ SessionOptions sct::sessionOptionsFromArgs(int Argc, char **Argv) {
       SOpts.Minimize.Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--no-slice-excursions"))
       SOpts.Minimize.SliceExcursions = false;
+    else if (!std::strcmp(Argv[I], "--no-slice-polish"))
+      SOpts.Minimize.SlicePolish = false;
     else if (!std::strcmp(Argv[I], "--no-seed-replays"))
       SOpts.Minimize.SeedReplays = false;
   }

@@ -152,7 +152,8 @@ private:
 /// `--checkpoint-interval N` (selects `SnapshotPolicy::Hybrid` with that
 /// K), `--minimize-witnesses`, `--minimize-budget N`,
 /// `--minimize-threads N` (0 = inherit the check's frontier share),
-/// `--no-slice-excursions`, and `--no-seed-replays` out of argv,
+/// `--no-slice-excursions`, `--no-slice-polish`, and `--no-seed-replays`
+/// out of argv,
 /// defaulting the thread budget to the hardware concurrency.  Shared by
 /// the bench mains.
 SessionOptions sessionOptionsFromArgs(int Argc, char **Argv);

@@ -48,15 +48,30 @@ public:
     ChainRungs.clear();
     if (Seeded) {
       adopt(std::move(Kept), std::move(KA));
-      for (unsigned Pass = 0; Pass < Opts.MaxPasses && !Exhausted; ++Pass) {
-        Schedule Before = Cur;
-        if (Opts.SliceExcursions)
-          slice();
-        ddmin();
-        if (Opts.Canonicalize && !Exhausted)
-          canonicalize();
-        if (Cur == Before)
-          break; // Fixpoint: another pass would change nothing.
+      for (unsigned Outer = 0; Outer < Opts.MaxPasses; ++Outer) {
+        for (unsigned Pass = 0; Pass < Opts.MaxPasses && !Exhausted;
+             ++Pass) {
+          Schedule Before = Cur;
+          if (Opts.SliceExcursions)
+            slice();
+          ddmin();
+          if (Opts.Canonicalize && !Exhausted)
+            canonicalize();
+          if (Cur == Before)
+            break; // Fixpoint: another pass would change nothing.
+        }
+        if (!Opts.SliceExcursions || !Opts.SlicePolish || Exhausted)
+          break;
+        // The polish round hops to the no-slice basin when that is
+        // strictly shorter; a successful hop strictly shrinks Cur and
+        // re-enters the fixpoint loop above, so the final schedule is
+        // stable under every pass — idempotence holds with polish
+        // exactly as without it (an unproductive polish restores the
+        // fixpoint result byte-for-byte and ends the loop).
+        Schedule BeforePolish = Cur;
+        polish();
+        if (Cur == BeforePolish)
+          break;
       }
       Stats.MinimizedDirectives += Cur.size();
     }
@@ -387,6 +402,61 @@ private:
           break;
         }
       }
+    }
+  }
+
+  /// The slice-polish pass (ROADMAP open item 4).  The slice pass's
+  /// fixpoint is 1-minimal in its own basin — predictions flipped to
+  /// their resolving forms, rollback executes kept — which on some
+  /// bloated witnesses sits ±2 directives from the no-slice optimum,
+  /// whose schedules keep a misprediction un-flipped instead.  The
+  /// fixpoint loop cannot hop between the basins: its guess-flips adopt
+  /// only strict shrinks.  Polish hops deliberately: flip each surviving
+  /// branch guess at *equal* length, rerun the no-slice passes
+  /// (ddmin + canonicalize) from there, and keep the whole excursion only
+  /// if the result is strictly shorter than the fixpoint's — otherwise
+  /// restore it byte-for-byte, which is also what keeps minimization
+  /// idempotent and never-longer.
+  void polish() {
+    Schedule Saved = Cur;
+    std::vector<AllocInfo> SavedAlloc = CurAlloc;
+    Ladder SavedRungs = Rungs;
+
+    bool Improved = false;
+    for (size_t I = 0; I < Cur.size() && !Exhausted; ++I) {
+      if (Cur[I].K != Directive::Kind::FetchBool)
+        continue;
+      Schedule Cand = Cur;
+      Cand[I] = Directive::fetchBool(!Cur[I].Guess);
+      Schedule Kept;
+      std::vector<AllocInfo> KA;
+      // Equal length is enough to hop; the replays below must then earn
+      // the strict shrink.
+      if (!evaluate(Cand, Kept, KA) || Kept.size() > Cur.size())
+        continue;
+      adopt(std::move(Kept), std::move(KA));
+      for (unsigned Pass = 0; Pass < Opts.MaxPasses && !Exhausted; ++Pass) {
+        Schedule Before = Cur;
+        ddmin();
+        if (Opts.Canonicalize && !Exhausted)
+          canonicalize();
+        if (Cur == Before)
+          break;
+      }
+      if (Cur.size() < Saved.size()) {
+        Improved = true;
+        break; // Strictly better basin found; keep it.
+      }
+      // No win: restore the fixpoint result exactly (rungs included —
+      // their invariant is tied to Cur's prefix).
+      Cur = Saved;
+      CurAlloc = SavedAlloc;
+      Rungs = SavedRungs;
+    }
+    if (!Improved && (Cur != Saved)) {
+      Cur = Saved;
+      CurAlloc = SavedAlloc;
+      Rungs = std::move(SavedRungs);
     }
   }
 

@@ -111,6 +111,16 @@ struct MinimizeOptions {
   bool Canonicalize = true;
   /// Run the excursion slice pass before each ddmin pass.
   bool SliceExcursions = true;
+  /// After the slice+ddmin+canonicalize fixpoint, run a polish round that
+  /// hops basins: each surviving branch guess is flipped at *equal*
+  /// length (the fixpoint's guess-flips only ever adopt strict shrinks)
+  /// and the no-slice passes rerun from there; the polished schedule is
+  /// kept only if strictly shorter, else the fixpoint result is restored
+  /// byte-for-byte.  Closes the ±2-directive gap the slice pass's own
+  /// 1-minimal fixpoint can leave against the no-slice optimum on some
+  /// bloated witnesses (same leak key; never longer; idempotence
+  /// preserved by the restore).
+  bool SlicePolish = true;
   /// Seed candidate replays from mid-schedule checkpoints (the explorer's
   /// hybrid chain via `LeakRecord::Ckpt` plus self-recorded rungs)
   /// instead of always replaying from the initial configuration.  Off

@@ -53,6 +53,22 @@ using namespace sct;
 
 namespace {
 
+/// ExportSeenStates bookkeeping: the fingerprints a path claimed, as a
+/// persistent cons-list shared between a path and everything forked from
+/// it (the Checkpoint::Prev pattern) — fork inheritance is a pointer
+/// copy, not an O(depth) vector copy.  `Marked` lets the leaky-below
+/// walk stop at the first node a previous walk already poisoned: a
+/// marked node's ancestors are marked too, so total marking work is
+/// linear in distinct claims.
+struct ClaimNode {
+  ClaimNode(uint64_t Fp, std::shared_ptr<const ClaimNode> Prev)
+      : Fp(Fp), Prev(std::move(Prev)) {}
+  uint64_t Fp;
+  std::shared_ptr<const ClaimNode> Prev;
+  mutable std::atomic<bool> Marked{false};
+};
+using ClaimTrail = std::shared_ptr<const ClaimNode>;
+
 /// One frontier entry: a point in the schedule tree still to be explored.
 struct ExploreNode {
   /// The configuration at this point (engaged under SnapshotPolicy::Copy).
@@ -69,6 +85,10 @@ struct ExploreNode {
   Schedule Sched;
   /// Steps spent on this path (per-schedule budget accounting).
   size_t PathSteps = 0;
+  /// ExportSeenStates only: the fingerprints this node's path claimed in
+  /// the seen-state table — its ancestor decision points.  A leak (or a
+  /// coverage-unknown convergence prune) below marks them all leaky.
+  ClaimTrail Claims;
 };
 
 /// The work-queue exploration engine.
@@ -84,7 +104,10 @@ public:
         Deques(Stealing ? std::min(Opts.Shards ? Opts.Shards : NumWorkers,
                                    NumWorkers)
                         : 1),
-        Workers(NumWorkers) {}
+        Workers(NumWorkers) {
+    if (Opts.ExportSeenStates)
+      Export = std::make_shared<SeenStateExport>();
+  }
 
   ExploreResult run() {
     {
@@ -126,6 +149,9 @@ private:
     /// forks) replays from, refreshed by runPath once the path has moved
     /// CheckpointInterval directives past it.
     std::shared_ptr<const Checkpoint> Base;
+    /// ExportSeenStates only: fingerprints claimed along this path (see
+    /// ExploreNode::Claims); forks share the trail by pointer.
+    ClaimTrail Claims;
     /// Set when the seen-state table proves this path converged onto an
     /// already-visited configuration (its subtree belongs to the first
     /// visitor); the path stops without completing a schedule.
@@ -172,7 +198,28 @@ private:
 
   /// Cross-schedule seen-state table (consulted only under
   /// Opts.PruneSeen; constructed unconditionally — 64 empty shards).
-  SeenStateTable Seen;
+  SeenStateTable OwnSeen;
+  /// Engaged iff Opts.ExportSeenStates: claims then land in the export's
+  /// table (returned through the result) and leak events / convergence
+  /// prunes mark claim trails into its LeakyBelow subset.
+  std::shared_ptr<SeenStateExport> Export;
+  std::atomic<uint64_t> ReusePruned{0};
+
+  SeenStateTable &seen() { return Export ? Export->Seen : OwnSeen; }
+
+  /// ExportSeenStates: a leak event below — or unknowable subtree
+  /// coverage at — the current path poisons every claim on its trail;
+  /// only unpoisoned claims certify leak-free subtrees to a reuse
+  /// consumer.  Stops at the first already-poisoned node (its ancestors
+  /// were poisoned by the same earlier walk).
+  void markLeakyTrail(const ClaimTrail &Claims) {
+    if (!Export)
+      return;
+    for (const ClaimNode *N = Claims.get();
+         N && !N->Marked.exchange(true, std::memory_order_acq_rel);
+         N = N->Prev.get())
+      Export->LeakyBelow.insert(N->Fp);
+  }
 
   /// Global leak dedup, shared by all workers under LeakMu so the
   /// MaxLeaks budget counts globally-unique keys exactly — a per-worker
@@ -202,6 +249,7 @@ private:
     }
     N.Sched = std::move(Pth.Sched);
     N.PathSteps = Pth.Steps;
+    N.Claims = std::move(Pth.Claims);
     unsigned WorkerId = Pth.WorkerId;
     if (NumWorkers == 1) {
       Frontier.push_back(std::move(N));
@@ -228,6 +276,7 @@ private:
     Path Pth;
     Pth.WorkerId = WorkerId;
     Pth.Steps = N.PathSteps;
+    Pth.Claims = std::move(N.Claims);
     if (N.Snap) {
       Pth.C = std::move(*N.Snap);
       Pth.Sched = std::move(N.Sched);
@@ -368,6 +417,8 @@ private:
     R.Steals = Steals.load();
     R.ReplaySteps = ReplaySteps.load();
     R.Checkpoints = Checkpoints.load();
+    R.ReusePrunedNodes = ReusePruned.load();
+    R.SeenExport = Export;
     R.Truncated = TruncatedFlag.load();
     // Merge per-worker buffers in worker order; keys are already
     // globally unique (SeenLeaks gated every insert).
@@ -412,19 +463,30 @@ private:
     TotalSteps.fetch_add(1, std::memory_order_relaxed);
     if (Outcome->Obs.isSecret())
       recordLeak(Pth, Outcome->Obs, Origin, Outcome->Rule);
-    if (Opts.PruneSeen && !Pth.Dead &&
+    if (!Pth.Dead && (Opts.PruneSeen || Opts.Reuse) &&
         (Outcome->Rule == RuleId::StoreExecuteAddrHazard ||
          Outcome->Rule == RuleId::LoadExecuteAddrHazard ||
-         Outcome->Rule == RuleId::LoadExecuteAddrMemHazard) &&
-        Seen.contains(Pth.C.hash())) {
-      PrunedNodes.fetch_add(1, std::memory_order_relaxed);
-      Pth.Dead = true;
+         Outcome->Rule == RuleId::LoadExecuteAddrMemHazard)) {
+      if (Opts.PruneSeen && seen().contains(Pth.C.hash())) {
+        PrunedNodes.fetch_add(1, std::memory_order_relaxed);
+        // The claimant explored (or will explore) this subtree, but a
+        // reuse consumer cannot know whether it leaks from *this* trail's
+        // vantage: poison it.
+        markLeakyTrail(Pth.Claims);
+        Pth.Dead = true;
+      } else if (Opts.Reuse && Opts.Reuse->covered(Pth.C)) {
+        ReusePruned.fetch_add(1, std::memory_order_relaxed);
+        Pth.Dead = true;
+      }
     }
     return true;
   }
 
   void recordLeak(Path &Pth, const Observation &Obs, PC Origin, RuleId Rule) {
     LeakEvents.fetch_add(1, std::memory_order_relaxed);
+    // Every leak event — duplicates included — poisons the trail: no
+    // ancestor claim of this path certifies a leak-free subtree.
+    markLeakyTrail(Pth.Claims);
     LeakRecord L{Pth.Sched, Obs, Origin, Rule};
     // Hand the minimizer the path's checkpoint chain: Sched[0, Ckpt->Len)
     // replays Init to exactly Ckpt->Config, so candidate replays sharing
@@ -553,30 +615,57 @@ private:
         bool Alive = fetchAndDecide(Pth, Forks);
         if (Pth.Dead)
           Alive = false;
-        if (Opts.PruneSeen && !Forks.empty()) {
+        if ((Opts.PruneSeen || Opts.Reuse) && !Forks.empty()) {
           // Cross-schedule pruning happens where nodes are born: a fork
           // whose probed configuration was already visited (or whose
           // probing steps died on a visited hazard state) is dropped
-          // before it costs a frontier slot.
+          // before it costs a frontier slot.  The cross-*program* reuse
+          // filter cuts in at the same point: a fork covered by the
+          // original exploration's leak-free certificate never becomes a
+          // node at all.
           size_t Live = 0;
           for (size_t I = 0; I < Forks.size(); ++I) {
             Path &F = Forks[I];
-            if (!F.Dead && Seen.insert(F.C.hash())) {
-              if (Live != I)
-                Forks[Live] = std::move(F);
-              ++Live;
-            } else if (!F.Dead) { // Dead forks were counted at the hazard.
-              PrunedNodes.fetch_add(1, std::memory_order_relaxed);
+            if (F.Dead)
+              continue; // Counted (and trail-poisoned) at the hazard.
+            if (Opts.Reuse && Opts.Reuse->covered(F.C)) {
+              ReusePruned.fetch_add(1, std::memory_order_relaxed);
+              continue;
             }
+            if (Opts.PruneSeen) {
+              uint64_t H = F.C.hash();
+              if (!seen().insert(H)) {
+                PrunedNodes.fetch_add(1, std::memory_order_relaxed);
+                markLeakyTrail(F.Claims);
+                continue;
+              }
+              if (Export)
+                F.Claims =
+                    std::make_shared<const ClaimNode>(H, std::move(F.Claims));
+            }
+            if (Live != I)
+              Forks[Live] = std::move(F);
+            ++Live;
           }
           Forks.resize(Live);
         }
         if (!Forks.empty()) {
-          if (Alive && Opts.PruneSeen && !Seen.insert(Pth.C.hash())) {
-            // The fall-through continuation converged onto a visited
-            // state; its subtree is owned elsewhere.
-            PrunedNodes.fetch_add(1, std::memory_order_relaxed);
+          if (Alive && Opts.Reuse && Opts.Reuse->covered(Pth.C)) {
+            ReusePruned.fetch_add(1, std::memory_order_relaxed);
             Alive = false;
+          }
+          if (Alive && Opts.PruneSeen) {
+            uint64_t H = Pth.C.hash();
+            if (!seen().insert(H)) {
+              // The fall-through continuation converged onto a visited
+              // state; its subtree is owned elsewhere.
+              PrunedNodes.fetch_add(1, std::memory_order_relaxed);
+              markLeakyTrail(Pth.Claims);
+              Alive = false;
+            } else if (Export) {
+              Pth.Claims =
+                  std::make_shared<const ClaimNode>(H, std::move(Pth.Claims));
+            }
           }
           unsigned WorkerId = Pth.WorkerId;
           if (Alive)
@@ -613,6 +702,7 @@ private:
       F.Steps = Pth.Steps;
       F.WorkerId = Pth.WorkerId;
       F.Base = Pth.Base; // Hybrid: siblings share the parent's checkpoint.
+      F.Claims = Pth.Claims; // Export: shared ancestor trail (cons-list).
       return F;
     };
 

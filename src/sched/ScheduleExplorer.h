@@ -81,6 +81,7 @@
 #define SCT_SCHED_SCHEDULEEXPLORER_H
 
 #include "sched/Executor.h"
+#include "sched/SeenStates.h"
 #include "support/Hashing.h"
 
 namespace sct {
@@ -217,6 +218,22 @@ struct ExplorerOptions {
   /// `PruneSeen = false` when exploration statistics must match the
   /// unpruned engine exactly.
   bool PruneSeen = true;
+  /// Export this run's seen-state table and its leaky-below subset in
+  /// `ExploreResult::SeenExport` (sched/SeenStates.h).  Requires PruneSeen
+  /// (claims are what gets exported; with pruning off the export is
+  /// empty).  Costs a per-path claim trail — a persistent cons-list
+  /// shared between a path and its forks, one node per claim — so it is
+  /// opt-in for consumers that re-check a transformed twin of this
+  /// program (engine/MitigationSession.h).
+  bool ExportSeenStates = false;
+  /// Cross-program reuse: drop frontier candidates (and cut hazard
+  /// re-executions short) whose configuration is covered() by a prior
+  /// exploration of a relocation-equivalent program — the diff-driven
+  /// re-check behind mitigation validation.  The filter's PcRemap
+  /// contract (see RemappedSeenFilter) is what keeps the leak set
+  /// byte-identical with the filter on or off; `ReusePrunedNodes` counts
+  /// what it saved.
+  std::shared_ptr<const RemappedSeenFilter> Reuse;
 };
 
 /// Program point responsible for a directive's observation in \p C, read
@@ -283,6 +300,15 @@ struct ExploreResult {
   /// Full-configuration checkpoints published by the Hybrid policy (the
   /// frontier-memory proxy bench/SnapshotBench.cpp sweeps).
   uint64_t Checkpoints = 0;
+  /// Frontier candidates dropped (and hazard re-executions cut short)
+  /// because a prior exploration's exported table covered them
+  /// (`ExplorerOptions::Reuse`).
+  uint64_t ReusePrunedNodes = 0;
+  /// This run's claimed states and their leaky-below subset; engaged iff
+  /// `ExplorerOptions::ExportSeenStates`.  Feed it to a
+  /// RemappedSeenFilter to reuse this exploration when re-checking a
+  /// relocated twin of the program.
+  std::shared_ptr<const SeenStateExport> SeenExport;
   /// True iff some budget was exhausted (exploration incomplete).
   bool Truncated = false;
 

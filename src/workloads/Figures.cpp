@@ -321,7 +321,8 @@ FigureCase sct::figure13() {
     legit:
       rd = mov 0
   )");
-  RetpolineResult RP = retpolineTransform(Original, {0x30});
+  MitigationResult RP = Retpoline({0x30}).run(Original);
+  assert(RP.ok() && "figure 13's jump table is declared");
   C.Prog = std::move(RP.Prog);
   C.CheckOpts = ExplorerOptions{};
   C.CheckOpts.IndirectTargets = {C.Prog.codeLabels().at("gadget")};

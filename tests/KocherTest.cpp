@@ -64,7 +64,9 @@ TEST_P(KocherSuite, FencesAtBranchTargetsMitigateV1) {
   const SuiteCase &C = GetParam();
   if (C.ExpectSeqLeak || !C.ExpectV1V11Leak)
     return; // Fences cannot fix architectural leaks.
-  Program Fenced = insertFences(C.Prog, FencePolicy::BranchTargets);
+  MitigationResult FR = FenceInsertion(FencePolicy::BranchTargets).run(C.Prog);
+  ASSERT_TRUE(FR.ok()) << C.Id;
+  Program Fenced = std::move(FR.Prog);
   EXPECT_TRUE(Fenced.validate().empty()) << C.Id;
   SctReport R = checkSct(Fenced, v1v11Mode());
   EXPECT_TRUE(R.secure()) << C.Id << ": "

@@ -87,9 +87,12 @@ TEST(ProgramRewriter, SelfLoopSentinelAndCodePointers) {
 
 TEST(FenceInsertion, PlacesFencesAtEveryBranchTarget) {
   Program P = miniProgram();
-  Program Q = insertFences(P, FencePolicy::BranchTargets);
-  EXPECT_EQ(countFences(Q), 2u); // One per distinct target.
-  EXPECT_TRUE(Q.validate().empty());
+  MitigationResult R = FenceInsertion(FencePolicy::BranchTargets).run(P);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(countFences(R.Prog), 2u); // One per distinct target.
+  EXPECT_EQ(R.Cost.FencesAdded, 2u);
+  EXPECT_EQ(R.Cost.Sites, 2u);
+  EXPECT_TRUE(R.Prog.validate().empty());
   // Unconditional jmp encodings get no fences.
   Program Jmp = parseAsmOrDie(R"(
     .reg ra
@@ -98,12 +101,18 @@ TEST(FenceInsertion, PlacesFencesAtEveryBranchTarget) {
     next:
       ra = mov 1
   )");
-  EXPECT_EQ(countFences(insertFences(Jmp, FencePolicy::BranchTargets)), 0u);
+  MitigationResult RJ = FenceInsertion(FencePolicy::BranchTargets).run(Jmp);
+  ASSERT_TRUE(RJ.ok());
+  EXPECT_EQ(countFences(RJ.Prog), 0u);
+  // A zero-site transform is the identity, provenance included.
+  EXPECT_TRUE(RJ.Map.identity());
 }
 
 TEST(FenceInsertion, AfterStoresCoversFallthrough) {
   Program P = miniProgram();
-  Program Q = insertFences(P, FencePolicy::AfterStores);
+  MitigationResult R = FenceInsertion(FencePolicy::AfterStores).run(P);
+  ASSERT_TRUE(R.ok());
+  const Program &Q = R.Prog;
   EXPECT_EQ(countFences(Q), 1u);
   // The fence sits directly after the store.
   bool Found = false;
@@ -118,7 +127,9 @@ TEST(FenceInsertion, PreservesArchitecturalResults) {
   for (FencePolicy Policy :
        {FencePolicy::BranchTargets, FencePolicy::AfterStores,
         FencePolicy::BranchTargetsAndStores}) {
-    Program Q = insertFences(P, Policy);
+    MitigationResult R = FenceInsertion(Policy).run(P);
+    ASSERT_TRUE(R.ok());
+    const Program &Q = R.Prog;
     Machine MP(P), MQ(Q);
     SequentialResult RP = runSequential(MP, Configuration::initial(P));
     SequentialResult RQ = runSequential(MQ, Configuration::initial(Q));
@@ -127,6 +138,130 @@ TEST(FenceInsertion, PreservesArchitecturalResults) {
     EXPECT_TRUE(RP.Run.Final.Regs == RQ.Run.Final.Regs);
     EXPECT_TRUE(RP.Run.Final.Mem == RQ.Run.Final.Mem);
   }
+}
+
+TEST(FenceInsertion, FenceAtIndexZeroRelocatesEntryAndBackEdges) {
+  // A fence inserted at program point 0: the entry moves, and the loop's
+  // back edge to 0 must land on the fence, not the shifted instruction.
+  Program P = parseAsmOrDie(R"(
+    .reg ra
+    .init ra 3
+    start:
+      ra = sub ra, 1
+      br ugt ra, 0 -> start, end
+    end:
+      ra = mov 7
+  )");
+  MitigationResult R = FenceInsertion(std::vector<PC>{0}).run(P);
+  ASSERT_TRUE(R.ok());
+  const Program &Q = R.Prog;
+  ASSERT_TRUE(Q.validate().empty());
+  EXPECT_TRUE(Q.at(0).is(InstrKind::Fence));
+  EXPECT_EQ(Q.entry(), 0u);
+  EXPECT_EQ(Q.at(2).trueTarget(), 0u); // Back edge hits the fence.
+  EXPECT_EQ(*R.Map.newOf(0), 1u);      // The old instruction moved past it.
+  EXPECT_EQ(*R.Map.newTargetOf(0), 0u);
+  // Architecture preserved through the loop.
+  Machine MQ(Q);
+  SequentialResult RQ = runSequential(MQ, Configuration::initial(Q));
+  ASSERT_FALSE(RQ.Run.Stuck);
+  EXPECT_EQ(RQ.Run.Final.Regs.get(*Q.regByName("ra")).Bits, 7u);
+}
+
+TEST(FenceInsertion, BackToBackBranchesShareTargets) {
+  // Two adjacent branches whose targets interleave: every distinct
+  // target gets exactly one fence and all four edges stay correct.
+  Program P = parseAsmOrDie(R"(
+    .reg ra rb
+    .init ra 1
+    start:
+      br ult ra, 2 -> b2, t1
+    b2:
+      br ult ra, 1 -> t1, t2
+    t1:
+      rb = mov 1
+    t2:
+      rb = mov 2
+  )");
+  MitigationResult R = FenceInsertion(FencePolicy::BranchTargets).run(P);
+  ASSERT_TRUE(R.ok());
+  const Program &Q = R.Prog;
+  ASSERT_TRUE(Q.validate().empty());
+  // Distinct old targets: b2(1), t1(2), t2(3) -> three fences.
+  EXPECT_EQ(countFences(Q), 3u);
+  // Both branches' edges point at the fences guarding their targets.
+  EXPECT_TRUE(Q.at(Q.at(0).trueTarget()).is(InstrKind::Fence));
+  EXPECT_TRUE(Q.at(Q.at(0).falseTarget()).is(InstrKind::Fence));
+  PC NewB2 = *R.Map.newOf(1);
+  EXPECT_TRUE(Q.at(Q.at(NewB2).trueTarget()).is(InstrKind::Fence));
+  EXPECT_TRUE(Q.at(Q.at(NewB2).falseTarget()).is(InstrKind::Fence));
+  Machine MP(P), MQ(Q);
+  SequentialResult RP = runSequential(MP, Configuration::initial(P));
+  SequentialResult RQ = runSequential(MQ, Configuration::initial(Q));
+  ASSERT_FALSE(RP.Run.Stuck);
+  ASSERT_FALSE(RQ.Run.Stuck);
+  EXPECT_TRUE(RP.Run.Final.Regs == RQ.Run.Final.Regs);
+}
+
+TEST(FenceInsertion, JumpTableWithoutDeclarationIsStructuredError) {
+  // The satellite fix: a jump-table program must yield a structured
+  // NotRelocatable error, not a silently miscompiled program.
+  Program P = parseAsmOrDie(R"(
+    .reg ra rb
+    .init ra 0
+    .region T 0x30 1 public
+    .data 0x30 @other
+    start:
+      br ult ra, 1 -> load, other
+    load:
+      rb = load [0x30]
+      jmpi [rb]
+    other:
+      rb = mov 7
+  )");
+  MitigationResult R = FenceInsertion(FencePolicy::BranchTargets).run(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Error->K, MitigationError::Kind::NotRelocatable);
+  ASSERT_EQ(R.Error->SuspectAddrs.size(), 1u);
+  EXPECT_EQ(R.Error->SuspectAddrs[0], 0x30u);
+
+  // Declaring the table makes the same transform succeed and relocate
+  // the stored pointer with the code.
+  MitigationResult R2 =
+      FenceInsertion(FencePolicy::BranchTargets, {0x30}).run(P);
+  ASSERT_TRUE(R2.ok());
+  ASSERT_TRUE(R2.Prog.validate().empty());
+  PC OldOther = P.codeLabels().at("other");
+  EXPECT_EQ(R2.Prog.memInits()[0].second, *R2.Map.newTargetOf(OldOther));
+  Machine MP(P), MQ(R2.Prog);
+  SequentialResult RP = runSequential(MP, Configuration::initial(P));
+  SequentialResult RQ = runSequential(MQ, Configuration::initial(R2.Prog));
+  ASSERT_FALSE(RP.Run.Stuck);
+  ASSERT_FALSE(RQ.Run.Stuck) << RQ.Run.StuckReason;
+  EXPECT_TRUE(RP.Run.Final.Regs == RQ.Run.Final.Regs);
+}
+
+TEST(ProgramRewriter, ProvenanceMapsRoundTrip) {
+  Program P = miniProgram();
+  MitigationResult R = FenceInsertion(FencePolicy::BranchTargets).run(P);
+  ASSERT_TRUE(R.ok());
+  // Every old instruction has an image carrying it back.
+  for (PC Old = 0; Old < P.endPC(); ++Old) {
+    std::optional<PC> New = R.Map.newOf(Old);
+    ASSERT_TRUE(New.has_value());
+    EXPECT_EQ(*R.Map.oldOf(*New), Old);
+    EXPECT_TRUE(R.Prog.at(*New).kind() == P.at(Old).kind());
+    // Control-flow image reaches the instruction through inserted code.
+    EXPECT_LE(*R.Map.newTargetOf(Old), *New);
+  }
+  // Inserted fences have no old identity.
+  unsigned Inserted = 0;
+  for (PC New = 0; New < R.Prog.endPC(); ++New)
+    if (!R.Map.oldOf(New)) {
+      EXPECT_TRUE(R.Prog.at(New).is(InstrKind::Fence));
+      ++Inserted;
+    }
+  EXPECT_EQ(Inserted, R.Cost.FencesAdded);
 }
 
 TEST(Retpoline, RewritesEveryIndirectJump) {
@@ -145,8 +280,10 @@ TEST(Retpoline, RewritesEveryIndirectJump) {
     t2:
       rb = mov 7
   )");
-  RetpolineResult RP = retpolineTransform(P, {0x28, 0x29});
-  EXPECT_EQ(RP.Rewritten, 2u);
+  MitigationResult RP = Retpoline({0x28, 0x29}).run(P);
+  ASSERT_TRUE(RP.ok());
+  EXPECT_EQ(RP.Cost.Sites, 2u);
+  EXPECT_EQ(RP.Cost.FencesAdded, 2u); // One trap per rewritten jump.
   EXPECT_TRUE(RP.Prog.validate().empty());
   // No indirect jumps remain in the original text (the expansions use
   // ret, whose target the RSB predicts).
@@ -163,18 +300,81 @@ TEST(Retpoline, RewritesEveryIndirectJump) {
   EXPECT_EQ(R.Run.Final.Regs.get(*RP.Prog.regByName("rb")).Bits, 7u);
 }
 
+TEST(Retpoline, UndeclaredJumpTableIsStructuredError) {
+  Program P = parseAsmOrDie(R"(
+    .reg ra
+    .region T 0x28 1 public
+    .data 0x28 @t1
+    start:
+      ra = load [0x28]
+      jmpi [ra]
+    t1:
+      ra = mov 7
+  )");
+  MitigationResult RP = Retpoline().run(P);
+  ASSERT_FALSE(RP.ok());
+  EXPECT_EQ(RP.Error->K, MitigationError::Kind::NotRelocatable);
+  ASSERT_EQ(RP.Error->SuspectAddrs.size(), 1u);
+  EXPECT_EQ(RP.Error->SuspectAddrs[0], 0x28u);
+}
+
 TEST(Retpoline, NoJumpIMeansNoRewrite) {
   Program P = miniProgram();
-  RetpolineResult RP = retpolineTransform(P);
-  EXPECT_EQ(RP.Rewritten, 0u);
+  MitigationResult RP = Retpoline().run(P);
+  ASSERT_TRUE(RP.ok());
+  EXPECT_EQ(RP.Cost.Sites, 0u);
   EXPECT_EQ(RP.Prog.size(), P.size());
+  EXPECT_TRUE(RP.Map.identity());
+}
+
+TEST(Retpoline, ProvenanceRelocatesAcrossTrapBlock) {
+  // Instructions *after* a retpolined jmpi must relocate across the
+  // inserted call+trap pair, and the provenance must say so: the jmpi
+  // itself has no instruction image (it was replaced), its control-flow
+  // image is the call, and the successors shift by the net insertion.
+  Program P = parseAsmOrDie(R"(
+    .reg ra rb
+    .init rsp 0x38
+    .region stack 0x30 9 public
+    .region T 0x28 1 public
+    .data 0x28 @t1
+    start:
+      ra = load [0x28]
+      jmpi [ra]
+    t1:
+      rb = mov 7
+    t2:
+      rb = mov 9
+  )");
+  MitigationResult RP = Retpoline({0x28}).run(P);
+  ASSERT_TRUE(RP.ok());
+  const PC JmpiPC = 1;
+  EXPECT_FALSE(RP.Map.newOf(JmpiPC).has_value());
+  PC CallPC = *RP.Map.newTargetOf(JmpiPC);
+  EXPECT_TRUE(RP.Prog.at(CallPC).is(InstrKind::Call));
+  EXPECT_TRUE(RP.Prog.at(CallPC + 1).is(InstrKind::Fence));
+  // The trap self-loops.
+  EXPECT_EQ(RP.Prog.at(CallPC + 1).next(), CallPC + 1);
+  // t1/t2 moved across the trap block: jmpi (1 slot) became call+trap
+  // (2 slots), so both shift by one.
+  EXPECT_EQ(*RP.Map.newOf(2), 3u);
+  EXPECT_EQ(*RP.Map.newOf(3), 4u);
+  EXPECT_EQ(*RP.Map.oldOf(3), 2u);
+  // The stored jump-table pointer follows t1's control-flow image.
+  EXPECT_EQ(RP.Prog.memInits()[0].second, *RP.Map.newTargetOf(2));
+  // The appended body is image-free.
+  for (PC N = 0; N < RP.Prog.endPC(); ++N)
+    if (N != CallPC && N != CallPC + 1 && !RP.Map.oldOf(N).has_value())
+      EXPECT_GE(N, 5u); // Body slots sit after the relocated originals.
 }
 
 TEST(Mitigations, Figure8EqualsFigure1Fenced) {
   // Inserting fences into Figure 1's program yields a program the checker
   // clears — the paper's Figure 8 mitigation, synthesized.
   FigureCase C = figure1();
-  Program Fenced = insertFences(C.Prog, FencePolicy::BranchTargets);
+  MitigationResult FR = FenceInsertion(FencePolicy::BranchTargets).run(C.Prog);
+  ASSERT_TRUE(FR.ok());
+  const Program &Fenced = FR.Prog;
   SctReport R = checkSct(Fenced, v4Mode());
   EXPECT_TRUE(R.secure());
   SctReport R2 = checkSct(Fenced, v1v11Mode());

@@ -71,7 +71,9 @@ TEST(SpectreSuiteMitigations, FencesAfterStoresFixV4Cases) {
   // A fence between every store and younger loads forces the memory
   // commit before the load can execute — the §3.6 mitigation for v4.
   for (const SuiteCase &C : spectreV4Cases()) {
-    Program Fenced = insertFences(C.Prog, FencePolicy::AfterStores);
+    MitigationResult FR = FenceInsertion(FencePolicy::AfterStores).run(C.Prog);
+    ASSERT_TRUE(FR.ok()) << C.Id;
+    Program Fenced = std::move(FR.Prog);
     ASSERT_TRUE(Fenced.validate().empty()) << C.Id;
     SctReport R = checkSct(Fenced, v4Mode());
     EXPECT_TRUE(R.secure())
@@ -81,7 +83,9 @@ TEST(SpectreSuiteMitigations, FencesAfterStoresFixV4Cases) {
 
 TEST(SpectreSuiteMitigations, BranchFencesFixV11Cases) {
   for (const SuiteCase &C : spectreV11Cases()) {
-    Program Fenced = insertFences(C.Prog, FencePolicy::BranchTargets);
+    MitigationResult FR = FenceInsertion(FencePolicy::BranchTargets).run(C.Prog);
+    ASSERT_TRUE(FR.ok()) << C.Id;
+    Program Fenced = std::move(FR.Prog);
     ASSERT_TRUE(Fenced.validate().empty()) << C.Id;
     SctReport R = checkSct(Fenced, v1v11Mode());
     EXPECT_TRUE(R.secure())
