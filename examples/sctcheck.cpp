@@ -74,6 +74,10 @@ void usage(const char *Prog) {
       "  --shards N             frontier shards (default: one per worker;\n"
       "                         1 = single shared frontier)\n"
       "  --no-prune-seen        disable seen-state pruning (on by default)\n"
+      "  --stats                collect and print exploration diagnostics:\n"
+      "                         seen-table occupancy/probe lengths, fork-\n"
+      "                         filter verdicts, convergence prunes, and\n"
+      "                         the distinct-state-per-depth histogram\n"
       "  --replay-snapshots     prefix-replay fork checkpoints\n"
       "  --checkpoint-interval K  hybrid snapshots: shared checkpoint\n"
       "                         every K directives (replay cost <= K)\n"
@@ -85,6 +89,8 @@ void usage(const char *Prog) {
       "  --no-slice-polish      disable the slice-polish basin hop\n"
       "  --no-seed-replays      replay every candidate from the initial\n"
       "                         configuration (identical results)\n"
+      "  --no-suffix-converge   disable suffix-convergence rejoins in\n"
+      "                         minimization (identical results)\n"
       "  --validate             differentially confirm each witness\n"
       "  --print                echo the (possibly transformed) program\n",
       Prog);
@@ -176,6 +182,8 @@ int main(int Argc, char **Argv) {
       Opts.PruneSeen = true;
     else if (!std::strcmp(Argv[I], "--no-prune-seen"))
       Opts.PruneSeen = false;
+    else if (!std::strcmp(Argv[I], "--stats"))
+      Opts.CollectStats = true;
     else if (!std::strcmp(Argv[I], "--replay-snapshots"))
       Opts.Snapshots = SnapshotPolicy::Replay;
     else if (!std::strcmp(Argv[I], "--checkpoint-interval") && I + 1 < Argc) {
@@ -193,6 +201,8 @@ int main(int Argc, char **Argv) {
       MinOpts.SlicePolish = false;
     else if (!std::strcmp(Argv[I], "--no-seed-replays"))
       MinOpts.SeedReplays = false;
+    else if (!std::strcmp(Argv[I], "--no-suffix-converge"))
+      MinOpts.SuffixConverge = false;
     else if (!std::strcmp(Argv[I], "--validate"))
       Validate = true;
     else if (!std::strcmp(Argv[I], "--print"))
@@ -313,6 +323,36 @@ int main(int Argc, char **Argv) {
     std::printf("seen-state pruning dropped %llu convergent subtrees\n",
                 static_cast<unsigned long long>(
                     Report.Exploration.PrunedNodes));
+  if (Report.Exploration.Stats) {
+    // The blowup-diagnosis block (docs/WITNESSES.md "diagnosing budget
+    // blowups"): which of table pressure, missed recurrence, or genuine
+    // exponential growth is eating the budget.
+    const ExploreStats &St = *Report.Exploration.Stats;
+    double ProbeLen = St.Seen.Lookups
+                          ? double(St.Seen.Probes) / double(St.Seen.Lookups)
+                          : 0.0;
+    uint64_t ForkTotal = St.ForkInsertNew + St.ForkInsertDup;
+    std::printf("stats: seen table %llu states in %llu slots, %.2f probes"
+                "/lookup over %llu lookups\n",
+                static_cast<unsigned long long>(St.Seen.Entries),
+                static_cast<unsigned long long>(St.Seen.Capacity), ProbeLen,
+                static_cast<unsigned long long>(St.Seen.Lookups));
+    std::printf("stats: fork filter %llu fresh / %llu duplicate (%.1f%% "
+                "pruned); convergence %llu prunes / %llu checks\n",
+                static_cast<unsigned long long>(St.ForkInsertNew),
+                static_cast<unsigned long long>(St.ForkInsertDup),
+                ForkTotal ? 100.0 * double(St.ForkInsertDup) /
+                                double(ForkTotal)
+                          : 0.0,
+                static_cast<unsigned long long>(St.ConvergencePrunes),
+                static_cast<unsigned long long>(St.ConvergenceChecks));
+    std::printf("stats: distinct states per depth bucket (%zu directives "
+                "each):\n", ExploreStats::DepthBucket);
+    for (size_t B = 0; B < St.NewStatesPerDepth.size(); ++B)
+      std::printf("  [%4zu..%4zu) %llu\n", B * ExploreStats::DepthBucket,
+                  (B + 1) * ExploreStats::DepthBucket,
+                  static_cast<unsigned long long>(St.NewStatesPerDepth[B]));
+  }
   if (Check.Opts.Snapshots == SnapshotPolicy::Hybrid)
     std::printf("hybrid snapshots: %llu checkpoints (K=%u), %llu replayed "
                 "directives\n",

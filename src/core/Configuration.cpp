@@ -6,12 +6,26 @@
 
 using namespace sct;
 
+uint64_t Configuration::hash() {
+  Buf.foldPending();
+  return static_cast<const Configuration &>(*this).hash();
+}
+
 uint64_t Configuration::hash() const {
   uint64_t H = hashCombine(HashSeed, Regs.hash());
   H = hashCombine(H, Mem.hash());
   H = hashCombine(H, N);
   H = hashCombine(H, Buf.hash());
   H = hashCombine(H, Rsb.hash());
+  return H;
+}
+
+uint64_t Configuration::hashFromScratch() const {
+  uint64_t H = hashCombine(HashSeed, Regs.hashFromScratch());
+  H = hashCombine(H, Mem.hashFromScratch());
+  H = hashCombine(H, N);
+  H = hashCombine(H, Buf.hashFromScratch());
+  H = hashCombine(H, Rsb.hashFromScratch());
   return H;
 }
 

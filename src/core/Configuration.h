@@ -63,13 +63,31 @@ struct Configuration {
   bool operator==(const Configuration &Other) const = default;
 
   /// Canonical 64-bit fingerprint of the whole configuration — registers,
-  /// observable memory (COW cells walked without unsharing, defaults
-  /// skipped), program point, reorder buffer, and RSB journal.  Equal
-  /// configurations hash equal by construction; the explorer's
-  /// cross-schedule seen-state table keys on this to prune re-exploration
-  /// of states recurring across schedule forks (see
-  /// ExplorerOptions::PruneSeen for the collision caveat).
+  /// observable memory (default-valued cells contribute nothing), program
+  /// point, reorder buffer, and RSB journal.  Equal configurations hash
+  /// equal by construction; the explorer's cross-schedule seen-state
+  /// table keys on this to prune re-exploration of states recurring
+  /// across schedule forks (see ExplorerOptions::PruneSeen for the
+  /// collision caveat).
+  ///
+  /// O(1) amortized: each component maintains its fingerprint
+  /// incrementally as an XOR-multiset updated on
+  /// store/set/push/pop/rollback, so this call just chains five running
+  /// values — no state walk (the maintenance contract is ARCHITECTURE.md
+  /// invariant 4; hashFromScratch() is the recomputation oracle the
+  /// property suite checks against).  The reorder buffer's per-entry
+  /// terms are folded lazily (ReorderBuffer's file comment): on a
+  /// mutable configuration this overload memoizes the entries touched
+  /// since the last probe; the const overload computes them on the fly
+  /// without writing, so it stays safe on a shared configuration.
+  uint64_t hash();
   uint64_t hash() const;
+
+  /// Recomputes hash() by walking every register, cell, buffer entry, and
+  /// journal entry — the verification oracle for the incremental
+  /// fingerprints (tests/HashEquivalenceTest.cpp), and the cost model for
+  /// the pre-incremental engine (bench/StepRateBench.cpp's baseline mode).
+  uint64_t hashFromScratch() const;
 
   /// Remap-aware fingerprint: every program point — the fetch point, the
   /// reorder buffer's origins/targets, the RSB's pushed return points —

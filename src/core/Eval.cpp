@@ -4,7 +4,7 @@
 
 using namespace sct;
 
-Value sct::evalOp(Opcode Opc, const std::vector<Value> &Args,
+Value sct::evalOp(Opcode Opc, std::span<const Value> Args,
                   const MachineOptions &Opts) {
   assert(Args.size() == opcodeArity(Opc) && "operand count mismatch");
   Label L = Label::publicLabel();
@@ -102,7 +102,7 @@ Value sct::evalOp(Opcode Opc, const std::vector<Value> &Args,
   return Value(R, L);
 }
 
-Value sct::evalAddr(const std::vector<Value> &Args,
+Value sct::evalAddr(std::span<const Value> Args,
                     const MachineOptions &Opts) {
   assert(!Args.empty() && "address computation needs operands");
   Label L = Label::publicLabel();

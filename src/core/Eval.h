@@ -25,6 +25,7 @@
 #include "core/Value.h"
 #include "isa/Opcode.h"
 
+#include <span>
 #include <vector>
 
 namespace sct {
@@ -50,12 +51,22 @@ struct MachineOptions {
 };
 
 /// Evaluates Jop(v⃗)K; total on all inputs (division by zero yields 0,
-/// shifts are modulo 64).
-Value evalOp(Opcode Opc, const std::vector<Value> &Args,
+/// shifts are modulo 64).  Takes a span so callers can pass any
+/// contiguous operand buffer (the hot path resolves into an
+/// InlineVector; braced lists forward through the inline overload).
+Value evalOp(Opcode Opc, std::span<const Value> Args,
              const MachineOptions &Opts);
+inline Value evalOp(Opcode Opc, std::initializer_list<Value> Args,
+                    const MachineOptions &Opts) {
+  return evalOp(Opc, std::span<const Value>(Args.begin(), Args.size()), Opts);
+}
 
 /// Evaluates Jaddr(v⃗)K; result label is the join of operand labels.
-Value evalAddr(const std::vector<Value> &Args, const MachineOptions &Opts);
+Value evalAddr(std::span<const Value> Args, const MachineOptions &Opts);
+inline Value evalAddr(std::initializer_list<Value> Args,
+                      const MachineOptions &Opts) {
+  return evalAddr(std::span<const Value>(Args.begin(), Args.size()), Opts);
+}
 
 /// Branch-condition truth: nonzero is true.
 inline bool truthy(const Value &V) { return V.Bits != 0; }

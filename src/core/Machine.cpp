@@ -119,11 +119,10 @@ std::optional<Value> Machine::resolveOperand(const Configuration &C, BufIdx I,
   return resolveReg(C, I, Op.getReg());
 }
 
-std::optional<std::vector<Value>>
+std::optional<InlineVector<Value, 4>>
 Machine::resolveOperands(const Configuration &C, BufIdx I,
-                         const std::vector<Operand> &Ops) const {
-  std::vector<Value> Values;
-  Values.reserve(Ops.size());
+                         std::span<const Operand> Ops) const {
+  InlineVector<Value, 4> Values;
   for (const Operand &Op : Ops) {
     auto V = resolveOperand(C, I, Op);
     if (!V)
@@ -134,12 +133,7 @@ Machine::resolveOperands(const Configuration &C, BufIdx I,
 }
 
 bool Machine::fenceBefore(const ReorderBuffer &Buf, BufIdx I) {
-  if (Buf.empty())
-    return false;
-  for (BufIdx J = Buf.minIndex(); J < I && J <= Buf.maxIndex(); ++J)
-    if (Buf.at(J).is(TransientKind::Fence))
-      return true;
-  return false;
+  return Buf.hasFenceBefore(I);
 }
 
 //===----------------------------------------------------------------------===//
@@ -339,7 +333,7 @@ std::optional<StepOutcome> Machine::stepExecute(Configuration &C,
   if (fenceBefore(C.Buf, I))
     return fail(WhyNot, "an earlier fence blocks execution");
 
-  TransientInstr &T = C.Buf.at(I);
+  TransientInstr &T = C.Buf.mut(I);
   switch (T.Kind) {
   case TransientKind::Op: {
     if (D.K != Directive::Kind::Execute)

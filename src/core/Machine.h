@@ -26,6 +26,7 @@
 #include "core/Observation.h"
 
 #include <optional>
+#include <span>
 
 namespace sct {
 
@@ -99,9 +100,11 @@ public:
                                       const Operand &Op) const;
 
   /// Pointwise lifting to operand lists; ⊥ if any element is ⊥.
-  std::optional<std::vector<Value>>
+  /// Returns an InlineVector so the per-execute resolution never touches
+  /// the heap (operand lists are at most a few entries).
+  std::optional<InlineVector<Value, 4>>
   resolveOperands(const Configuration &C, BufIdx I,
-                  const std::vector<Operand> &Ops) const;
+                  std::span<const Operand> Ops) const;
 
   /// True iff a fence sits in the buffer strictly before index \p I — the
   /// "∀j < i : buf(j) ≠ fence" premise of every execute rule (§3.6).

@@ -4,34 +4,73 @@
 
 #include "support/Hashing.h"
 
+#include <algorithm>
+
 using namespace sct;
+
+namespace {
+
+/// Binary search for \p Addr in the sorted cell array; the iterator's
+/// constness follows the array's.
+template <typename ArrayT> auto findCell(ArrayT &Cells, uint64_t Addr) {
+  auto It = std::lower_bound(
+      Cells.begin(), Cells.end(), Addr,
+      [](const auto &Cell, uint64_t A) { return Cell.first < A; });
+  return It;
+}
+
+} // namespace
 
 Value Memory::load(uint64_t Addr) const {
   if (Cells) {
-    auto It = Cells->find(Addr);
-    if (It != Cells->end())
+    auto It = findCell(*Cells, Addr);
+    if (It != Cells->end() && It->first == Addr)
       return It->second;
   }
   return Value(0, defaultLabel(Addr));
 }
 
+uint64_t Memory::cellContribution(uint64_t Addr, const Value &V) const {
+  // Default-valued cells are observationally indistinguishable from
+  // unwritten addresses (operator== reads through defaults), so they must
+  // contribute nothing — that keeps the fingerprint canonical whether or
+  // not a default was spelled out explicitly.
+  if (V.Bits == 0 && V.Taint == defaultLabel(Addr))
+    return 0;
+  return hashFields({Addr, V.Bits, V.Taint.mask()});
+}
+
 void Memory::store(uint64_t Addr, Value V) {
-  // Copy-on-write: writers get a private map; copies sharing the old map
-  // keep reading it unchanged.  A unique map is mutated in place.
+  // Incremental fingerprint: the cell's old contribution leaves the
+  // multiset, the new one enters.  The running XOR lives per-copy, so the
+  // update never touches copies still sharing the old cell array.
+  CellXor ^= cellContribution(Addr, load(Addr)) ^ cellContribution(Addr, V);
+
+  // Copy-on-write: writers get a private array; copies sharing the old
+  // one keep reading it unchanged.  A unique array is mutated in place.
   if (!Cells) {
-    auto Fresh = std::make_shared<std::map<uint64_t, Value>>();
-    Fresh->emplace(Addr, V);
+    auto Fresh = std::make_shared<CellArray>();
+    Fresh->emplace_back(Addr, V);
     Cells = std::move(Fresh);
     return;
   }
   if (Cells.use_count() > 1) {
-    auto Own = std::make_shared<std::map<uint64_t, Value>>(*Cells);
-    (*Own)[Addr] = V;
+    auto Own = std::make_shared<CellArray>(*Cells);
+    auto It = findCell(*Own, Addr);
+    if (It != Own->end() && It->first == Addr)
+      It->second = V;
+    else
+      Own->insert(It, {Addr, V});
     Cells = std::move(Own);
     return;
   }
-  // Sole owner: drop const on our private map.
-  (*std::const_pointer_cast<std::map<uint64_t, Value>>(Cells))[Addr] = V;
+  // Sole owner: drop const on our private array.
+  auto &Own = *std::const_pointer_cast<CellArray>(Cells);
+  auto It = findCell(Own, Addr);
+  if (It != Own.end() && It->first == Addr)
+    It->second = V;
+  else
+    Own.insert(It, {Addr, V});
 }
 
 Label Memory::defaultLabel(uint64_t Addr) const {
@@ -48,33 +87,26 @@ bool Memory::operator==(const Memory &Other) const {
     return true;
   // Compare over the union of explicitly-written addresses; all other
   // addresses read as region defaults, which agree iff the loads agree.
-  for (const auto &[Addr, V] : cells()) {
-    (void)V;
-    if (!(load(Addr) == Other.load(Addr)))
-      return false;
-  }
-  for (const auto &[Addr, V] : Other.cells()) {
-    (void)V;
-    if (!(load(Addr) == Other.load(Addr)))
-      return false;
-  }
-  return true;
+  bool Equal = true;
+  forEachCell([&](uint64_t Addr, const Value &) {
+    if (Equal && !(load(Addr) == Other.load(Addr)))
+      Equal = false;
+  });
+  Other.forEachCell([&](uint64_t Addr, const Value &) {
+    if (Equal && !(load(Addr) == Other.load(Addr)))
+      Equal = false;
+  });
+  return Equal;
 }
 
-uint64_t Memory::hash() const {
-  // std::map iterates in ascending address order, so the fold is
-  // order-canonical; default-valued cells are skipped to stay consistent
-  // with operator==, which cannot tell an explicit default apart from an
-  // unwritten address.
-  uint64_t H = HashSeed;
-  for (const auto &[Addr, V] : cells()) {
-    if (V.Bits == 0 && V.Taint == defaultLabel(Addr))
-      continue;
-    H = hashCombine(H, Addr);
-    H = hashCombine(H, V.Bits);
-    H = hashCombine(H, V.Taint.mask());
-  }
-  return H;
+uint64_t Memory::hash() const { return hashCombine(HashSeed, CellXor); }
+
+uint64_t Memory::hashFromScratch() const {
+  uint64_t Xor = 0;
+  forEachCell([&](uint64_t Addr, const Value &V) {
+    Xor ^= cellContribution(Addr, V);
+  });
+  return hashCombine(HashSeed, Xor);
 }
 
 bool Memory::lowEquivalent(const Memory &Other) const {
@@ -83,15 +115,14 @@ bool Memory::lowEquivalent(const Memory &Other) const {
       return false;
     return A.isSecret() || A.Bits == B.Bits;
   };
-  for (const auto &[Addr, V] : cells()) {
-    (void)V;
-    if (!CellsAgree(load(Addr), Other.load(Addr)))
-      return false;
-  }
-  for (const auto &[Addr, V] : Other.cells()) {
-    (void)V;
-    if (!CellsAgree(load(Addr), Other.load(Addr)))
-      return false;
-  }
-  return true;
+  bool Equiv = true;
+  forEachCell([&](uint64_t Addr, const Value &) {
+    if (Equiv && !CellsAgree(load(Addr), Other.load(Addr)))
+      Equiv = false;
+  });
+  Other.forEachCell([&](uint64_t Addr, const Value &) {
+    if (Equiv && !CellsAgree(load(Addr), Other.load(Addr)))
+      Equiv = false;
+  });
+  return Equiv;
 }

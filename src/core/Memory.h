@@ -11,13 +11,22 @@
 /// labelled according to the program's region table — this is how the
 /// attacker's secrecy annotations (§4.2.1) enter the semantics.
 ///
-/// Memories have value semantics but copy in O(1): the word map and the
+/// Memories have value semantics but copy in O(1): the cell array and the
 /// region table live behind shared_ptrs, shared between copies until a
-/// store unshares the map (copy-on-write).  Schedule exploration forks a
+/// store unshares the cells (copy-on-write).  Schedule exploration forks a
 /// configuration at every decision point, and most forks never write
 /// memory before diverging on observations alone — sharing makes those
-/// forks nearly free.  Concurrent readers of a shared map are safe; the
-/// unshare gives a writer its private map before the first mutation.
+/// forks nearly free.  Concurrent readers of shared cells are safe; the
+/// unshare gives a writer its private array before the first mutation.
+///
+/// The cells are a flat vector sorted by address (binary-search loads, one
+/// contiguous block per memory) rather than a node-based map: the explorer
+/// hashes and compares memories at every fork, and walking a pointer-free
+/// array is what makes that cheap.  The observable-memory fingerprint is
+/// additionally maintained *incrementally*: an XOR-multiset of avalanched
+/// per-cell contributions, updated in O(log cells) on every store, so
+/// `hash()` is O(1) instead of O(cells) (see the invariant note at
+/// `hash()` and ARCHITECTURE.md invariant 4).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,8 +36,9 @@
 #include "core/Value.h"
 #include "isa/Program.h"
 
-#include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 namespace sct {
 
@@ -52,14 +62,21 @@ public:
   /// The label an unwritten word at \p Addr carries.
   Label defaultLabel(uint64_t Addr) const;
 
-  /// All explicitly written/initialised cells.
-  const std::map<uint64_t, Value> &cells() const {
-    static const std::map<uint64_t, Value> Empty;
-    return Cells ? *Cells : Empty;
+  /// Number of explicitly written/initialised cells.
+  size_t cellCount() const { return Cells ? Cells->size() : 0; }
+
+  /// Visits every explicitly written/initialised cell in ascending address
+  /// order as (address, value) pairs.  This is the iteration interface
+  /// over the cell array — the array itself (and its container type) stays
+  /// private, so callers cannot alias the shared COW storage.
+  template <typename Fn> void forEachCell(Fn &&F) const {
+    if (Cells)
+      for (const auto &[Addr, V] : *Cells)
+        F(Addr, V);
   }
 
-  /// True iff this memory shares its word map with another copy (the cells
-  /// have not been unshared yet).  Exposed for tests and fork-cost
+  /// True iff this memory shares its cell array with another copy (the
+  /// cells have not been unshared yet).  Exposed for tests and fork-cost
   /// accounting.
   bool sharesCells() const { return Cells && Cells.use_count() > 1; }
 
@@ -68,22 +85,45 @@ public:
   bool operator==(const Memory &Other) const;
 
   /// Canonical fingerprint over the *observable* memory: cells whose value
-  /// equals the region default are skipped, so two memories that compare
-  /// equal under operator== (which reads through defaults) hash equal no
-  /// matter which of them spelled the default out explicitly.  O(written
-  /// cells); the shared COW map is walked without unsharing.
+  /// equals the region default contribute nothing, so two memories that
+  /// compare equal under operator== (which reads through defaults) hash
+  /// equal no matter which of them spelled the default out explicitly.
+  ///
+  /// Maintained incrementally: `CellXor` is the XOR over all cells of an
+  /// avalanched per-cell contribution (XOR makes the multiset
+  /// order-independent and single-cell updates O(1); avalanching keeps
+  /// structured cells from cancelling).  Every store updates it by XORing
+  /// out the old cell's contribution and XORing in the new one, so hash()
+  /// itself is O(1).  `hashFromScratch()` recomputes the same value by
+  /// walking the cells; tests/HashEquivalenceTest.cpp asserts they stay
+  /// bit-equal across randomized store sequences and COW unshare points.
   uint64_t hash() const;
+
+  /// Recomputes hash() from the cell array (the verification oracle for
+  /// the incremental fingerprint; O(cells)).
+  uint64_t hashFromScratch() const;
 
   /// True iff both memories agree on labels at every address and on bits
   /// at public addresses (the memory half of ≃pub).
   bool lowEquivalent(const Memory &Other) const;
 
 private:
+  using Cell = std::pair<uint64_t, Value>;
+  using CellArray = std::vector<Cell>;
+
+  /// The cell's term in the XOR-multiset fingerprint; 0 for default-valued
+  /// cells (they are observationally absent).
+  uint64_t cellContribution(uint64_t Addr, const Value &V) const;
+
   /// Region table; immutable after construction, shared between copies.
   std::shared_ptr<const std::vector<MemRegion>> Regions;
-  /// Written cells; shared between copies, unshared on first store.
-  /// nullptr encodes the empty map.
-  std::shared_ptr<const std::map<uint64_t, Value>> Cells;
+  /// Written cells, sorted by address; shared between copies, unshared on
+  /// first store.  nullptr encodes the empty memory.
+  std::shared_ptr<const CellArray> Cells;
+  /// XOR of cellContribution over all cells (the incremental half of the
+  /// fingerprint).  Per-copy, not shared: it tracks this copy's view and
+  /// updates on every store without touching the shared array.
+  uint64_t CellXor = 0;
 };
 
 } // namespace sct

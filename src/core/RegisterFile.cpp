@@ -6,13 +6,19 @@
 
 using namespace sct;
 
+uint64_t RegisterFile::contribution(uint64_t I, const Value &V) {
+  return hashFields({I, V.Bits, V.Taint.mask()});
+}
+
 uint64_t RegisterFile::hash() const {
-  uint64_t H = hashCombine(HashSeed, Values.size());
-  for (const Value &V : Values) {
-    H = hashCombine(H, V.Bits);
-    H = hashCombine(H, V.Taint.mask());
-  }
-  return H;
+  return hashFields({Values.size(), RegXor});
+}
+
+uint64_t RegisterFile::hashFromScratch() const {
+  uint64_t Xor = 0;
+  for (size_t I = 0; I < Values.size(); ++I)
+    Xor ^= contribution(I, Values[I]);
+  return hashFields({Values.size(), Xor});
 }
 
 bool RegisterFile::lowEquivalent(const RegisterFile &Other) const {

@@ -26,7 +26,10 @@ namespace sct {
 class RegisterFile {
 public:
   RegisterFile() = default;
-  explicit RegisterFile(unsigned NumRegs) : Values(NumRegs) {}
+  explicit RegisterFile(unsigned NumRegs) : Values(NumRegs) {
+    for (unsigned I = 0; I < NumRegs; ++I)
+      RegXor ^= contribution(I, Values[I]);
+  }
 
   unsigned size() const { return static_cast<unsigned>(Values.size()); }
 
@@ -37,20 +40,37 @@ public:
 
   void set(Reg R, Value V) {
     assert(R.id() < Values.size() && "register out of range");
+    // Incremental fingerprint: swap the register's term in the
+    // XOR-multiset before the write lands.
+    RegXor ^= contribution(R.id(), Values[R.id()]) ^ contribution(R.id(), V);
     Values[R.id()] = V;
   }
 
-  bool operator==(const RegisterFile &Other) const = default;
+  bool operator==(const RegisterFile &Other) const {
+    return Values == Other.Values;
+  }
 
-  /// Fingerprint over the register count and every (bits, label) pair.
+  /// Fingerprint over the register count and every (index, bits, label)
+  /// triple.  Maintained incrementally as an XOR-multiset of avalanched
+  /// per-register contributions, updated by set() — hash() itself is O(1).
+  /// `hashFromScratch()` is the O(registers) verification oracle
+  /// (tests/HashEquivalenceTest.cpp keeps them bit-equal).
   uint64_t hash() const;
+
+  /// Recomputes hash() by walking every register.
+  uint64_t hashFromScratch() const;
 
   /// True iff both files agree on labels everywhere and on the bits of all
   /// public registers (the register half of ≃pub).
   bool lowEquivalent(const RegisterFile &Other) const;
 
 private:
+  /// Register \p I's term in the XOR-multiset fingerprint.
+  static uint64_t contribution(uint64_t I, const Value &V);
+
   std::vector<Value> Values;
+  /// XOR of contribution over all registers.
+  uint64_t RegXor = 0;
 };
 
 } // namespace sct

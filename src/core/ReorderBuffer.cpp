@@ -6,24 +6,24 @@
 
 namespace sct {
 
-uint64_t ReorderBuffer::hash() const {
-  uint64_t H = hashCombine(HashSeed, Base);
-  H = hashCombine(H, Entries.size());
-  for (const TransientInstr &T : Entries)
-    H = hashCombine(H, T.hash());
-  return H;
+uint64_t ReorderBuffer::hashFromScratch() const {
+  uint64_t Xor = 0;
+  if (!empty())
+    for (BufIdx I = minIndex(); I <= maxIndex(); ++I)
+      Xor ^= contribution(I, at(I));
+  return hashFields({Base, size(), Xor});
 }
 
 std::optional<uint64_t> ReorderBuffer::hash(const PcRemap &R) const {
-  uint64_t H = hashCombine(HashSeed, Base);
-  H = hashCombine(H, Entries.size());
-  for (const TransientInstr &T : Entries) {
-    std::optional<uint64_t> TH = T.hash(R);
-    if (!TH)
-      return std::nullopt;
-    H = hashCombine(H, *TH);
-  }
-  return H;
+  uint64_t Xor = 0;
+  if (!empty())
+    for (BufIdx I = minIndex(); I <= maxIndex(); ++I) {
+      std::optional<uint64_t> TH = at(I).hash(R);
+      if (!TH)
+        return std::nullopt;
+      Xor ^= hashFields({I, *TH});
+    }
+  return hashFields({Base, size(), Xor});
 }
 
 std::string dumpReorderBuffer(const ReorderBuffer &Buf, const Program &P) {

@@ -9,11 +9,40 @@
 /// The reorder buffer `buf : N ⇀ TransInstr` (§3).  The paper's rules
 /// "add and remove indices in a way that ensures that buf's domain will
 /// always be contiguous"; this class makes that invariant structural: a
-/// deque of entries plus the index of the first one.  Unlike the paper's
-/// convention MIN(∅) = MAX(∅) = 0 (which makes indices restart at 1 after
-/// a drain), indices here increase monotonically over a whole run and are
-/// never reused — semantically equivalent (every rule compares indices
-/// relatively) and unambiguous for recorded schedules.
+/// flat slab of entries plus the index of the first live one.  Unlike the
+/// paper's convention MIN(∅) = MAX(∅) = 0 (which makes indices restart at
+/// 1 after a drain), indices here increase monotonically over a whole run
+/// and are never reused — semantically equivalent (every rule compares
+/// indices relatively) and unambiguous for recorded schedules.
+///
+/// **Storage.**  Entries live in one contiguous vector (`Slab`); retiring
+/// advances a head offset instead of shifting elements, and the dead
+/// prefix is compacted away once it dominates the slab.  A configuration
+/// is copied at every schedule fork, and copying one flat block beats
+/// copying a node-based deque's scattered chunks — this is part of the
+/// engine's cache-locality rewrite (ARCHITECTURE.md, "memory layout &
+/// allocation").  Reference stability is accordingly *weaker than deque*:
+/// references returned by at() are invalidated by push(), popFront(), and
+/// truncateFrom().  Machine.cpp's rules copy what they need before any of
+/// those calls.
+///
+/// **Incremental fingerprint, lazily folded.**  hash() is an XOR-multiset
+/// of avalanched per-entry contributions keyed by (index, entry hash).
+/// Hashing a TransientInstr is the engine's measured hot spot, and most
+/// entries are pushed, mutated, and retired between two fingerprint
+/// probes — their hashes are never observed.  So contributions are
+/// computed *lazily*: `Contrib[slot]` caches entry `slot`'s contribution,
+/// with 0 meaning "pending" (not yet folded into `EntryXor`).  push()
+/// records a pending slot without hashing; mut() un-folds the touched
+/// slot back to pending; popFront()/truncateFrom() subtract exactly what
+/// was folded.  A probe on a *mutable* buffer folds every pending live
+/// slot first (memoizing it); the const overload computes pending
+/// contributions on the fly without writing, so it stays safe to call
+/// concurrently on a shared configuration (checkpoint rung verification).
+/// A contribution that genuinely hashes to 0 merely stays pending and is
+/// recomputed per probe — correct, just unmemoized.
+/// tests/HashEquivalenceTest.cpp asserts hash() == hashFromScratch()
+/// across randomized execute/rollback sequences.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,16 +50,52 @@
 #define SCT_CORE_REORDERBUFFER_H
 
 #include "core/TransientInstr.h"
+#include "support/Hashing.h"
 
-#include <deque>
+#include <optional>
+#include <vector>
 
 namespace sct {
 
 /// The reorder buffer.
 class ReorderBuffer {
 public:
-  bool empty() const { return Entries.empty(); }
-  size_t size() const { return Entries.size(); }
+  ReorderBuffer() = default;
+  /// Copies take only the live suffix (the retired prefix is dead weight
+  /// the original keeps merely to amortize its own compaction) and
+  /// reserve a few slots of slack: a fork copies the parent's
+  /// configuration and immediately pushes its probing steps, and an
+  /// exact-fit copy would make that first push reallocate and re-copy
+  /// the whole slab, doubling the per-fork cost for nothing.
+  ReorderBuffer(const ReorderBuffer &O)
+      : Fences(O.Fences), Base(O.Base), EntryXor(O.EntryXor) {
+    Slab.reserve(O.size() + CopySlack);
+    Slab.insert(Slab.end(), O.Slab.begin() + O.Head, O.Slab.end());
+    Contrib.reserve(O.size() + CopySlack);
+    Contrib.insert(Contrib.end(), O.Contrib.begin() + O.Head,
+                   O.Contrib.end());
+  }
+  ReorderBuffer &operator=(const ReorderBuffer &O) {
+    if (this == &O)
+      return *this;
+    Fences = O.Fences;
+    Slab.clear();
+    Slab.reserve(O.size() + CopySlack);
+    Slab.insert(Slab.end(), O.Slab.begin() + O.Head, O.Slab.end());
+    Contrib.clear();
+    Contrib.reserve(O.size() + CopySlack);
+    Contrib.insert(Contrib.end(), O.Contrib.begin() + O.Head,
+                   O.Contrib.end());
+    Head = 0;
+    Base = O.Base;
+    EntryXor = O.EntryXor;
+    return *this;
+  }
+  ReorderBuffer(ReorderBuffer &&) = default;
+  ReorderBuffer &operator=(ReorderBuffer &&) = default;
+
+  bool empty() const { return Head == Slab.size(); }
+  size_t size() const { return Slab.size() - Head; }
 
   /// MIN(buf); asserts non-empty.
   BufIdx minIndex() const {
@@ -41,39 +106,72 @@ public:
   /// MAX(buf); asserts non-empty.
   BufIdx maxIndex() const {
     assert(!empty() && "maxIndex of empty buffer");
-    return Base + Entries.size() - 1;
+    return Base + size() - 1;
   }
 
   /// The index the next push will occupy (MAX(buf) + 1).
-  BufIdx nextIndex() const { return Base + Entries.size(); }
+  BufIdx nextIndex() const { return Base + size(); }
 
   bool contains(BufIdx I) const { return I >= Base && I < nextIndex(); }
 
-  const TransientInstr &at(BufIdx I) const {
-    assert(contains(I) && "buffer index out of range");
-    return Entries[I - Base];
+  /// True iff a fence entry sits strictly before index \p I — the
+  /// "∀j < i : buf(j) ≠ fence" premise of every execute rule (§3.6),
+  /// answered O(1) from the maintained fence-index list instead of a
+  /// per-execute scan of the live window.
+  bool hasFenceBefore(BufIdx I) const {
+    return !Fences.empty() && Fences.front() < I;
   }
 
-  TransientInstr &at(BufIdx I) {
+  const TransientInstr &at(BufIdx I) const {
     assert(contains(I) && "buffer index out of range");
-    return Entries[I - Base];
+    return Slab[Head + (I - Base)];
+  }
+
+  /// Mutable access — the single chokepoint through which Machine.cpp
+  /// rewrites entries in place.  Un-folds \p I's cached contribution (if
+  /// any) back to pending, so the fingerprint never reflects a
+  /// half-mutated entry.  Deliberately NOT an at() overload: reads on a
+  /// non-const buffer should keep resolving to the const at() above
+  /// rather than spuriously invalidating cached contributions.
+  TransientInstr &mut(BufIdx I) {
+    assert(contains(I) && "buffer index out of range");
+    size_t S = Head + (I - Base);
+    if (Contrib[S]) {
+      EntryXor ^= Contrib[S];
+      Contrib[S] = 0;
+    }
+    return Slab[S];
   }
 
   /// Appends \p T at MAX+1 and returns its index.  The entry's GroupLeader
-  /// defaults to its own index if the caller left it unset (0).
+  /// defaults to its own index if the caller left it unset (0).  The new
+  /// entry starts pending — no hash is computed here.
   BufIdx push(TransientInstr T) {
     BufIdx I = nextIndex();
     if (T.GroupLeader == 0)
       T.GroupLeader = I;
-    Entries.push_back(std::move(T));
+    if (Head == Slab.size() && Head != 0) {
+      // Empty with a dead prefix: restart the slab for free.
+      Slab.clear();
+      Contrib.clear();
+      Head = 0;
+    }
+    if (T.is(TransientKind::Fence))
+      Fences.push_back(I); // Pushes ascend, so Fences stays sorted.
+    Slab.push_back(std::move(T));
+    Contrib.push_back(0);
     return I;
   }
 
   /// Removes the oldest entry (retire).
   void popFront() {
     assert(!empty() && "popFront of empty buffer");
-    Entries.pop_front();
+    EntryXor ^= Contrib[Head]; // 0 if pending: nothing was folded.
+    if (!Fences.empty() && Fences.front() == Base)
+      Fences.erase(Fences.begin());
+    ++Head;
     ++Base;
+    compact();
   }
 
   /// Removes every entry with index >= \p I (rollback); \p I may be past
@@ -82,25 +180,96 @@ public:
     if (empty() || I >= nextIndex())
       return;
     BufIdx Cut = I < Base ? Base : I;
-    Entries.erase(Entries.begin() + (Cut - Base), Entries.end());
+    size_t S = Head + (Cut - Base);
+    for (size_t J = S; J < Slab.size(); ++J)
+      EntryXor ^= Contrib[J]; // 0 if pending: nothing was folded.
+    while (!Fences.empty() && Fences.back() >= Cut)
+      Fences.pop_back();
+    Slab.erase(Slab.begin() + S, Slab.end());
+    Contrib.erase(Contrib.begin() + S, Contrib.end());
   }
 
-  bool operator==(const ReorderBuffer &Other) const = default;
+  bool operator==(const ReorderBuffer &Other) const {
+    if (Base != Other.Base || size() != Other.size())
+      return false;
+    for (size_t I = 0; I < size(); ++I)
+      if (!(Slab[Head + I] == Other.Slab[Other.Head + I]))
+        return false;
+    return true;
+  }
 
-  /// Fingerprint over the base index and every entry, oldest first.  The
-  /// base participates because buffer indices name entries in recorded
+  /// Fingerprint over the base index and every entry.  The base
+  /// participates because buffer indices name entries in recorded
   /// schedules and forwarding dependencies, so shifted-but-identical
-  /// contents are genuinely different states.
-  uint64_t hash() const;
+  /// contents are genuinely different states.  On a mutable buffer this
+  /// folds (and memoizes) every pending contribution first; cost is one
+  /// entry hash per slot touched since the previous probe.
+  uint64_t hash() {
+    foldPending();
+    return hashFields({Base, size(), EntryXor});
+  }
+
+  /// Const overload: computes pending contributions on the fly without
+  /// memoizing them; never writes, so it is safe to call concurrently on
+  /// a shared configuration.
+  uint64_t hash() const {
+    uint64_t Xor = EntryXor;
+    for (size_t S = Head; S < Slab.size(); ++S)
+      if (!Contrib[S])
+        Xor ^= contribution(Base + (S - Head), Slab[S]);
+    return hashFields({Base, size(), Xor});
+  }
+
+  /// Folds every pending live slot's contribution into the running
+  /// fingerprint (hash() on a mutable buffer does this automatically).
+  void foldPending() {
+    for (size_t S = Head; S < Slab.size(); ++S)
+      if (!Contrib[S]) {
+        Contrib[S] = contribution(Base + (S - Head), Slab[S]);
+        EntryXor ^= Contrib[S];
+      }
+  }
+
+  /// Recomputes hash() by walking every entry (the verification oracle
+  /// for the incremental fingerprint; O(entries)).
+  uint64_t hashFromScratch() const;
 
   /// Remap-aware variant: entries hash through \p R (see
   /// TransientInstr::hash(const PcRemap &)); nullopt iff any entry's
-  /// program points have no image.
+  /// program points have no image.  Always a full walk; under an identity
+  /// remap it equals hash() — tests pin this.
   std::optional<uint64_t> hash(const PcRemap &R) const;
 
 private:
-  std::deque<TransientInstr> Entries;
+  /// Extra slots reserved by copies; covers a fork's probing pushes.
+  static constexpr size_t CopySlack = 4;
+
+  /// Entry \p I's term in the XOR-multiset fingerprint.
+  static uint64_t contribution(BufIdx I, const TransientInstr &T) {
+    return hashFields({I, T.hash()});
+  }
+
+  /// Drops the dead prefix once it dominates the slab, keeping copies of
+  /// this buffer (every schedule fork) from paying for retired entries.
+  void compact() {
+    if (Head >= 16 && Head * 2 >= Slab.size()) {
+      Slab.erase(Slab.begin(), Slab.begin() + Head);
+      Contrib.erase(Contrib.begin(), Contrib.begin() + Head);
+      Head = 0;
+    }
+  }
+
+  /// Live fence entries' indices, ascending (usually empty: only
+  /// mitigated programs fetch fences).  Backs hasFenceBefore().
+  std::vector<BufIdx> Fences;
+  /// Live entries are Slab[Head..]; indices Base..Base+size()-1.
+  std::vector<TransientInstr> Slab;
+  /// Contrib[slot] caches Slab[slot]'s folded contribution; 0 = pending.
+  std::vector<uint64_t> Contrib;
+  size_t Head = 0;
   BufIdx Base = 1; // The paper's examples number entries from 1.
+  /// XOR of the cached (nonzero) contributions over live entries.
+  uint64_t EntryXor = 0;
 };
 
 /// Renders the buffer one entry per line, "i -> <transient>", mirroring

@@ -7,28 +7,29 @@
 using namespace sct;
 
 uint64_t ReturnStackBuffer::hash() const {
-  uint64_t H = hashCombine(HashSeed, Journal.size());
-  for (const Entry &E : Journal) {
-    H = hashCombine(H, E.Idx);
-    H = hashCombine(H, (uint64_t(E.Target) << 1) | E.IsPush);
-  }
-  return H;
+  return hashFields({Journal.size(), JournalXor});
+}
+
+uint64_t ReturnStackBuffer::hashFromScratch() const {
+  uint64_t Xor = 0;
+  for (size_t Pos = 0; Pos < Journal.size(); ++Pos)
+    Xor ^= contribution(Pos, Journal[Pos]);
+  return hashFields({Journal.size(), Xor});
 }
 
 std::optional<uint64_t> ReturnStackBuffer::hash(const PcRemap &R) const {
-  uint64_t H = hashCombine(HashSeed, Journal.size());
-  for (const Entry &E : Journal) {
-    PC Target = E.Target; // Pops record no target (raw 0, like hash()).
+  uint64_t Xor = 0;
+  for (size_t Pos = 0; Pos < Journal.size(); ++Pos) {
+    Entry E = Journal[Pos]; // Pops record no target (raw 0, like hash()).
     if (E.IsPush) {
       std::optional<PC> M = R.target(E.Target);
       if (!M)
         return std::nullopt;
-      Target = *M;
+      E.Target = *M;
     }
-    H = hashCombine(H, E.Idx);
-    H = hashCombine(H, (uint64_t(Target) << 1) | E.IsPush);
+    Xor ^= contribution(Pos, E);
   }
-  return H;
+  return hashFields({Journal.size(), Xor});
 }
 
 std::optional<PC> ReturnStackBuffer::top() const {
@@ -65,6 +66,8 @@ PC ReturnStackBuffer::topCircular(unsigned Size) const {
 }
 
 void ReturnStackBuffer::rollbackFrom(BufIdx I) {
-  while (!Journal.empty() && Journal.back().Idx >= I)
+  while (!Journal.empty() && Journal.back().Idx >= I) {
+    JournalXor ^= contribution(Journal.size() - 1, Journal.back());
     Journal.pop_back();
+  }
 }

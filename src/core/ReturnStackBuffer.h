@@ -26,6 +26,7 @@
 #define SCT_CORE_RETURNSTACKBUFFER_H
 
 #include "core/TransientInstr.h"
+#include "support/Hashing.h"
 
 #include <optional>
 #include <vector>
@@ -43,10 +44,16 @@ enum class RsbPolicy : unsigned char {
 class ReturnStackBuffer {
 public:
   /// Records "σ[i ↦ push n]" (call fetch).
-  void push(BufIdx I, PC Target) { Journal.push_back({I, Target, true}); }
+  void push(BufIdx I, PC Target) {
+    JournalXor ^= contribution(Journal.size(), {I, Target, true});
+    Journal.push_back({I, Target, true});
+  }
 
   /// Records "σ[i ↦ pop]" (ret fetch).
-  void pop(BufIdx I) { Journal.push_back({I, 0, false}); }
+  void pop(BufIdx I) {
+    JournalXor ^= contribution(Journal.size(), {I, 0, false});
+    Journal.push_back({I, 0, false});
+  }
 
   /// top(σ) under the standard stack replay; std::nullopt encodes ⊥.
   std::optional<PC> top() const;
@@ -61,15 +68,27 @@ public:
   /// Number of journal entries (for tests).
   size_t journalSize() const { return Journal.size(); }
 
-  bool operator==(const ReturnStackBuffer &Other) const = default;
+  bool operator==(const ReturnStackBuffer &Other) const {
+    return Journal == Other.Journal;
+  }
 
   /// Fingerprint over the whole journal in order (σ is journalled state:
   /// two RSBs with equal replayed tops but different histories roll back
-  /// differently, so the history is what gets hashed).
+  /// differently, so the history is what gets hashed).  Maintained
+  /// incrementally as an XOR-multiset of avalanched per-entry
+  /// contributions — the journal position participates in each term, so
+  /// order still matters; push/pop/rollbackFrom update the running value
+  /// and hash() is O(1).  `hashFromScratch()` is the O(journal)
+  /// verification oracle (tests/HashEquivalenceTest.cpp).
   uint64_t hash() const;
 
+  /// Recomputes hash() by walking the journal.
+  uint64_t hashFromScratch() const;
+
   /// Remap-aware variant: push targets (return points) map through
-  /// \p R's target channel; nullopt iff any has no image.
+  /// \p R's target channel; nullopt iff any has no image.  Always a full
+  /// walk (remaps are the cross-program re-check path, not the hot path);
+  /// under an identity remap it equals hash() — tests pin this.
   std::optional<uint64_t> hash(const PcRemap &R) const;
 
 private:
@@ -80,7 +99,15 @@ private:
 
     bool operator==(const Entry &Other) const = default;
   };
+
+  /// Journal entry \p Pos's term in the XOR-multiset fingerprint.
+  static uint64_t contribution(uint64_t Pos, const Entry &E) {
+    return hashFields({Pos, E.Idx, (uint64_t(E.Target) << 1) | E.IsPush});
+  }
+
   std::vector<Entry> Journal;
+  /// XOR of contribution over the whole journal.
+  uint64_t JournalXor = 0;
 };
 
 } // namespace sct

@@ -9,12 +9,13 @@
 using namespace sct;
 
 TransientInstr TransientInstr::makeOp(Reg Dest, Opcode Opc,
-                                      std::vector<Operand> Args, PC Origin) {
+                                      std::span<const Operand> Args,
+                                      PC Origin) {
   TransientInstr T;
   T.Kind = TransientKind::Op;
   T.Dest = Dest;
   T.Opc = Opc;
-  T.Args = std::move(Args);
+  T.Args = InlineVector<Operand, 2>(Args);
   T.Origin = Origin;
   return T;
 }
@@ -30,12 +31,13 @@ TransientInstr TransientInstr::makeResolvedValue(Reg Dest, Value V,
 }
 
 TransientInstr TransientInstr::makeBranch(Opcode Cond,
-                                          std::vector<Operand> Args, PC Chosen,
-                                          PC NTrue, PC NFalse, PC Origin) {
+                                          std::span<const Operand> Args,
+                                          PC Chosen, PC NTrue, PC NFalse,
+                                          PC Origin) {
   TransientInstr T;
   T.Kind = TransientKind::Branch;
   T.Opc = Cond;
-  T.Args = std::move(Args);
+  T.Args = InlineVector<Operand, 2>(Args);
   T.N0 = Chosen;
   T.NTrue = NTrue;
   T.NFalse = NFalse;
@@ -51,23 +53,24 @@ TransientInstr TransientInstr::makeJump(PC Target, PC Origin) {
   return T;
 }
 
-TransientInstr TransientInstr::makeLoad(Reg Dest, std::vector<Operand> AddrArgs,
+TransientInstr TransientInstr::makeLoad(Reg Dest,
+                                        std::span<const Operand> AddrArgs,
                                         PC Origin) {
   TransientInstr T;
   T.Kind = TransientKind::Load;
   T.Dest = Dest;
-  T.Args = std::move(AddrArgs);
+  T.Args = InlineVector<Operand, 2>(AddrArgs);
   T.Origin = Origin;
   return T;
 }
 
 TransientInstr TransientInstr::makeStore(Operand Val,
-                                         std::vector<Operand> AddrArgs,
+                                         std::span<const Operand> AddrArgs,
                                          PC Origin) {
   TransientInstr T;
   T.Kind = TransientKind::Store;
   T.StoreVal = Val;
-  T.Args = std::move(AddrArgs);
+  T.Args = InlineVector<Operand, 2>(AddrArgs);
   T.Origin = Origin;
   // "Either step may be skipped if data or address are already in
   // immediate form" (§3.4): an immediate store value, or a
@@ -84,11 +87,11 @@ TransientInstr TransientInstr::makeStore(Operand Val,
   return T;
 }
 
-TransientInstr TransientInstr::makeJumpI(std::vector<Operand> AddrArgs,
+TransientInstr TransientInstr::makeJumpI(std::span<const Operand> AddrArgs,
                                          PC Predicted, PC Origin) {
   TransientInstr T;
   T.Kind = TransientKind::JumpI;
-  T.Args = std::move(AddrArgs);
+  T.Args = InlineVector<Operand, 2>(AddrArgs);
   T.N0 = Predicted;
   T.Origin = Origin;
   return T;
@@ -128,33 +131,49 @@ bool TransientInstr::assignsReg(Reg R) const {
   }
 }
 
-uint64_t TransientInstr::hash() const {
-  // Every field operator== compares participates, in declaration order.
-  // Operands fold a register/immediate tag first so reg(5) and imm(5)
-  // separate.
-  uint64_t H = hashFields({uint64_t(Kind), Dest.id(), uint64_t(Opc)});
+namespace {
+
+/// The one chaining both hash() and the remap-aware hash() share, with
+/// the program points passed in (mapped or raw).  Every field
+/// operator== compares participates, in declaration order; operands
+/// fold a register/immediate tag first so reg(5) and imm(5) separate.
+/// This is the engine's single hottest function (entry fingerprints
+/// back the reorder buffer's XOR-multiset), so it uses the cheap
+/// hashFold/hashFinish chain: sound here because every TransientInstr
+/// folds exactly the same field sequence (Args is length-prefixed).
+uint64_t hashEntryFields(const TransientInstr &T, PC N0, PC NTrue, PC NFalse,
+                         PC Origin) {
+  uint64_t H = hashFold(HashSeed, uint64_t(T.Kind));
+  H = hashFold(H, T.Dest.id());
+  H = hashFold(H, uint64_t(T.Opc));
   auto FoldOperand = [&H](const Operand &Op) {
-    H = hashCombine(H, Op.isReg() ? 1 : 2);
-    H = hashCombine(H, Op.isReg() ? Op.getReg().id() : Op.getImm());
+    H = hashFold(H, Op.isReg() ? 1 : 2);
+    H = hashFold(H, Op.isReg() ? Op.getReg().id() : Op.getImm());
   };
-  H = hashCombine(H, Args.size());
-  for (const Operand &Op : Args)
+  H = hashFold(H, T.Args.size());
+  for (const Operand &Op : T.Args)
     FoldOperand(Op);
-  H = hashCombine(H, Val.Bits);
-  H = hashCombine(H, Val.Taint.mask());
-  FoldOperand(StoreVal);
-  H = hashCombine(H, StoreValIsResolved);
-  H = hashCombine(H, StoreResolvedVal.Bits);
-  H = hashCombine(H, StoreResolvedVal.Taint.mask());
-  H = hashCombine(H, StoreAddrIsResolved);
-  H = hashCombine(H, StoreAddr.Bits);
-  H = hashCombine(H, StoreAddr.Taint.mask());
-  H = hashCombine(H, LoadAddr);
-  H = hashCombine(H, Dep ? *Dep + 1 : 0);
-  H = hashCombine(H, (uint64_t(N0) << 32) | NTrue);
-  H = hashCombine(H, (uint64_t(NFalse) << 32) | Origin);
-  H = hashCombine(H, GroupLeader);
-  return H;
+  H = hashFold(H, T.Val.Bits);
+  H = hashFold(H, T.Val.Taint.mask());
+  FoldOperand(T.StoreVal);
+  H = hashFold(H, T.StoreValIsResolved);
+  H = hashFold(H, T.StoreResolvedVal.Bits);
+  H = hashFold(H, T.StoreResolvedVal.Taint.mask());
+  H = hashFold(H, T.StoreAddrIsResolved);
+  H = hashFold(H, T.StoreAddr.Bits);
+  H = hashFold(H, T.StoreAddr.Taint.mask());
+  H = hashFold(H, T.LoadAddr);
+  H = hashFold(H, T.Dep ? *T.Dep + 1 : 0);
+  H = hashFold(H, (uint64_t(N0) << 32) | NTrue);
+  H = hashFold(H, (uint64_t(NFalse) << 32) | Origin);
+  H = hashFold(H, T.GroupLeader);
+  return hashFinish(H);
+}
+
+} // namespace
+
+uint64_t TransientInstr::hash() const {
+  return hashEntryFields(*this, N0, NTrue, NFalse, Origin);
 }
 
 std::optional<uint64_t> TransientInstr::hash(const PcRemap &R) const {
@@ -187,31 +206,9 @@ std::optional<uint64_t> TransientInstr::hash(const PcRemap &R) const {
   if (!MOrigin)
     return std::nullopt;
 
-  // From here on: byte-for-byte the chaining of hash(), with the mapped
-  // points substituted.
-  uint64_t H = hashFields({uint64_t(Kind), Dest.id(), uint64_t(Opc)});
-  auto FoldOperand = [&H](const Operand &Op) {
-    H = hashCombine(H, Op.isReg() ? 1 : 2);
-    H = hashCombine(H, Op.isReg() ? Op.getReg().id() : Op.getImm());
-  };
-  H = hashCombine(H, Args.size());
-  for (const Operand &Op : Args)
-    FoldOperand(Op);
-  H = hashCombine(H, Val.Bits);
-  H = hashCombine(H, Val.Taint.mask());
-  FoldOperand(StoreVal);
-  H = hashCombine(H, StoreValIsResolved);
-  H = hashCombine(H, StoreResolvedVal.Bits);
-  H = hashCombine(H, StoreResolvedVal.Taint.mask());
-  H = hashCombine(H, StoreAddrIsResolved);
-  H = hashCombine(H, StoreAddr.Bits);
-  H = hashCombine(H, StoreAddr.Taint.mask());
-  H = hashCombine(H, LoadAddr);
-  H = hashCombine(H, Dep ? *Dep + 1 : 0);
-  H = hashCombine(H, (uint64_t(MN0) << 32) | MNTrue);
-  H = hashCombine(H, (uint64_t(MNFalse) << 32) | *MOrigin);
-  H = hashCombine(H, GroupLeader);
-  return H;
+  // Byte-for-byte the chaining of hash(), with the mapped points
+  // substituted.
+  return hashEntryFields(*this, MN0, MNTrue, MNFalse, *MOrigin);
 }
 
 bool TransientInstr::isResolved() const {
@@ -237,7 +234,7 @@ bool TransientInstr::isResolved() const {
 
 namespace {
 
-std::string operandList(const Program &P, const std::vector<Operand> &Ops) {
+std::string operandList(const Program &P, std::span<const Operand> Ops) {
   std::vector<std::string> Parts;
   Parts.reserve(Ops.size());
   for (const Operand &Op : Ops)

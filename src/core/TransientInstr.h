@@ -32,8 +32,10 @@
 
 #include "core/Value.h"
 #include "isa/Program.h"
+#include "support/InlineVector.h"
 
 #include <optional>
+#include <span>
 
 namespace sct {
 
@@ -88,8 +90,11 @@ struct TransientInstr {
   /// Op opcode or Branch condition.
   Opcode Opc = Opcode::True;
   /// Operand list rv⃗ (Op args, Branch condition args, Load/Store/JumpI
-  /// address args).
-  std::vector<Operand> Args;
+  /// address args).  Address expressions and condition lists are one or
+  /// two operands in every workload, so they live inline in the entry —
+  /// no per-entry heap allocation to chase (or re-allocate) when a
+  /// configuration is copied at a schedule fork.
+  InlineVector<Operand, 2> Args;
 
   /// Resolved value: ResolvedValue and LoadResolved carry the assigned
   /// value; LoadGuessed carries the speculatively forwarded value.
@@ -129,18 +134,54 @@ struct TransientInstr {
   BufIdx GroupLeader = 0;
 
   // --- Factories -----------------------------------------------------------
-  static TransientInstr makeOp(Reg Dest, Opcode Opc, std::vector<Operand> Args,
-                               PC Origin);
+  static TransientInstr makeOp(Reg Dest, Opcode Opc,
+                               std::span<const Operand> Args, PC Origin);
   static TransientInstr makeResolvedValue(Reg Dest, Value V, PC Origin);
-  static TransientInstr makeBranch(Opcode Cond, std::vector<Operand> Args,
+  static TransientInstr makeBranch(Opcode Cond, std::span<const Operand> Args,
                                    PC Chosen, PC NTrue, PC NFalse, PC Origin);
   static TransientInstr makeJump(PC Target, PC Origin);
-  static TransientInstr makeLoad(Reg Dest, std::vector<Operand> AddrArgs,
+  static TransientInstr makeLoad(Reg Dest, std::span<const Operand> AddrArgs,
                                  PC Origin);
-  static TransientInstr makeStore(Operand Val, std::vector<Operand> AddrArgs,
+  static TransientInstr makeStore(Operand Val,
+                                  std::span<const Operand> AddrArgs,
                                   PC Origin);
-  static TransientInstr makeJumpI(std::vector<Operand> AddrArgs, PC Predicted,
-                                  PC Origin);
+  static TransientInstr makeJumpI(std::span<const Operand> AddrArgs,
+                                  PC Predicted, PC Origin);
+  // Braced-list conveniences (C++20 spans don't bind to initializer
+  // lists); forward to the span factories above.
+  static TransientInstr makeOp(Reg Dest, Opcode Opc,
+                               std::initializer_list<Operand> Args,
+                               PC Origin) {
+    return makeOp(Dest, Opc, std::span<const Operand>(Args.begin(), Args.size()),
+                  Origin);
+  }
+  static TransientInstr makeBranch(Opcode Cond,
+                                   std::initializer_list<Operand> Args,
+                                   PC Chosen, PC NTrue, PC NFalse, PC Origin) {
+    return makeBranch(Cond,
+                      std::span<const Operand>(Args.begin(), Args.size()),
+                      Chosen, NTrue, NFalse, Origin);
+  }
+  static TransientInstr makeLoad(Reg Dest,
+                                 std::initializer_list<Operand> AddrArgs,
+                                 PC Origin) {
+    return makeLoad(
+        Dest, std::span<const Operand>(AddrArgs.begin(), AddrArgs.size()),
+        Origin);
+  }
+  static TransientInstr makeStore(Operand Val,
+                                  std::initializer_list<Operand> AddrArgs,
+                                  PC Origin) {
+    return makeStore(
+        Val, std::span<const Operand>(AddrArgs.begin(), AddrArgs.size()),
+        Origin);
+  }
+  static TransientInstr makeJumpI(std::initializer_list<Operand> AddrArgs,
+                                  PC Predicted, PC Origin) {
+    return makeJumpI(
+        std::span<const Operand>(AddrArgs.begin(), AddrArgs.size()), Predicted,
+        Origin);
+  }
   static TransientInstr makeCallMarker(PC Origin);
   static TransientInstr makeRetMarker(PC Origin);
   static TransientInstr makeFence(PC Origin);

@@ -79,6 +79,8 @@ public:
     Stats.ReplayedSteps += ReplayedSteps;
     Stats.SeededSteps += SeededSteps;
     Stats.SlicedExcursions += SlicedExcursions;
+    Stats.SuffixConvergences += SuffixConv;
+    Stats.SuffixSkippedSteps += SuffixSkip;
     Stats.BudgetExhausted |= Exhausted;
     return Seeded ? Cur : Schedule{};
   }
@@ -112,11 +114,21 @@ private:
   uint64_t ReplayedSteps = 0;
   uint64_t SeededSteps = 0;
   uint64_t SlicedExcursions = 0;
+  uint64_t SuffixConv = 0;
+  uint64_t SuffixSkip = 0;
   bool Exhausted = false;
 
   /// Current best witness and its per-position allocation record.
   Schedule Cur;
   std::vector<AllocInfo> CurAlloc;
+  /// CurPosHash[p] is the state fingerprint after Cur[0, p) — recorded by
+  /// the replay that produced Cur (incremental hash, O(1) per step) and
+  /// probed by later candidates for suffix-convergence rejoins.  Size
+  /// Cur.size() + 1; CurPosHash[0] is the initial state's hash.
+  std::vector<uint64_t> CurPosHash;
+  /// evaluate()'s per-position hashes for the candidate it just accepted;
+  /// adopt() promotes it to CurPosHash.
+  std::vector<uint64_t> EvalHash;
   /// Checkpoints along Cur's prefix, keyed by prefix length.  Invariant:
   /// every rung's state is what Cur[0, Len) strictly replays to — rungs
   /// above an adopted candidate's first edit are erased, and new rungs
@@ -162,6 +174,7 @@ private:
   void adopt(Schedule &&Kept, std::vector<AllocInfo> &&KA) {
     Cur = std::move(Kept);
     CurAlloc = std::move(KA);
+    CurPosHash = std::move(EvalHash);
     Rungs.erase(Rungs.upper_bound(LastEdit), Rungs.end());
   }
 
@@ -231,7 +244,20 @@ private:
     Configuration C = Seed ? *Seed : Init; // COW: cheap until a write.
     Kept.assign(Cur.begin(), Cur.begin() + SeedLen);
     KeptAlloc.assign(CurAlloc.begin(), CurAlloc.begin() + SeedLen);
+    if (SeedLen)
+      EvalHash.assign(CurPosHash.begin(), CurPosHash.begin() + SeedLen + 1);
+    else
+      EvalHash.assign(1, C.hash());
     SeededSteps += SeedLen;
+    // Longest common *suffix* of candidate and current witness, so the
+    // rejoin probe below is one comparison per step instead of a tail
+    // scan.
+    size_t CommonSuffix = 0;
+    if (Opts.SuffixConverge)
+      while (CommonSuffix < Cand.size() && CommonSuffix < Cur.size() &&
+             Cand[Cand.size() - 1 - CommonSuffix] ==
+                 Cur[Cur.size() - 1 - CommonSuffix])
+        ++CommonSuffix;
     size_t K = Opts.SeedInterval ? Opts.SeedInterval : 1;
     size_t NextRung = SeedLen + K;
     for (size_t Pos = SeedLen; Pos < Cand.size(); ++Pos) {
@@ -274,10 +300,39 @@ private:
       A.PostN = C.N;
       Kept.push_back(D);
       KeptAlloc.push_back(A);
+      EvalHash.push_back(C.hash());
       if (Out->Obs.isSecret()) {
         LeakRecord Probe{Schedule{}, Out->Obs, Origin, Out->Rule};
         if (Probe.key() == TargetKey)
           return true; // Truncated at the (re-)found leak.
+      }
+      // Suffix-convergence rejoin: the state just reached fingerprints
+      // equal to the current witness's state at position P, and the
+      // candidate's remaining directives are byte-identical to Cur[P..]
+      // (so P is forced: remaining length pins it).  Cur proved that
+      // suffix replays strictly from that state to the target leak, so
+      // adopt it unexecuted.  Requires at least one remaining directive —
+      // the leaking step itself must come from the proven suffix, not
+      // from a state match alone — and only fires at or past the first
+      // edit: before it the candidate IS Cur, and stopping on a
+      // stream-revisited state there would adopt a shrink the full
+      // replay would not produce (rejoins must change cost, never
+      // results).
+      if (CommonSuffix > 0 && Pos >= FirstEdit) {
+        size_t RemLen = Cand.size() - Pos - 1;
+        if (RemLen >= 1 && RemLen <= CommonSuffix && RemLen < Cur.size()) {
+          size_t P = Cur.size() - RemLen;
+          if (CurPosHash[P] == EvalHash.back()) {
+            Kept.insert(Kept.end(), Cur.begin() + P, Cur.end());
+            KeptAlloc.insert(KeptAlloc.end(), CurAlloc.begin() + P,
+                             CurAlloc.end());
+            EvalHash.insert(EvalHash.end(), CurPosHash.begin() + P + 1,
+                            CurPosHash.end());
+            ++SuffixConv;
+            SuffixSkip += RemLen;
+            return true;
+          }
+        }
       }
     }
     if (Opts.MemoizeCandidates)
@@ -420,6 +475,7 @@ private:
   void polish() {
     Schedule Saved = Cur;
     std::vector<AllocInfo> SavedAlloc = CurAlloc;
+    std::vector<uint64_t> SavedPosHash = CurPosHash;
     Ladder SavedRungs = Rungs;
 
     bool Improved = false;
@@ -447,15 +503,17 @@ private:
         Improved = true;
         break; // Strictly better basin found; keep it.
       }
-      // No win: restore the fixpoint result exactly (rungs included —
-      // their invariant is tied to Cur's prefix).
+      // No win: restore the fixpoint result exactly (rungs and position
+      // hashes included — their invariants are tied to Cur's prefix).
       Cur = Saved;
       CurAlloc = SavedAlloc;
+      CurPosHash = SavedPosHash;
       Rungs = SavedRungs;
     }
     if (!Improved && (Cur != Saved)) {
       Cur = Saved;
       CurAlloc = SavedAlloc;
+      CurPosHash = std::move(SavedPosHash);
       Rungs = std::move(SavedRungs);
     }
   }

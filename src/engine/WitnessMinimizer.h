@@ -73,6 +73,19 @@
 /// target-key observation at its final step.  `MinimizeStats` reports
 /// the steps executed and the steps seeding skipped.
 ///
+/// **Suffix convergence.**  Seeding removes the *prefix* a candidate
+/// shares with the current witness; the mirror-image optimization removes
+/// the shared *suffix*.  Every successful replay records the incremental
+/// state fingerprint after each kept directive, so the adopted witness
+/// carries a per-position hash stream.  When a later candidate's replay
+/// reaches a state whose fingerprint matches position p of that stream
+/// and the candidate's remaining directives equal the witness's remaining
+/// suffix `Cur[p..]`, the replay stops: the witness already proved that
+/// suffix replays strictly from that state to the target leak, so the
+/// candidate adopts `applied-prefix + Cur[p..]` unexecuted (see
+/// `MinimizeOptions::SuffixConverge` for the fingerprint caveat and
+/// `MinimizeStats::SuffixSkippedSteps` for the win).
+///
 /// Every candidate costs one replay of at most |schedule| machine steps;
 /// `MinimizeOptions::MaxReplays` bounds the total per witness.  When the
 /// budget runs out the best schedule found so far is returned — it is
@@ -127,6 +140,25 @@ struct MinimizeOptions {
   /// reproduces the from-initial replay cost exactly; the minimized
   /// schedules are identical either way.
   bool SeedReplays = true;
+  /// Early-accept a candidate replay as soon as its state *rejoins* the
+  /// adopted witness's state stream — fingerprint equality against the
+  /// per-position hashes recorded along the current witness — at a
+  /// position whose remaining directives are byte-identical to the
+  /// candidate's remaining suffix.  The rest of the replay is then known:
+  /// the adopted witness already proved that exact suffix replays
+  /// strictly from that exact state to the leak, so the candidate adopts
+  /// `applied-prefix + witness-suffix` without executing the suffix
+  /// again.  ddmin and canonicalize candidates edit a few positions and
+  /// keep long common tails, so most of their replay cost is this
+  /// re-execution; the rejoin check makes it O(1) per step (the
+  /// fingerprints are the engine's incremental hashes).  A hit still
+  /// counts one replay against MaxReplays and the minimized schedules
+  /// are byte-identical either way — only executed steps drop
+  /// (MinimizeStats::SuffixSkippedSteps).  Validity of a hit rests on
+  /// 64-bit fingerprint equality, the same avalanched-hash caveat as the
+  /// explorer's seen-state pruning; off restores the pure strict-replay
+  /// oracle.
+  bool SuffixConverge = true;
   /// Remember failed candidates (exact directive sequences) and skip
   /// their replays when the fixpoint loop re-proposes them — the
   /// verification pass and canonicalize retries are then nearly free.
@@ -165,6 +197,11 @@ struct MinimizeStats {
   uint64_t SeededSteps = 0;
   /// Wrong-path excursions removed by the slice pass.
   uint64_t SlicedExcursions = 0;
+  /// Candidate replays early-accepted by a suffix-convergence rejoin
+  /// (MinimizeOptions::SuffixConverge).
+  uint64_t SuffixConvergences = 0;
+  /// Directives those rejoins skipped instead of re-executing.
+  uint64_t SuffixSkippedSteps = 0;
   /// True iff some witness hit MaxReplays before reaching a fixpoint (its
   /// minimized schedule is valid but possibly not 1-minimal).
   bool BudgetExhausted = false;
@@ -178,6 +215,8 @@ struct MinimizeStats {
     ReplayedSteps += Other.ReplayedSteps;
     SeededSteps += Other.SeededSteps;
     SlicedExcursions += Other.SlicedExcursions;
+    SuffixConvergences += Other.SuffixConvergences;
+    SuffixSkippedSteps += Other.SuffixSkippedSteps;
     BudgetExhausted |= Other.BudgetExhausted;
   }
 };

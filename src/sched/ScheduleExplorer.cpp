@@ -69,6 +69,78 @@ struct ClaimNode {
 };
 using ClaimTrail = std::shared_ptr<const ClaimNode>;
 
+/// One immutable segment of a schedule prefix.  A path's schedule is the
+/// concatenation of its chain's segments (oldest ancestor first) plus a
+/// mutable per-path suffix.  At every fork point the parent's suffix
+/// seals into one spine node shared by the continuation and every
+/// sibling, so forking is O(1) in schedule depth — the old representation
+/// copied the whole directive vector per fork, which dominated fork cost
+/// on deep trees.  Total storage is one directive per step of genuinely
+/// distinct schedule, not one per step per fork.
+struct SchedChain {
+  const SchedChain *Parent = nullptr;
+  /// Directives on the chain strictly before Seg.
+  size_t StartLen = 0;
+  std::vector<Directive> Seg;
+
+  size_t endLen() const { return StartLen + Seg.size(); }
+};
+
+/// Engine-scoped slab allocator for SchedChain nodes: per-worker chunk
+/// lists, each appended only by its owning worker (no lock), all freed
+/// together when the engine dies.  Nodes are immutable once made and
+/// become visible to other workers only through the frontier queues,
+/// whose synchronization publishes them.  Chain nodes are never freed
+/// individually: a node's directives are live as long as any descendant
+/// path or recorded leak may flatten through it, and one Directive per
+/// explored step is the floor any representation pays anyway.
+class SchedChainArena {
+public:
+  explicit SchedChainArena(unsigned Workers) : Pools(Workers) {}
+
+  const SchedChain *make(unsigned WorkerId, const SchedChain *Parent,
+                         std::vector<Directive> Seg) {
+    Pool &P = Pools[WorkerId];
+    if (P.Chunks.empty() || P.Used == ChunkSize) {
+      P.Chunks.push_back(std::make_unique<SchedChain[]>(ChunkSize));
+      P.Used = 0;
+    }
+    SchedChain *N = &P.Chunks.back()[P.Used++];
+    N->Parent = Parent;
+    N->StartLen = Parent ? Parent->endLen() : 0;
+    N->Seg = std::move(Seg);
+    return N;
+  }
+
+private:
+  static constexpr size_t ChunkSize = 256;
+  /// Cache-line separated so workers' bump pointers do not false-share.
+  struct alignas(64) Pool {
+    std::vector<std::unique_ptr<SchedChain[]>> Chunks;
+    size_t Used = 0;
+  };
+  std::vector<Pool> Pools;
+};
+
+/// Appends the directives at positions [From, end) of the schedule
+/// represented by \p Prefix + \p Suffix onto \p Out.
+void flattenFrom(const SchedChain *Prefix, const Schedule &Suffix,
+                 size_t From, Schedule &Out) {
+  // Chain nodes newest-first, stopping at the first that ends at or
+  // before From (its ancestors end even earlier).
+  std::vector<const SchedChain *> Nodes;
+  for (const SchedChain *N = Prefix; N && N->endLen() > From; N = N->Parent)
+    Nodes.push_back(N);
+  for (auto It = Nodes.rbegin(); It != Nodes.rend(); ++It) {
+    const SchedChain *N = *It;
+    size_t Skip = From > N->StartLen ? From - N->StartLen : 0;
+    Out.insert(Out.end(), N->Seg.begin() + Skip, N->Seg.end());
+  }
+  size_t SufStart = Prefix ? Prefix->endLen() : 0;
+  size_t Skip = From > SufStart ? From - SufStart : 0;
+  Out.insert(Out.end(), Suffix.begin() + Skip, Suffix.end());
+}
+
 /// One frontier entry: a point in the schedule tree still to be explored.
 struct ExploreNode {
   /// The configuration at this point (engaged under SnapshotPolicy::Copy).
@@ -79,10 +151,12 @@ struct ExploreNode {
   /// replays only Sched[Base->Len..] from Base->Config.  Null under
   /// Copy/Replay (Replay re-derives from the initial configuration).
   std::shared_ptr<const Checkpoint> Base;
-  /// Directive prefix reaching this point; always kept — it is both the
+  /// Directive prefix reaching this point (always kept — it is both the
   /// witness prefix and, under SnapshotPolicy::Replay/Hybrid, the
-  /// (remainder of the) snapshot.
-  Schedule Sched;
+  /// (remainder of the) snapshot): the sealed chain up to the last fork
+  /// point plus the directives issued since.
+  const SchedChain *Prefix = nullptr;
+  Schedule Suffix;
   /// Steps spent on this path (per-schedule budget accounting).
   size_t PathSteps = 0;
   /// ExportSeenStates only: the fingerprints this node's path claimed in
@@ -142,9 +216,25 @@ private:
   /// Per-path state a worker advances.
   struct Path {
     Configuration C;
-    Schedule Sched;
+    /// The schedule reaching C: sealed fork-point chain + directives
+    /// issued since (see SchedChain).  tryStep appends to Suffix;
+    /// recordLeak and materialization flatten.
+    const SchedChain *Prefix = nullptr;
+    Schedule Suffix;
     size_t Steps = 0;
+    /// How much of Steps has been added to the engine-wide TotalSteps.
+    /// tryStep only bumps the path-local count; runPath publishes the
+    /// delta at loop boundaries (one relaxed fetch_add per fetch round
+    /// instead of one per step — the counter was a measurable share of
+    /// the step loop).  Forks start with StepsFlushed == Steps: the
+    /// inherited prefix was published by the ancestors that stepped it.
+    size_t StepsFlushed = 0;
     unsigned WorkerId = 0;
+
+    /// Total directives in the schedule so far.
+    size_t schedLen() const {
+      return (Prefix ? Prefix->endLen() : 0) + Suffix.size();
+    }
     /// Hybrid snapshots: the checkpoint this path (and every node it
     /// forks) replays from, refreshed by runPath once the path has moved
     /// CheckpointInterval directives past it.
@@ -163,6 +253,10 @@ private:
   /// the buffers themselves stay worker-local and merge at harvest.
   struct Worker {
     std::vector<LeakRecord> Leaks;
+    /// CollectStats: first-visit states bucketed by schedule depth
+    /// (ExploreStats::DepthBucket directives per bucket); merged at
+    /// harvest.
+    std::vector<uint64_t> NewStatesPerDepth;
   };
 
   const Machine &M;
@@ -230,6 +324,39 @@ private:
 
   std::vector<Worker> Workers;
 
+  /// Slab storage for the schedule-prefix chain; lives exactly as long as
+  /// the engine (every frontier node and path dies before harvest
+  /// returns, and leaks flatten their schedules out of the chain).
+  SchedChainArena Arena{NumWorkers};
+
+  // Blowup-diagnosis tallies (only written under Opts.CollectStats).
+  std::atomic<uint64_t> ConvChecks{0};
+  std::atomic<uint64_t> ConvPrunes{0};
+  std::atomic<uint64_t> ForkNew{0};
+  std::atomic<uint64_t> ForkDup{0};
+
+  /// The fingerprint probed at fork-filter and convergence sites.
+  /// FromScratchHashing swaps in the full-walk oracle — bit-identical
+  /// values (tests/HashEquivalenceTest.cpp), so leak sets and prunes
+  /// cannot differ; only the cost does.  This is StepRateBench's
+  /// hashing-sensitivity knob.  Takes a mutable configuration so the
+  /// incremental path hits the memoizing hash() overload — probing
+  /// through a const reference would re-walk the reorder buffer's
+  /// pending entries at every probe instead of folding them once.
+  uint64_t stateHash(Configuration &C) const {
+    return Opts.FromScratchHashing ? C.hashFromScratch() : C.hash();
+  }
+
+  /// CollectStats: tallies a first-visit state at schedule depth \p Depth
+  /// into the owning worker's histogram.
+  void noteNewState(unsigned WorkerId, size_t Depth) {
+    std::vector<uint64_t> &V = Workers[WorkerId].NewStatesPerDepth;
+    size_t B = Depth / ExploreStats::DepthBucket;
+    if (V.size() <= B)
+      V.resize(B + 1, 0);
+    ++V[B];
+  }
+
   //===------------------------------------------------------ queueing ---===//
 
   void enqueueNode(Path &&Pth) {
@@ -247,7 +374,8 @@ private:
       N.Base = Pth.Base;
       break;
     }
-    N.Sched = std::move(Pth.Sched);
+    N.Prefix = Pth.Prefix;
+    N.Suffix = std::move(Pth.Suffix);
     N.PathSteps = Pth.Steps;
     N.Claims = std::move(Pth.Claims);
     unsigned WorkerId = Pth.WorkerId;
@@ -276,22 +404,25 @@ private:
     Path Pth;
     Pth.WorkerId = WorkerId;
     Pth.Steps = N.PathSteps;
+    Pth.StepsFlushed = N.PathSteps; // Published before the node parked.
     Pth.Claims = std::move(N.Claims);
+    Pth.Prefix = N.Prefix;
     if (N.Snap) {
       Pth.C = std::move(*N.Snap);
-      Pth.Sched = std::move(N.Sched);
+      Pth.Suffix = std::move(N.Suffix);
       return Pth;
     }
     size_t BaseLen = N.Base ? N.Base->Len : 0;
     Pth.C = N.Base ? N.Base->Config : Init; // COW: O(1) until a side writes.
     Pth.Base = std::move(N.Base);
-    for (size_t I = BaseLen; I < N.Sched.size(); ++I) {
-      [[maybe_unused]] auto Out = M.step(Pth.C, N.Sched[I]);
+    Schedule Tail;
+    flattenFrom(N.Prefix, N.Suffix, BaseLen, Tail);
+    for (const Directive &D : Tail) {
+      [[maybe_unused]] auto Out = M.step(Pth.C, D);
       assert(Out && "replay of an explored prefix cannot go stuck");
     }
-    ReplaySteps.fetch_add(N.Sched.size() - BaseLen,
-                          std::memory_order_relaxed);
-    Pth.Sched = std::move(N.Sched);
+    ReplaySteps.fetch_add(Tail.size(), std::memory_order_relaxed);
+    Pth.Suffix = std::move(N.Suffix);
     return Pth;
   }
 
@@ -303,15 +434,15 @@ private:
     if (Opts.Snapshots != SnapshotPolicy::Hybrid)
       return;
     size_t K = Opts.CheckpointInterval ? Opts.CheckpointInterval : 1;
-    if (Pth.Base && Pth.Sched.size() - Pth.Base->Len < K)
+    size_t Len = Pth.schedLen();
+    if (Pth.Base && Len - Pth.Base->Len < K)
       return;
     // Without RecordCheckpointChain the superseded checkpoint is dropped
     // as soon as its last frontier referent dies (the PR 3 memory
     // behavior); with it the chain stays alive so leak consumers can seed
     // replays from any rung.
     Pth.Base = std::make_shared<const Checkpoint>(Checkpoint{
-        Pth.C, Pth.Sched.size(),
-        Opts.RecordCheckpointChain ? Pth.Base : nullptr});
+        Pth.C, Len, Opts.RecordCheckpointChain ? Pth.Base : nullptr});
     Checkpoints.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -420,6 +551,21 @@ private:
     R.ReusePrunedNodes = ReusePruned.load();
     R.SeenExport = Export;
     R.Truncated = TruncatedFlag.load();
+    if (Opts.CollectStats) {
+      ExploreStats St;
+      St.Seen = seen().stats();
+      St.ForkInsertNew = ForkNew.load();
+      St.ForkInsertDup = ForkDup.load();
+      St.ConvergenceChecks = ConvChecks.load();
+      St.ConvergencePrunes = ConvPrunes.load();
+      for (Worker &W : Workers) {
+        if (St.NewStatesPerDepth.size() < W.NewStatesPerDepth.size())
+          St.NewStatesPerDepth.resize(W.NewStatesPerDepth.size(), 0);
+        for (size_t I = 0; I < W.NewStatesPerDepth.size(); ++I)
+          St.NewStatesPerDepth[I] += W.NewStatesPerDepth[I];
+      }
+      R.Stats = std::move(St);
+    }
     // Merge per-worker buffers in worker order; keys are already
     // globally unique (SeenLeaks gated every insert).
     for (Worker &W : Workers)
@@ -430,6 +576,18 @@ private:
   }
 
   //===------------------------------------------------------ stepping ---===//
+
+  /// Publishes a path's not-yet-counted steps to the engine-wide total.
+  /// Called at runPath loop boundaries, on every fork once its probing
+  /// steps ran, and wherever a path leaves runPath — so the loop-top
+  /// budget check reads exactly the pre-batching value at the same
+  /// program point, and ExploreResult::TotalSteps stays exact.
+  void flushSteps(Path &Pth) {
+    if (size_t D = Pth.Steps - Pth.StepsFlushed) {
+      TotalSteps.fetch_add(D, std::memory_order_relaxed);
+      Pth.StepsFlushed = Pth.Steps;
+    }
+  }
 
   /// Issues one directive that must be applicable; records leaks.
   void mustStep(Path &Pth, const Directive &D) {
@@ -458,16 +616,23 @@ private:
     auto Outcome = M.step(Pth.C, D);
     if (!Outcome)
       return false;
-    Pth.Sched.push_back(D);
+    Pth.Suffix.push_back(D);
     ++Pth.Steps;
-    TotalSteps.fetch_add(1, std::memory_order_relaxed);
     if (Outcome->Obs.isSecret())
       recordLeak(Pth, Outcome->Obs, Origin, Outcome->Rule);
     if (!Pth.Dead && (Opts.PruneSeen || Opts.Reuse) &&
         (Outcome->Rule == RuleId::StoreExecuteAddrHazard ||
          Outcome->Rule == RuleId::LoadExecuteAddrHazard ||
          Outcome->Rule == RuleId::LoadExecuteAddrMemHazard)) {
-      if (Opts.PruneSeen && seen().contains(Pth.C.hash())) {
+      bool Converged = false;
+      if (Opts.PruneSeen) {
+        if (Opts.CollectStats)
+          ConvChecks.fetch_add(1, std::memory_order_relaxed);
+        Converged = seen().contains(stateHash(Pth.C));
+      }
+      if (Converged) {
+        if (Opts.CollectStats)
+          ConvPrunes.fetch_add(1, std::memory_order_relaxed);
         PrunedNodes.fetch_add(1, std::memory_order_relaxed);
         // The claimant explored (or will explore) this subtree, but a
         // reuse consumer cannot know whether it leaks from *this* trail's
@@ -487,7 +652,10 @@ private:
     // Every leak event — duplicates included — poisons the trail: no
     // ancestor claim of this path certifies a leak-free subtree.
     markLeakyTrail(Pth.Claims);
-    LeakRecord L{Pth.Sched, Obs, Origin, Rule};
+    Schedule Full;
+    Full.reserve(Pth.schedLen());
+    flattenFrom(Pth.Prefix, Pth.Suffix, 0, Full);
+    LeakRecord L{std::move(Full), Obs, Origin, Rule};
     // Hand the minimizer the path's checkpoint chain: Sched[0, Ckpt->Len)
     // replays Init to exactly Ckpt->Config, so candidate replays sharing
     // that prefix can start mid-schedule.  Gated on the chain flag — a
@@ -556,7 +724,7 @@ private:
 
   /// Best-effort resolution of an indirect jump's target at fetch time.
   std::optional<PC> peekJumpTarget(const Configuration &C,
-                                   const std::vector<Operand> &Args) {
+                                   std::span<const Operand> Args) {
     auto Vals = M.resolveOperands(C, C.Buf.nextIndex(), Args);
     if (!Vals)
       return std::nullopt;
@@ -589,6 +757,7 @@ private:
   /// forks.
   void runPath(Path &Pth) {
     for (;;) {
+      flushSteps(Pth);
       if (stopped() || Pth.Dead)
         return;
       refreshCheckpoint(Pth);
@@ -613,6 +782,9 @@ private:
       if (CanFetch) {
         std::vector<Path> Forks;
         bool Alive = fetchAndDecide(Pth, Forks);
+        flushSteps(Pth);
+        for (Path &F : Forks)
+          flushSteps(F);
         if (Pth.Dead)
           Alive = false;
         if ((Opts.PruneSeen || Opts.Reuse) && !Forks.empty()) {
@@ -633,11 +805,17 @@ private:
               continue;
             }
             if (Opts.PruneSeen) {
-              uint64_t H = F.C.hash();
+              uint64_t H = stateHash(F.C);
               if (!seen().insert(H)) {
+                if (Opts.CollectStats)
+                  ForkDup.fetch_add(1, std::memory_order_relaxed);
                 PrunedNodes.fetch_add(1, std::memory_order_relaxed);
                 markLeakyTrail(F.Claims);
                 continue;
+              }
+              if (Opts.CollectStats) {
+                ForkNew.fetch_add(1, std::memory_order_relaxed);
+                noteNewState(F.WorkerId, F.schedLen());
               }
               if (Export)
                 F.Claims =
@@ -655,16 +833,23 @@ private:
             Alive = false;
           }
           if (Alive && Opts.PruneSeen) {
-            uint64_t H = Pth.C.hash();
+            uint64_t H = stateHash(Pth.C);
             if (!seen().insert(H)) {
               // The fall-through continuation converged onto a visited
               // state; its subtree is owned elsewhere.
+              if (Opts.CollectStats)
+                ForkDup.fetch_add(1, std::memory_order_relaxed);
               PrunedNodes.fetch_add(1, std::memory_order_relaxed);
               markLeakyTrail(Pth.Claims);
               Alive = false;
-            } else if (Export) {
-              Pth.Claims =
-                  std::make_shared<const ClaimNode>(H, std::move(Pth.Claims));
+            } else {
+              if (Opts.CollectStats) {
+                ForkNew.fetch_add(1, std::memory_order_relaxed);
+                noteNewState(Pth.WorkerId, Pth.schedLen());
+              }
+              if (Export)
+                Pth.Claims =
+                    std::make_shared<const ClaimNode>(H, std::move(Pth.Claims));
             }
           }
           unsigned WorkerId = Pth.WorkerId;
@@ -681,6 +866,7 @@ private:
         continue;
       }
       forceOldest(Pth);
+      flushSteps(Pth);
       if (Pth.Dead)
         return;
     }
@@ -695,11 +881,25 @@ private:
 
     /// A fork starts as a copy of the current path; its probing steps run
     /// at creation (they both filter the fork and seed its schedule).
+    /// The parent's suffix seals into one chain node first, so this fork,
+    /// every later sibling, and the continuation share the schedule
+    /// prefix by pointer — fork cost is O(1) in depth.
     auto forkFrom = [&]() {
+      if (!Pth.Suffix.empty()) {
+        Pth.Prefix = Arena.make(Pth.WorkerId, Pth.Prefix,
+                                std::move(Pth.Suffix));
+        Pth.Suffix.clear();
+        // The move donated the old capacity to the arena; re-reserve a
+        // fetch round's worth so the next few pushes skip the tiny
+        // 1->2->4 growth reallocations (one malloc here instead).
+        Pth.Suffix.reserve(8);
+      }
       Path F;
       F.C = Pth.C;
-      F.Sched = Pth.Sched;
+      F.Prefix = Pth.Prefix;
+      F.Suffix.reserve(8); // Probing steps land immediately; same saving.
       F.Steps = Pth.Steps;
+      F.StepsFlushed = Pth.Steps; // Inherited steps were published already.
       F.WorkerId = Pth.WorkerId;
       F.Base = Pth.Base; // Hybrid: siblings share the parent's checkpoint.
       F.Claims = Pth.Claims; // Export: shared ancestor trail (cons-list).
@@ -768,8 +968,10 @@ private:
             const ReorderBuffer &B2 = F.C.Buf;
             if (!B2.contains(Next) ||
                 !B2.at(Next).is(TransientKind::LoadResolved) ||
-                !(B2.at(Next).Dep && *B2.at(Next).Dep == S))
+                !(B2.at(Next).Dep && *B2.at(Next).Dep == S)) {
+              flushSteps(F); // Probing steps count even when discarded.
               continue;
+            }
           }
           Forks.push_back(std::move(F));
           if (stopped())

@@ -234,6 +234,53 @@ struct ExplorerOptions {
   /// byte-identical with the filter on or off; `ReusePrunedNodes` counts
   /// what it saved.
   std::shared_ptr<const RemappedSeenFilter> Reuse;
+  /// Hashing-sensitivity knob: fingerprint states with
+  /// Configuration::hashFromScratch() (a full state walk) at every
+  /// fork-filter and convergence probe instead of the O(1)-amortized
+  /// incremental hash().  Both compute bit-identical values, so leak
+  /// sets and prune decisions cannot differ — only the cost does.
+  /// bench/StepRateBench.cpp sweeps it against the default to isolate
+  /// how much of the engine's step rate rides on probe cost (the >=2x
+  /// tentpole number there is measured against the pre-PR layout, not
+  /// this knob — lazy folding made the knob gap small on prune-heavy
+  /// trees because most entries retire unhashed either way).
+  bool FromScratchHashing = false;
+  /// Collect ExploreStats (engages `ExploreResult::Stats`).  Off by
+  /// default: the per-depth tallies cost a few atomics per fork, and the
+  /// counters are a diagnosis tool (`sctcheck --stats`), not part of any
+  /// verdict.
+  bool CollectStats = false;
+};
+
+/// Diagnostic counters for one exploration (ExplorerOptions::CollectStats;
+/// surfaced by `sctcheck --stats`).  Built to answer one question about a
+/// budget-blown tree: is it hash-table pressure (long probe sequences),
+/// missed recurrence detection (every fork insert is fresh), or a
+/// genuinely exponential schedule tree (distinct-state growth per depth
+/// keeps multiplying)?
+struct ExploreStats {
+  /// Seen-state table occupancy and probe lengths (sched/SeenStates.h).
+  /// Probes / Lookups ≈ 1 means the flat table is healthy; growth here
+  /// with a stable state count means table pressure, not tree growth.
+  SeenTableStats Seen;
+  /// Fork-filter verdicts: candidate nodes whose configuration was fresh
+  /// (claimed and explored) vs. already claimed (pruned as duplicates).
+  /// A near-zero duplicate share on a blown budget says the tree really
+  /// is that big; a high share says pruning is working and the budget
+  /// went to the fringe between duplicates.
+  uint64_t ForkInsertNew = 0;
+  uint64_t ForkInsertDup = 0;
+  /// Hazard-rollback convergence probes (the tryStep pure query) and how
+  /// many of them cut the path short.
+  uint64_t ConvergenceChecks = 0;
+  uint64_t ConvergencePrunes = 0;
+  /// NewStatesPerDepth[d] counts fork-filter inserts of fresh states whose
+  /// schedule prefix held d directives (bucketed by prefix length /
+  /// DepthBucket).  A per-depth sequence that keeps multiplying by a
+  /// constant factor is the signature of genuine exponential blowup;
+  /// flat or shrinking tails mean recurrence pruning is containing it.
+  static constexpr size_t DepthBucket = 64;
+  std::vector<uint64_t> NewStatesPerDepth;
 };
 
 /// Program point responsible for a directive's observation in \p C, read
@@ -309,6 +356,8 @@ struct ExploreResult {
   /// RemappedSeenFilter to reuse this exploration when re-checking a
   /// relocated twin of the program.
   std::shared_ptr<const SeenStateExport> SeenExport;
+  /// Diagnostic counters; engaged iff `ExplorerOptions::CollectStats`.
+  std::optional<ExploreStats> Stats;
   /// True iff some budget was exhausted (exploration incomplete).
   bool Truncated = false;
 

@@ -56,6 +56,22 @@ constexpr uint64_t hashFields(std::initializer_list<uint64_t> Fields) {
   return H;
 }
 
+/// Cheap per-field fold for hot fixed-shape records (one multiply-add
+/// per field instead of hashCombine's two avalanches): polynomial
+/// chaining with an odd 64-bit multiplier, non-commutative, finalized
+/// once through hashFinish().  Only sound when every hash of the record
+/// type folds the same number of fields in the same order (no
+/// length-extension ambiguity) — TransientInstr::hash() is the intended
+/// consumer; everything else should keep using hashCombine/hashFields.
+constexpr uint64_t hashFold(uint64_t H, uint64_t Field) {
+  return H * 0x9e3779b97f4a7c15ull + Field;
+}
+
+/// Finalizer for a hashFold chain: one full avalanche so the last
+/// (un-multiplied) fields diffuse across all output bits before the
+/// value enters an XOR-multiset or an open-addressing probe sequence.
+constexpr uint64_t hashFinish(uint64_t H) { return hashAvalanche(H); }
+
 } // namespace sct
 
 #endif // SCT_SUPPORT_HASHING_H

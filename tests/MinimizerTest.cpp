@@ -382,6 +382,46 @@ TEST(Minimizer, BloatedRandomWitnessesShrinkPastHalfMedian) {
       << " bloated witnesses";
 }
 
+TEST(Minimizer, SuffixConvergenceCutsReplayedStepsNotResults) {
+  // The rejoin optimization must be invisible in results: on the bloated
+  // random-witness corpus, minimizing with SuffixConverge on and off
+  // yields byte-identical schedules and identical replay counts (the
+  // search proposes the same candidates in the same order) — only the
+  // machine steps executed drop, because candidates that share a long
+  // tail with the current witness stop at the rejoin instead of
+  // re-executing it.
+  uint64_t StepsOn = 0, StepsOff = 0, Rejoins = 0, Witnesses = 0;
+  for (const SuiteCase &C : allKocher()) {
+    Machine M(C.Prog);
+    Configuration Init = Configuration::initial(C.Prog);
+    for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+      std::optional<LeakRecord> Raw =
+          bloatedWitness(M, Init, Seed, /*MinLen=*/24);
+      if (!Raw)
+        continue;
+      ++Witnesses;
+      MinimizeOptions On;
+      On.SuffixConverge = true;
+      MinimizeOptions Off;
+      Off.SuffixConverge = false;
+      MinimizeStats SOn, SOff;
+      Schedule MinOn = minimizeWitness(M, Init, *Raw, On, &SOn);
+      Schedule MinOff = minimizeWitness(M, Init, *Raw, Off, &SOff);
+      ASSERT_FALSE(MinOn.empty()) << C.Id << " seed " << Seed;
+      EXPECT_EQ(MinOn, MinOff) << C.Id << " seed " << Seed;
+      EXPECT_EQ(SOn.Replays, SOff.Replays) << C.Id << " seed " << Seed;
+      EXPECT_EQ(SOff.SuffixConvergences, 0u);
+      StepsOn += SOn.ReplayedSteps;
+      StepsOff += SOff.ReplayedSteps;
+      Rejoins += SOn.SuffixConvergences;
+    }
+  }
+  ASSERT_GE(Witnesses, 10u) << "random corpus produced too few leaks";
+  EXPECT_GT(Rejoins, 0u) << "suffix convergence never engaged";
+  EXPECT_LT(StepsOn, StepsOff)
+      << "rejoins engaged but executed steps did not drop";
+}
+
 TEST(Minimizer, MinimizedWitnessesBeatThePaperSchedules) {
   // The sharpest quality bar available: for every paper figure that both
   // leaks and ships a hand-written attack schedule, the minimized witness
