@@ -13,12 +13,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "isa/AsmPrinter.h"
 #include "support/Printing.h"
 #include "workloads/Kocher.h"
 #include "workloads/SpectreSuites.h"
 #include "workloads/SuiteRunner.h"
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
 using namespace sct;
 
@@ -48,6 +53,38 @@ bool reportSuite(const CheckSession &Session, const char *Title,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // `--dump-asm DIR` writes each case as DIR/<id>.sct and exits — the CI
+  // smoke feeds these to `sctcheck --prove-sps` over the whole corpus.
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--dump-asm") && I + 1 < Argc) {
+      std::string Dir = Argv[I + 1];
+      std::error_code Ec;
+      std::filesystem::create_directories(Dir, Ec);
+      if (Ec) {
+        std::fprintf(stderr, "error: cannot create '%s': %s\n", Dir.c_str(),
+                     Ec.message().c_str());
+        return 2;
+      }
+      auto Dump = [&Dir](const std::vector<SuiteCase> &Cases) {
+        for (const SuiteCase &C : Cases) {
+          std::string Path = Dir + "/" + C.Id + ".sct";
+          std::ofstream Out(Path);
+          if (!Out) {
+            std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+            std::exit(2);
+          }
+          Out << printAsm(C.Prog);
+        }
+      };
+      Dump(kocherCases());
+      Dump(kocherOriginalCases());
+      std::printf("dumped %zu cases to %s\n",
+                  kocherCases().size() + kocherOriginalCases().size(),
+                  Dir.c_str());
+      return 0;
+    }
+  }
+
   CheckSession Session(sessionOptionsFromArgs(Argc, Argv));
   std::printf("engine: %u worker thread(s)\n\n", Session.options().Threads);
 

@@ -11,6 +11,7 @@
 //            [--threads N] [--shards N] [--no-prune-seen]
 //            [--replay-snapshots] [--checkpoint-interval K]
 //            [--minimize-witnesses] [--minimize-budget N] [--validate]
+//            [--prove-sps] [--sps-max-tapes N]
 //
 // Checks run through the engine layer (CheckSession): --threads fans the
 // exploration frontier over N work-stealing workers, --shards overrides
@@ -91,6 +92,10 @@ void usage(const char *Prog) {
       "                         configuration (identical results)\n"
       "  --no-suffix-converge   disable suffix-convergence rejoins in\n"
       "                         minimization (identical results)\n"
+      "  --prove-sps            try the SPS proof backend first: a\n"
+      "                         conclusive sequential proof or refutation\n"
+      "                         settles the verdict without exploring\n"
+      "  --sps-max-tapes N      oracle-tape budget for --prove-sps\n"
       "  --validate             differentially confirm each witness\n"
       "  --print                echo the (possibly transformed) program\n",
       Prog);
@@ -137,6 +142,8 @@ int main(int Argc, char **Argv) {
 
   ExplorerOptions Opts;
   bool SeqOnly = false, Print = false, Validate = false, Minimize = false;
+  bool ProveSps = false;
+  SpsOptions SpsOpts;
   MinimizeOptions MinOpts;
   const char *IndirectList = nullptr, *RsbList = nullptr;
   const char *MitigateKind = nullptr;
@@ -203,6 +210,10 @@ int main(int Argc, char **Argv) {
       MinOpts.SeedReplays = false;
     else if (!std::strcmp(Argv[I], "--no-suffix-converge"))
       MinOpts.SuffixConverge = false;
+    else if (!std::strcmp(Argv[I], "--prove-sps"))
+      ProveSps = true;
+    else if (!std::strcmp(Argv[I], "--sps-max-tapes") && I + 1 < Argc)
+      SpsOpts.MaxTapes = static_cast<uint64_t>(atoll(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--validate"))
       Validate = true;
     else if (!std::strcmp(Argv[I], "--print"))
@@ -312,7 +323,29 @@ int main(int Argc, char **Argv) {
   Req.Opts = Opts;
   Req.MinimizeWitnesses = Minimize;
   Req.Minimize = MinOpts;
+  Req.ProveSps = ProveSps;
+  Req.Sps = SpsOpts;
   CheckResult Check = Session.check(Req);
+  if (Check.Sps) {
+    const SpsReport &S = *Check.Sps;
+    const char *V = S.Verdict == SpsVerdict::Proved ? "PROVED leak-free"
+                    : S.Verdict == SpsVerdict::CounterExample
+                        ? "COUNTEREXAMPLE"
+                        : "inconclusive";
+    std::printf("sps proof backend: %s (%llu tapes, %llu retires, %.3fs)%s%s\n",
+                V, static_cast<unsigned long long>(S.TapesRun),
+                static_cast<unsigned long long>(S.RetiresTotal), S.Seconds,
+                S.Reason.empty() ? "" : " — ", S.Reason.c_str());
+    for (const SpsCounterExample &CE : S.CounterExamples) {
+      std::optional<std::string> L = Prog.labelAt(CE.Origin);
+      std::printf("  sps counterexample at pc %u%s%s: %s%s\n", CE.Origin,
+                  L ? "  ; " : "", L ? L->c_str() : "", CE.Obs.str().c_str(),
+                  CE.Speculative ? " (speculative)" : " (architectural)");
+    }
+    if (S.conclusive())
+      return S.proved() && Seq.secure() ? 0 : 1;
+    std::printf("falling back to schedule exploration\n");
+  }
   SctReport Report = toReport(Check);
   std::printf("%s", describeResult(Prog, Report.Exploration).c_str());
   std::printf("explored %llu steps in %.3fs (%u thread%s)\n",

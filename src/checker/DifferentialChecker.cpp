@@ -3,6 +3,7 @@
 #include "checker/DifferentialChecker.h"
 
 #include <random>
+#include <set>
 
 using namespace sct;
 
@@ -128,3 +129,41 @@ DifferentialReport sct::checkDifferential(const CheckSession &Session,
   return Rep;
 }
 
+
+SpsCrossCheck sct::crossValidateSps(const Program &P,
+                                    const ExplorerOptions &EOpts,
+                                    const ExploreResult &Explored,
+                                    const MachineOptions &MOpts,
+                                    const SpsOptions &Opts) {
+  SpsCrossCheck X;
+  X.Sps = checkSps(P, EOpts, MOpts, Opts);
+
+  std::set<PC> Origins;
+  for (const LeakRecord &L : Explored.Leaks)
+    Origins.insert(L.Origin);
+  X.ExplorerOrigins.assign(Origins.begin(), Origins.end());
+
+  // Both oracles must have finished for their leak sets to be complete:
+  // a truncated exploration may miss origins, an incomplete SPS run may
+  // miss counterexamples — in either case containment says nothing.
+  if (!X.Sps.conclusive() || !X.Sps.Complete) {
+    X.Skipped = true;
+    X.SkipReason = "SPS not conclusive/complete: " + X.Sps.Reason;
+    return X;
+  }
+  if (Explored.Truncated) {
+    X.Skipped = true;
+    X.SkipReason = "exploration truncated; explorer leak set incomplete";
+    return X;
+  }
+
+  X.VerdictsAgree =
+      Origins.empty() == X.Sps.CounterExamples.empty();
+  for (PC O : X.ExplorerOrigins) {
+    if (X.Sps.hasCounterExampleAt(O))
+      X.Matched.push_back(O);
+    else
+      X.Unmatched.push_back(O);
+  }
+  return X;
+}

@@ -99,6 +99,46 @@ DifferentialReport checkDifferential(const CheckSession &Session,
                                      const CheckRequest &Req,
                                      unsigned Pairs = 8, uint64_t Seed = 1);
 
+/// Cross-validation against the SPS proof backend (checker/SpsChecker.h):
+/// the explorer and the sequential proof are independent oracles for the
+/// same property, so on a conclusive SPS run every distinct explorer leak
+/// origin must reappear among the SPS counterexample origins.  (The
+/// converse containment need not hold observation-by-observation — the
+/// explorer deduplicates by (origin, kind, rule, taint) while SPS
+/// deduplicates by (origin, speculative) — so agreement is checked at
+/// origin granularity, exactly the coordinates both sides report.)
+struct SpsCrossCheck {
+  SpsReport Sps;
+  /// Distinct explorer leak origins, sorted.
+  std::vector<PC> ExplorerOrigins;
+  /// Explorer origins with / without a matching SPS counterexample.
+  std::vector<PC> Matched;
+  std::vector<PC> Unmatched;
+  /// True when no comparison was possible: SPS inconclusive or
+  /// incomplete, or the exploration was truncated (its leak set may miss
+  /// origins SPS finds, and vice versa — neither side is authoritative).
+  bool Skipped = false;
+  std::string SkipReason;
+  /// Top-level verdict agreement: explorer found leaks iff SPS holds
+  /// counterexamples (meaningless when Skipped).
+  bool VerdictsAgree = false;
+
+  /// The cross-validation invariant (docs/ARCHITECTURE.md): holds
+  /// trivially when skipped, otherwise requires (a) verdict agreement —
+  /// explorer leak-free iff SPS proved — and (b) every explorer origin
+  /// matched by an SPS counterexample origin.
+  bool agrees() const { return Skipped || (VerdictsAgree && Unmatched.empty()); }
+};
+
+/// Runs checkSps over \p P under \p EOpts and compares against an
+/// exploration's deduplicated leak set.  \p Explored must come from the
+/// same (program, options) pair, started from the canonical initial
+/// configuration.
+SpsCrossCheck crossValidateSps(const Program &P, const ExplorerOptions &EOpts,
+                               const ExploreResult &Explored,
+                               const MachineOptions &MOpts = {},
+                               const SpsOptions &Opts = {});
+
 } // namespace sct
 
 #endif // SCT_CHECKER_DIFFERENTIALCHECKER_H

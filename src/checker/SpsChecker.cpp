@@ -1,0 +1,197 @@
+//===- checker/SpsChecker.cpp - Sequential proofs of SCT ------------------===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/SpsChecker.h"
+
+#include "checker/SequentialCt.h"
+#include "core/Machine.h"
+#include "sched/SequentialScheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+using namespace sct;
+
+namespace {
+
+/// Loads one oracle tape into an initial configuration: word i of the
+/// tape at OracleBase + i, public (the attacker chooses predictions, so
+/// the oracle is attacker-visible data).  Unwritten words read as the
+/// region default (0: "predict correctly").
+Configuration initWithTape(const Program &Phat, uint64_t OracleBase,
+                           const std::vector<uint64_t> &Tape) {
+  Configuration C = Configuration::initial(Phat);
+  for (size_t I = 0; I < Tape.size(); ++I)
+    C.Mem.store(OracleBase + I, Value::pub(Tape[I]));
+  return C;
+}
+
+/// Replays a recorded schedule step by step to attribute each secret
+/// observation to the P̂ program point that emitted it.  The sequential
+/// run itself only records (directive, observation); origins live in the
+/// transients, so we re-execute and peek at the buffer before each step.
+struct AttributedLeak {
+  PC PhatPc;
+  Observation Obs;
+};
+
+std::vector<AttributedLeak> attributeLeaks(const Machine &M,
+                                           Configuration C,
+                                           const Schedule &Sched) {
+  std::vector<AttributedLeak> Out;
+  for (const Directive &D : Sched) {
+    PC Origin = 0;
+    if (D.isFetch())
+      Origin = C.N;
+    else if (D.isExecute() && C.Buf.contains(D.Idx))
+      Origin = C.Buf.at(D.Idx).Origin;
+    else if (D.isRetire() && !C.Buf.empty())
+      Origin = C.Buf.at(C.Buf.minIndex()).Origin;
+    auto Step = M.step(C, D);
+    if (!Step)
+      break; // Replay diverged — callers treat missing leaks as harness.
+    if (Step->Obs.isSecret())
+      Out.push_back({Origin, Step->Obs});
+  }
+  return Out;
+}
+
+} // namespace
+
+bool SpsReport::hasCounterExampleAt(PC Origin) const {
+  return std::any_of(CounterExamples.begin(), CounterExamples.end(),
+                     [&](const SpsCounterExample &CE) {
+                       return CE.Origin == Origin;
+                     });
+}
+
+SpsReport sct::checkSps(const Program &P, const ExplorerOptions &EOpts,
+                        const MachineOptions &MOpts, const SpsOptions &Opts) {
+  auto Start = std::chrono::steady_clock::now();
+  SpsReport Rep;
+  auto Finish = [&](SpsReport &&R) {
+    R.Seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              Start)
+                    .count();
+    return std::move(R);
+  };
+
+  // Proof-strength depth: widen the consult gate to the speculation
+  // window before translating, so the depth clip cannot force
+  // Inconclusive (see SpsOptions::DepthToWindow).
+  ExplorerOptions TOpts = EOpts;
+  if (Opts.DepthToWindow)
+    TOpts.MaxBranchDepth = std::max(TOpts.MaxBranchDepth,
+                                    TOpts.SpeculationBound);
+
+  std::string Why;
+  if (!SpsTranslator::supports(P, TOpts, MOpts, &Why)) {
+    Rep.Reason = "unsupported fragment: " + Why;
+    return Finish(std::move(Rep));
+  }
+
+  // T owns P̂; the Machine holds a reference, so T must outlive M.
+  SpsTranslation T = SpsTranslator::translate(P, TOpts, MOpts);
+  Machine M(T.Prog, MOpts);
+
+  // Lazy-oracle DFS over misprediction tapes.
+  std::vector<std::vector<uint64_t>> Work{{}};
+  std::set<std::pair<PC, bool>> SeenCe;
+  bool CovIncomplete = false;
+
+  while (!Work.empty()) {
+    if (Rep.TapesRun >= Opts.MaxTapes) {
+      Rep.Reason = "tape budget exhausted (" +
+                   std::to_string(Opts.MaxTapes) + " tapes)";
+      Rep.Verdict = Rep.CounterExamples.empty() ? SpsVerdict::Inconclusive
+                                                : SpsVerdict::CounterExample;
+      if (!Rep.CounterExamples.empty())
+        Rep.Reason = "counterexample set truncated: " + Rep.Reason;
+      return Finish(std::move(Rep));
+    }
+
+    std::vector<uint64_t> Tape = std::move(Work.back());
+    Work.pop_back();
+    ++Rep.TapesRun;
+
+    Configuration Init = initWithTape(T.Prog, T.OracleBase, Tape);
+    SequentialResult R = runSequential(M, Init, Opts.MaxRetiresPerTape);
+    Rep.RetiresTotal += R.Run.Retires;
+
+    if (R.HitBound || R.Run.Stuck) {
+      Rep.Reason = R.Run.Stuck
+                       ? ("P\xcc\x82 run stuck: " + R.Run.StuckReason)
+                       : "per-tape retire bound hit (non-terminating tape)";
+      return Finish(std::move(Rep));
+    }
+
+    uint64_t Cursor = R.Run.Final.Regs.get(T.OracleCursor).Bits;
+    uint64_t Consults = Cursor >= T.OracleBase ? Cursor - T.OracleBase : 0;
+    bool Valid = R.Run.Final.Regs.get(T.ValidFlag).Bits != 0;
+    bool Cov = R.Run.Final.Regs.get(T.CovFlag).Bits != 0;
+
+    if (!Valid) {
+      // A source access strayed into harness address space: the harness
+      // regions alias source data and the run's observations are garbage.
+      Rep.Reason = "source program touched the harness address space";
+      return Finish(std::move(Rep));
+    }
+    if (!Cov)
+      CovIncomplete = true; // Unmodelled event (ret mismatch or a
+                            // depth-clipped consult): blocks Proved only.
+
+    if (R.Run.hasSecretObservation()) {
+      Configuration Replay = initWithTape(T.Prog, T.OracleBase, Tape);
+      auto Leaks = attributeLeaks(M, std::move(Replay), R.Sched);
+      bool Mapped = false;
+      for (const AttributedLeak &L : Leaks) {
+        auto Src = T.srcOf(L.PhatPc);
+        if (!Src)
+          continue; // Harness machinery: shadowed by a mapped leak.
+        Mapped = true;
+        bool Spec = T.ModeOf[L.PhatPc] == SpsMode::Spec;
+        if (!SeenCe.insert({*Src, Spec}).second)
+          continue;
+        if (Rep.CounterExamples.size() < Opts.MaxCounterExamples)
+          Rep.CounterExamples.push_back({*Src, Spec, L.Obs, L.PhatPc, Tape});
+      }
+      if (!Mapped) {
+        // Secret data reached a pure harness site with no mapped shadow
+        // on this tape — outside the faithfulness argument, so refuse to
+        // conclude anything rather than mis-attribute.
+        Rep.Reason = "secret observation at an unmapped harness site";
+        return Finish(std::move(Rep));
+      }
+      if (Opts.StopAtFirstCounterExample) {
+        Rep.Verdict = SpsVerdict::CounterExample;
+        Rep.Reason = "stopped at first counterexample";
+        return Finish(std::move(Rep));
+      }
+    }
+
+    // Children: flip each not-yet-pinned consult position to "mispredict".
+    for (uint64_t I = Tape.size(); I < Consults; ++I) {
+      std::vector<uint64_t> Child(Tape);
+      Child.resize(I, 0);
+      Child.push_back(1);
+      Work.push_back(std::move(Child));
+    }
+  }
+
+  // Full enumeration within budget.
+  Rep.Complete = true;
+  if (!Rep.CounterExamples.empty()) {
+    Rep.Verdict = SpsVerdict::CounterExample;
+  } else if (CovIncomplete) {
+    Rep.Reason = "clean but coverage-incomplete (unmodelled ret mismatch "
+                 "or depth-clipped oracle consult)";
+  } else {
+    Rep.Verdict = SpsVerdict::Proved;
+  }
+  return Finish(std::move(Rep));
+}

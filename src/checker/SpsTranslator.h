@@ -1,0 +1,140 @@
+//===- checker/SpsTranslator.h - Speculation-passing-style form -*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The speculation-passing-style (SPS) translation (Arranz-Olmos et al.,
+/// "(Dis)Proving Spectre Security with Speculation-Passing Style"): a
+/// source program under the speculative semantics is rewritten into a
+/// *sequential* program `P̂` that carries its speculation state explicitly.
+/// Misprediction decisions become inputs (an oracle tape read from a
+/// reserved memory region), the reorder buffer's bounded window becomes a
+/// fuel counter, and rollback becomes ordinary state restoration (an undo
+/// log of transiently overwritten memory plus a register save area).
+///
+/// The payoff: the *classical sequential* CT analysis over `P̂` — one run
+/// per oracle tape, no directive non-determinism — decides speculative
+/// constant-time for the source program.  A program with no secret
+/// observation on any tape is *proved* leak-free; a secret observation on
+/// some tape is a counterexample that lowers back to source coordinates
+/// through the provenance map.
+///
+/// ## The supported fragment and the collapse argument
+///
+/// The translation targets the v1/v1.1 exploration fragment: forwarding
+/// hazards off (stores resolve eagerly, so store-to-load forwarding is
+/// deterministic), no alias prediction, no mistraining target sets
+/// (`IndirectTargets` / `RsbUnderflowTargets` empty), Sum addressing.  In
+/// this fragment every explorer-reachable observation lies on a schedule
+/// whose speculative activity is a union of *disjoint excursions*: a
+/// mispredicted branch runs the wrong path for at most
+/// `SpeculationBound - 1` reorder-buffer entries (with at most
+/// `MaxBranchDepth` simultaneously-unresolved wrong guesses), then rolls
+/// back to exactly the pre-excursion architectural state.  Nested
+/// rollbacks need no explicit modelling: an observation made after an
+/// inner rollback is made from the restored state, which is the state of
+/// the tape that guessed the inner branch *correctly* — so the union over
+/// plain (rollback-free) tapes already covers it.  `P̂` realises exactly
+/// that union: each oracle tape is one excursion-choice sequence, and the
+/// checker enumerates tapes.
+///
+/// ## Observation faithfulness
+///
+/// `P̂`'s sequential observations match the source program's speculative
+/// ones at (source instruction, secrecy) granularity:
+///
+///  - loads emit `read(addr)` with the address taint in both machines;
+///  - a transient store's address resolution is observable in the source
+///    machine (`store-execute-addr-ok` emits `fwd(addr)`), and `P̂`'s
+///    write-through + undo-log emits `read(addr)`/`write(addr)` with the
+///    same taint;
+///  - a mispredicted branch's rollback jump carries the condition taint;
+///    `P̂`'s excursion entry emits an inverted branch with the same taint;
+///  - call/ret are emulated (stack bump, return-address store, shadow
+///    RSB) so `P̂` itself contains no Call/Ret and its canonical
+///    sequential run never rolls back.
+///
+/// Harness bookkeeping (oracle reads, fuel/depth updates, save/undo
+/// traffic) only touches public addresses above `HarnessBase`, so it adds
+/// no secret observations that lack a source-mapped shadow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_CHECKER_SPSTRANSLATOR_H
+#define SCT_CHECKER_SPSTRANSLATOR_H
+
+#include "checker/ProgramRewriter.h"
+#include "core/Eval.h"
+#include "sched/ScheduleExplorer.h"
+
+#include <string>
+#include <vector>
+
+namespace sct {
+
+/// Which copy of the program a `P̂` instruction belongs to.
+enum class SpsMode : unsigned char {
+  Harness, ///< oracle/rollback/epilogue machinery, no source image
+  Seq,     ///< the architectural (committed) copy
+  Spec,    ///< the wrong-path (excursion) copy
+};
+
+/// The result of translating a source program into SPS form.
+struct SpsTranslation {
+  /// All harness state (save area, undo log, shadow RSB, program-point
+  /// tables, oracle tape) lives at or above this address; source accesses
+  /// are bounds-checked against it at runtime (the `ValidFlag` register).
+  static constexpr uint64_t HarnessBase = 1ull << 44;
+
+  /// The sequential SPS program P̂.
+  Program Prog;
+
+  /// Source ↔ P̂ provenance in ProgramRewriter's shape: `oldOf(phatPc)`
+  /// is the source instruction a P̂ instruction implements,
+  /// `newTargetOf(srcPc)` the architectural-copy landing point.
+  ProvenanceMap Map;
+
+  /// Per-P̂-pc mode tag (same length as `Prog.size()`).
+  std::vector<SpsMode> ModeOf;
+
+  /// First address of the misprediction oracle tape.  The checker writes
+  /// tape words here in the initial memory; unwritten words read as 0
+  /// ("predict correctly / no excursion").
+  uint64_t OracleBase = 0;
+
+  /// Harness registers the checker inspects in the final configuration.
+  Reg OracleCursor; ///< final value - OracleBase = number of consults
+  Reg ValidFlag;    ///< 0 iff a source access strayed into harness space
+  Reg CovFlag;      ///< 0 iff an unmodelled event occurred (ret mismatch)
+
+  /// The explorer parameters the translation was specialised to.
+  unsigned Bound = 0;
+  unsigned Depth = 0;
+
+  /// Source pc of a P̂ instruction, or nullopt for harness machinery.
+  std::optional<PC> srcOf(PC PhatPc) const { return Map.oldOf(PhatPc); }
+};
+
+/// Translates programs into speculation-passing style.
+class SpsTranslator {
+public:
+  /// True iff the (options, program) pair lies in the fragment the
+  /// translation models faithfully.  On false, \p Why (if non-null)
+  /// receives a one-line reason.
+  static bool supports(const Program &P, const ExplorerOptions &EOpts,
+                       const MachineOptions &MOpts,
+                       std::string *Why = nullptr);
+
+  /// Builds P̂ for \p P specialised to \p EOpts' speculation window.
+  /// Pre: supports(P, EOpts, MOpts).
+  static SpsTranslation translate(const Program &P,
+                                  const ExplorerOptions &EOpts,
+                                  const MachineOptions &MOpts);
+};
+
+} // namespace sct
+
+#endif // SCT_CHECKER_SPSTRANSLATOR_H

@@ -39,6 +39,10 @@ SessionOptions sct::sessionOptionsFromArgs(int Argc, char **Argv) {
       SOpts.Minimize.SlicePolish = false;
     else if (!std::strcmp(Argv[I], "--no-seed-replays"))
       SOpts.Minimize.SeedReplays = false;
+    else if (!std::strcmp(Argv[I], "--prove-sps"))
+      SOpts.ProveSps = true;
+    else if (!std::strcmp(Argv[I], "--sps-max-tapes") && I + 1 < Argc)
+      SOpts.Sps.MaxTapes = static_cast<uint64_t>(std::atoll(Argv[++I]));
   }
   return SOpts;
 }
@@ -62,6 +66,21 @@ CheckResult CheckSession::runOne(const CheckRequest &Req,
   Configuration Init =
       Req.Init ? *Req.Init : Configuration::initial(Req.Prog);
 
+  // SPS proof pass: a conclusive verdict (Proved / CounterExample over
+  // the full tape tree) settles the request without exploring at all.
+  // Custom initial configurations are excluded — the translation bakes
+  // the program's own init lists into P̂'s canonical start state.
+  if ((Req.ProveSps || Opts.ProveSps) && !Req.Init) {
+    const SpsOptions &SOpts = Req.ProveSps ? Req.Sps : Opts.Sps;
+    auto T0 = std::chrono::steady_clock::now();
+    Res.Sps = checkSps(Req.Prog, Res.Opts, Req.MOpts, SOpts);
+    auto T1 = std::chrono::steady_clock::now();
+    Res.Seconds = std::chrono::duration<double>(T1 - T0).count();
+    if (Res.Sps->conclusive())
+      return Res;
+    // Inconclusive: fall through to the ordinary exploration.
+  }
+
   bool Minimizing = Req.MinimizeWitnesses || Opts.MinimizeWitnesses;
   MinimizeOptions MinOpts =
       Req.MinimizeWitnesses ? Req.Minimize : Opts.Minimize;
@@ -76,7 +95,8 @@ CheckResult CheckSession::runOne(const CheckRequest &Req,
   auto T0 = std::chrono::steady_clock::now();
   Res.Exploration = explore(M, Init, Res.Opts);
   auto T1 = std::chrono::steady_clock::now();
-  Res.Seconds = std::chrono::duration<double>(T1 - T0).count();
+  // += so an inconclusive SPS pass's time stays on the bill.
+  Res.Seconds += std::chrono::duration<double>(T1 - T0).count();
 
   // Witness minimization rides after exploration as a second parallel
   // phase: the raw prefixes stay in LeakRecord::Sched, the delta-debugged

@@ -53,6 +53,7 @@
 #ifndef SCT_ENGINE_CHECKSESSION_H
 #define SCT_ENGINE_CHECKSESSION_H
 
+#include "checker/SpsChecker.h"
 #include "engine/WitnessMinimizer.h"
 #include "sched/ScheduleExplorer.h"
 
@@ -86,6 +87,15 @@ struct CheckRequest {
   /// Minimization budget and knobs (used when this request enables
   /// minimization; session-enabled requests use the session's).
   MinimizeOptions Minimize;
+  /// Run the SPS proof backend (checker/SpsChecker.h) before exploring.
+  /// A conclusive SPS verdict — Proved or CounterExample — settles the
+  /// request without running the explorer at all; Inconclusive (options
+  /// outside the supported fragment, budgets, custom Init) falls back to
+  /// the ordinary exploration transparently.  Also enabled session-wide
+  /// by `SessionOptions::ProveSps`.
+  bool ProveSps = false;
+  /// Tape-enumeration budgets for the SPS pass.
+  SpsOptions Sps;
 };
 
 /// The outcome of one CheckRequest.
@@ -100,8 +110,17 @@ struct CheckResult {
   /// Aggregate witness-minimization outcome; engaged iff minimization ran
   /// (raw and minimized directive totals, replays spent, budget state).
   std::optional<MinimizeStats> Minimization;
+  /// SPS proof-backend report; engaged iff the request asked for ProveSps.
+  /// A conclusive report is the verdict of record (`Exploration` is then
+  /// empty — the explorer never ran); an inconclusive one means the
+  /// explorer ran as usual and `Exploration` decides.
+  std::optional<SpsReport> Sps;
 
-  bool secure() const { return Exploration.secure(); }
+  bool secure() const {
+    if (Sps && Sps->conclusive())
+      return Sps->proved();
+    return Exploration.secure();
+  }
 };
 
 /// Session-wide knobs.
@@ -116,6 +135,10 @@ struct SessionOptions {
   /// opt in individually via CheckRequest::MinimizeWitnesses).
   bool MinimizeWitnesses = false;
   MinimizeOptions Minimize;
+  /// Try the SPS proof backend on every check in this session (requests
+  /// can also opt in individually via CheckRequest::ProveSps).
+  bool ProveSps = false;
+  SpsOptions Sps;
 };
 
 /// The unified entry point for running checks.
@@ -152,8 +175,8 @@ private:
 /// `--checkpoint-interval N` (selects `SnapshotPolicy::Hybrid` with that
 /// K), `--minimize-witnesses`, `--minimize-budget N`,
 /// `--minimize-threads N` (0 = inherit the check's frontier share),
-/// `--no-slice-excursions`, `--no-slice-polish`, and `--no-seed-replays`
-/// out of argv,
+/// `--no-slice-excursions`, `--no-slice-polish`, `--no-seed-replays`,
+/// `--prove-sps`, and `--sps-max-tapes N` out of argv,
 /// defaulting the thread budget to the hardware concurrency.  Shared by
 /// the bench mains.
 SessionOptions sessionOptionsFromArgs(int Argc, char **Argv);

@@ -318,6 +318,14 @@ MitigationVariant MitigationSession::checkVariant(
     Filter = makeReuseFilter(P, V.Prog, V.Map, MachOpts, Baseline);
     Req.Opts.Reuse = Filter;
   }
+  if (Opts.ProveSpsRecheck) {
+    Req.ProveSps = true;
+    Req.Sps = Opts.Sps;
+    // The re-check is a verifier, not an agreement check: window-depth
+    // consults keep the proof sound and stop looping candidates from
+    // depth-clipping into Inconclusive (and the slow explorer fallback).
+    Req.Sps.DepthToWindow = true;
+  }
   V.After = Session.check(Req);
   V.ReusePrunedNodes = V.After.Exploration.ReusePrunedNodes;
   if (Filter)
@@ -332,13 +340,24 @@ MitigationVariant MitigationSession::checkVariant(
     AfterKeys.insert(AL.key());
     AfterTriples.insert(leakTriple(AL.Obs, AL.Rule));
   }
+  // When the SPS backend settled the re-check, its counterexamples (in
+  // mitigated coordinates) are the closure evidence: a proof closes every
+  // baseline leak, a refutation keeps open exactly the mapped origins it
+  // names.  Otherwise the explorer's deduplicated leak set decides.
+  bool SpsSettled = V.After.Sps && V.After.Sps->conclusive();
   Machine MitM(V.Prog, MachOpts);
   for (const LeakRecord &L : Baseline.Exploration.Leaks) {
     LeakClosure C;
     C.BaselineKey = L.key();
     C.Origin = L.Origin;
     C.MitigatedOrigin = V.Map.newOf(L.Origin);
-    if (C.MitigatedOrigin)
+    if (SpsSettled) {
+      const SpsReport &S = *V.After.Sps;
+      C.Closed = S.proved() ||
+                 (C.MitigatedOrigin
+                      ? !S.hasCounterExampleAt(*C.MitigatedOrigin)
+                      : S.CounterExamples.empty());
+    } else if (C.MitigatedOrigin)
       C.Closed = !AfterKeys.count(keyAtOrigin(L, *C.MitigatedOrigin));
     else
       C.Closed = !AfterTriples.count(leakTriple(L.Obs, L.Rule));
@@ -424,6 +443,12 @@ FencePlacementResult MitigationSession::minimizeFencePlacement(
     // stop at its first leak instead of enumerating them all (a passing
     // one necessarily explores everything either way).
     Req.Opts.StopAtFirstLeak = true;
+    if (FOpts.ProveSps) {
+      Req.ProveSps = true;
+      Req.Sps = FOpts.Sps;
+      Req.Sps.StopAtFirstCounterExample = true;
+      Req.Sps.DepthToWindow = true; // Verifier depth; see checkVariant.
+    }
     for (PC &T : Req.Opts.IndirectTargets)
       T = MR.Map.newTargetOf(T).value_or(T);
     for (PC &T : Req.Opts.RsbUnderflowTargets)

@@ -133,6 +133,15 @@ struct MitigationOptions {
   /// Minimize baseline witnesses (sharpens the replay pre-pass and the
   /// placement search's witness seed; costs the usual ddmin replays).
   bool MinimizeBaselineWitnesses = true;
+  /// Verify each mitigated variant with the SPS proof backend
+  /// (checker/SpsChecker.h) before falling back to re-exploration: a
+  /// proof settles "restored SCT" outright — including on programs whose
+  /// mitigated schedule tree the explorer cannot finish (kocher-05
+  /// fenced) — and a refutation yields source-level counterexamples the
+  /// per-leak closure verdicts key on.  Inconclusive runs fall through
+  /// to the ordinary diff-driven re-check transparently.
+  bool ProveSpsRecheck = false;
+  SpsOptions Sps;
 };
 
 /// Options for the minimal-fence-placement search.
@@ -147,6 +156,12 @@ struct FencePlacementOptions {
   /// actually touch — the diff says every other fence never mattered, so
   /// the seed usually verifies and skips most of ddmin's work.
   bool WitnessSeed = true;
+  /// Verify candidate fence sets with the SPS proof backend (conclusive
+  /// verdicts skip the candidate's re-exploration entirely; see
+  /// MitigationOptions::ProveSpsRecheck).  This is what makes minimal
+  /// placement tractable on explorer-intractable cases.
+  bool ProveSps = false;
+  SpsOptions Sps;
   /// Forwarded to FenceInsertion (jump-table relocation).
   std::vector<uint64_t> CodePointerAddrs;
   std::vector<Reg> CodePointerRegs;

@@ -1150,12 +1150,60 @@ private:
         if (!T.StoreValIsResolved &&
             tryStep(Pth, Directive::executeValue(K)))
           return;
+        // Without hazard exploration, store addresses resolve eagerly at
+        // fetch — but a fence in flight defeats the eager step, and a
+        // younger load executing first would then bypass the store (a
+        // forwarding hazard in the mode that excludes them; the SPS
+        // differential fuzz suite caught a wild transient return through
+        // exactly this gap).  Restore the eager policy here, before any
+        // younger load runs: the loop is oldest-first.
+        if (!Opts.ExploreForwardingHazards && !T.StoreAddrIsResolved &&
+            tryStep(Pth, Directive::executeAddr(K)))
+          return;
         break;
       default:
         break;
       }
       if (C.Buf.empty() || K >= C.Buf.maxIndex())
         break;
+    }
+
+    // Step 2b: nested *correctly-guessed* control whose eager resolution
+    // a fence blocked at fetch time.  A branch's execute IS its jump
+    // observation — if only the front-most unresolved entry were ever
+    // forced (step 3), a fence-window branch whose condition turned
+    // secret on a wrong path would be squashed unobserved, hiding a leak
+    // the semantics admit (the SPS differential fuzz suite found exactly
+    // this shape: fence; mispredicted branch; wrong-path secret load;
+    // nested branch on the loaded value).  Restricted to correct guesses:
+    // a delayed *wrong* guess already observed at its fork's sibling (the
+    // immediately-resolving fall-through) and must stay unresolved to
+    // keep the B.18 worst-case window open — resolving it here would
+    // also perturb step counts on fence-free programs.  The correctness
+    // pre-check mirrors probeBranchCorrect without the configuration
+    // copy.
+    {
+      bool SeenUnresolved = false;
+      for (BufIdx K = C.Buf.minIndex(); K <= C.Buf.maxIndex(); ++K) {
+        const TransientInstr &T = C.Buf.at(K);
+        if (T.isResolved())
+          continue;
+        if (!SeenUnresolved) { // Front-most: step 3's call.
+          SeenUnresolved = true;
+          continue;
+        }
+        if (!T.is(TransientKind::Branch) && !T.is(TransientKind::JumpI))
+          continue;
+        auto Args = M.resolveOperands(C, K, T.Args);
+        if (!Args)
+          continue;
+        PC Actual = T.is(TransientKind::Branch)
+                        ? (truthy(evalOp(T.Opc, *Args, M.options())) ? T.NTrue
+                                                                     : T.NFalse)
+                        : static_cast<PC>(evalAddr(*Args, M.options()).Bits);
+        if (Actual == T.N0 && tryStep(Pth, Directive::execute(K)))
+          return;
+      }
     }
 
     // Step 3: force the first remaining unresolved entry (a delayed store

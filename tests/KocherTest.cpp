@@ -9,9 +9,11 @@
 
 #include "workloads/Kocher.h"
 
+#include "checker/DifferentialChecker.h"
+#include "checker/FenceInsertion.h"
 #include "checker/SctChecker.h"
 #include "checker/SequentialCt.h"
-#include "checker/FenceInsertion.h"
+#include "checker/SpsChecker.h"
 
 #include <gtest/gtest.h>
 
@@ -60,7 +62,12 @@ TEST_P(KocherSuite, LeakWitnessesReplay) {
 
 TEST_P(KocherSuite, FencesAtBranchTargetsMitigateV1) {
   // §3.6: fencing the branch shadows restores SCT for the v1 cases found
-  // in the no-forwarding mode (pure branch-speculation leaks).
+  // in the no-forwarding mode (pure branch-speculation leaks).  Every
+  // fenced program is *proved* leak-free by the SPS backend — in seconds,
+  // because excursions collapse on the first fence — and the explorer
+  // cross-checks the verdict everywhere except kocher-05, whose fenced
+  // schedule tree alone runs to the 8M-step budget; there the proof
+  // replaces the walk.
   const SuiteCase &C = GetParam();
   if (C.ExpectSeqLeak || !C.ExpectV1V11Leak)
     return; // Fences cannot fix architectural leaks.
@@ -68,9 +75,30 @@ TEST_P(KocherSuite, FencesAtBranchTargetsMitigateV1) {
   ASSERT_TRUE(FR.ok()) << C.Id;
   Program Fenced = std::move(FR.Prog);
   EXPECT_TRUE(Fenced.validate().empty()) << C.Id;
+  SpsReport S = checkSps(Fenced, v1v11Mode());
+  ASSERT_TRUE(S.conclusive()) << C.Id << ": " << S.Reason;
+  EXPECT_TRUE(S.proved()) << C.Id;
+  EXPECT_LT(S.Seconds, 30.0) << C.Id;
+  if (C.Id == "kocher-05")
+    return;
   SctReport R = checkSct(Fenced, v1v11Mode());
   EXPECT_TRUE(R.secure()) << C.Id << ": "
                           << describeResult(Fenced, R.Exploration);
+}
+
+TEST_P(KocherSuite, SpsVerdictAgreesWithExplorerV1V11) {
+  // The two oracles on the raw corpus: conclusive SPS runs must agree
+  // with the explorer's verdict, and every explorer leak origin must
+  // reappear among the SPS counterexample origins.
+  const SuiteCase &C = GetParam();
+  SctReport R = checkSct(C.Prog, v1v11Mode());
+  SpsCrossCheck X = crossValidateSps(C.Prog, v1v11Mode(), R.Exploration);
+  EXPECT_TRUE(X.agrees())
+      << C.Id << ": verdictsAgree=" << X.VerdictsAgree << ", unmatched="
+      << X.Unmatched.size() << (X.Skipped ? " (skipped: " + X.SkipReason + ")"
+                                          : std::string());
+  if (!X.Skipped)
+    EXPECT_EQ(!X.Sps.proved(), C.ExpectV1V11Leak) << C.Id;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -21,6 +21,7 @@
 
 #include "checker/Retpoline.h"
 #include "checker/SctChecker.h"
+#include "checker/SpsChecker.h"
 #include "workloads/CryptoLibs.h"
 #include "workloads/Figures.h"
 #include "workloads/Kocher.h"
@@ -50,13 +51,14 @@ std::multiset<uint64_t> leakKeys(const CheckResult &R) {
 }
 
 MitigationSession makeSession(bool Reuse, unsigned Threads = 1,
-                              bool Minimize = true) {
+                              bool Minimize = true, bool ProveSps = false) {
   SessionOptions SOpts;
   SOpts.Threads = Threads;
   MitigationOptions MOpts;
   MOpts.ReuseSeenStates = Reuse;
   MOpts.MinimizeBaselineWitnesses = Minimize;
   MOpts.ReplayWitnesses = Minimize;
+  MOpts.ProveSpsRecheck = ProveSps;
   return MitigationSession(SOpts, MOpts);
 }
 
@@ -169,14 +171,15 @@ TEST(MitigationSession, IdentityTransformLeavesLeaksOpenAndReplayable) {
 }
 
 TEST(MitigationSession, BlanketFencesCloseKocherLeaks) {
-  MitigationSession MS = makeSession(true);
+  // The SPS re-check proves fenced variants leak-free without walking
+  // their schedule trees — which is what lets kocher-05 run here: its
+  // fenced tree alone used to eat the 8M-step budget (~1 min), and the
+  // proof settles it in milliseconds.
+  MitigationSession MS = makeSession(true, 1, true, /*ProveSps=*/true);
   unsigned Checked = 0;
   for (const SuiteCase &C : kocherCases()) {
     if (C.ExpectSeqLeak || !C.ExpectV1V11Leak)
       continue; // Fences cannot fix architectural leaks.
-    if (C.Id == "kocher-05")
-      continue; // Its fenced tree runs to the 8M-step budget (~1 min;
-                // pre-existing, KocherTest pays it once already).
     if (++Checked > 6)
       break; // Closure semantics, not a corpus sweep (the bench does that).
     MitigationReport Rep =
@@ -190,7 +193,48 @@ TEST(MitigationSession, BlanketFencesCloseKocherLeaks) {
     // Cost is reported: fences were added, the sequential schedule grew.
     EXPECT_GT(V.Cost.FencesAdded, 0u) << C.Id;
     EXPECT_GE(V.SeqSteps, Rep.SeqStepsBaseline) << C.Id;
+    if (C.Id == "kocher-05") {
+      // The explorer-intractable case really was settled by the proof,
+      // not by a budget-truncated walk.
+      ASSERT_TRUE(V.After.Sps.has_value()) << C.Id;
+      EXPECT_TRUE(V.After.Sps->proved()) << C.Id;
+    }
   }
+}
+
+TEST(MitigationSession, SpsRecheckAgreesWithReuseCertificateSweep) {
+  // The reuse-certificate machinery and the SPS proof backend are
+  // independent verifiers of the same mitigated programs: one diff-driven
+  // re-exploration with seen-state pruning, one tape-tree proof.  Sweep
+  // the fence-fixable corpus through both and assert every verdict —
+  // restored-SCT and each per-leak closure flag — agrees.  (kocher-05 is
+  // the one case the explorer side cannot finish; the SPS side still must
+  // prove it, which BlanketFencesCloseKocherLeaks pins above.)
+  MitigationSession Sps = makeSession(true, 1, true, /*ProveSps=*/true);
+  MitigationSession Explored = makeSession(true);
+  unsigned Compared = 0;
+  for (const SuiteCase &C : kocherCases()) {
+    if (C.ExpectSeqLeak || !C.ExpectV1V11Leak || C.Id == "kocher-05")
+      continue;
+    FenceInsertion FI(FencePolicy::BranchTargets);
+    MitigationReport A = Sps.run(C.Prog, v1v11Mode(), FI);
+    MitigationReport B = Explored.run(C.Prog, v1v11Mode(), FI);
+    const MitigationVariant &VA = A.Variants.front();
+    const MitigationVariant &VB = B.Variants.front();
+    ASSERT_TRUE(VA.applied() && VB.applied()) << C.Id;
+    // The SPS path must actually have settled the re-check — otherwise
+    // this compares the explorer against itself.
+    ASSERT_TRUE(VA.After.Sps && VA.After.Sps->conclusive()) << C.Id;
+    EXPECT_EQ(VA.restoredSct(), VB.restoredSct()) << C.Id;
+    ASSERT_EQ(VA.Leaks.size(), VB.Leaks.size()) << C.Id;
+    for (size_t I = 0; I < VA.Leaks.size(); ++I) {
+      EXPECT_EQ(VA.Leaks[I].Closed, VB.Leaks[I].Closed)
+          << C.Id << " leak " << I << " at origin " << VA.Leaks[I].Origin;
+      EXPECT_EQ(VA.Leaks[I].BaselineKey, VB.Leaks[I].BaselineKey) << C.Id;
+    }
+    ++Compared;
+  }
+  EXPECT_GE(Compared, 5u);
 }
 
 TEST(MitigationSession, MinimalFencePlacementBeatsBlanket) {
@@ -203,11 +247,13 @@ TEST(MitigationSession, MinimalFencePlacementBeatsBlanket) {
   for (const SuiteCase &C : kocherCases()) {
     if (C.ExpectSeqLeak || !C.ExpectV1V11Leak)
       continue;
-    if (C.Id == "kocher-05")
-      continue; // Every fenced candidate of it replays an 8M-step
-                // budget-truncated tree (~1 min per check; pre-existing).
     FencePlacementOptions FOpts;
     FOpts.Blanket = FencePolicy::BranchTargets;
+    // SPS-verified candidates: a conclusive proof (or first
+    // counterexample) replaces each candidate's re-exploration.  This is
+    // what admits kocher-05, where every fenced candidate used to replay
+    // an 8M-step budget-truncated tree (~1 min per check).
+    FOpts.ProveSps = true;
     FencePlacementResult R =
         MS.minimizeFencePlacement(C.Prog, v1v11Mode(), FOpts);
     ASSERT_FALSE(R.Baseline.secure()) << C.Id;
@@ -217,11 +263,22 @@ TEST(MitigationSession, MinimalFencePlacementBeatsBlanket) {
     StrictlyFewer += R.Sites.size() < R.BlanketSites;
 
     // Independent verification: rebuild the fenced program and check it
-    // from scratch, no reuse anywhere.
+    // from scratch, no reuse anywhere.  kocher-05's minimal-fence tree is
+    // the explorer-intractable one — there the fresh check is the other
+    // oracle, a full (non-early-exit) SPS proof.
     MitigationResult MR = FenceInsertion(R.Sites).run(C.Prog);
     ASSERT_TRUE(MR.ok()) << C.Id;
-    SctReport Fresh = checkSct(MR.Prog, v1v11Mode());
-    EXPECT_TRUE(Fresh.secure()) << C.Id << " minimal set " << R.Sites.size();
+    if (C.Id == "kocher-05") {
+      SpsOptions SOpts;
+      SOpts.DepthToWindow = true; // Proof strength, not explorer parity.
+      SpsReport Fresh = checkSps(MR.Prog, v1v11Mode(), {}, SOpts);
+      ASSERT_TRUE(Fresh.conclusive()) << C.Id << ": " << Fresh.Reason;
+      EXPECT_TRUE(Fresh.proved()) << C.Id << " minimal set "
+                                  << R.Sites.size();
+    } else {
+      SctReport Fresh = checkSct(MR.Prog, v1v11Mode());
+      EXPECT_TRUE(Fresh.secure()) << C.Id << " minimal set " << R.Sites.size();
+    }
   }
   ASSERT_GT(Leaky, 0u);
   EXPECT_GE(StrictlyFewer * 2, Leaky)

@@ -21,6 +21,15 @@ struct RandomProgramOptions {
   unsigned MaxLength = 24;
   bool WithCalls = true;
   bool WithJumpI = false;
+  /// Sometimes wrap the body in a small bounded counted loop (backward
+  /// branch, trip count <= 4) — the kocher-05 shape whose speculative
+  /// schedule tree blows up while its oracle-tape tree stays tiny.
+  bool WithLoops = false;
+  /// Sometimes emit a Spectre-v1 gadget shape: a conditionally-guarded
+  /// load of pub[index] followed by a dependent table load — the
+  /// double-fetch pattern whose *second* access leaks under
+  /// misspeculation.
+  bool WithTableLoads = false;
 };
 
 /// Builds a random program from \p Seed.
@@ -41,6 +50,12 @@ inline Program randomProgram(uint64_t Seed,
   B.region("sec", 0x48, 8, Label::secret());
   for (uint64_t A = 0x40; A < 0x50; ++A)
     B.data(A, {Pick(8)});
+  if (Opts.WithTableLoads) {
+    // The side-channel surface for the v1 gadget shape (array2).
+    B.region("table", 0x60, 32, Label::publicLabel());
+    for (uint64_t A = 0x60; A < 0x80; ++A)
+      B.data(A, {Pick(8)});
+  }
 
   auto RandomReg = [&] { return Regs[Pick(Regs.size())]; };
   auto RandomOperand = [&]() -> Operand {
@@ -64,6 +79,14 @@ inline Program randomProgram(uint64_t Seed,
   bool EmitCall = Opts.WithCalls && Pick(2) == 0;
   bool UseCalliPointer = false;
   Reg CalliReg;
+  bool EmitLoop = Opts.WithLoops && Pick(4) < 3;
+  Reg LoopC;
+  unsigned Trip = 0;
+  if (EmitLoop) {
+    LoopC = B.reg("lc");
+    B.init(LoopC, 0);
+    Trip = 2 + static_cast<unsigned>(Pick(3));
+  }
 
   static constexpr Opcode ArithOps[] = {
       Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::And, Opcode::Or,
@@ -72,10 +95,12 @@ inline Program randomProgram(uint64_t Seed,
   static constexpr Opcode CondOps[] = {Opcode::Eq, Opcode::Ne, Opcode::Ult,
                                        Opcode::Ule, Opcode::Ugt};
 
+  if (EmitLoop)
+    B.label("loop");
   for (unsigned N = 0; N < Length; ++N) {
     std::string Here = "i" + std::to_string(N);
     B.label(Here);
-    switch (Pick(10)) {
+    switch (Pick(Opts.WithTableLoads ? 12 : 10)) {
     case 0:
     case 1:
     case 2: {
@@ -109,12 +134,38 @@ inline Program randomProgram(uint64_t Seed,
     case 8:
       B.fence();
       break;
+    case 10:
+    case 11: {
+      // Spectre-v1 gadget: a bounds check guarding pub[idx], then a
+      // dependent table access — speculatively the check mispredicts,
+      // the first load runs off the end of pub into sec, and the second
+      // load's address carries the secret.
+      Reg Idx = RandomReg();
+      Reg Val = RandomReg();
+      std::string In = "g" + std::to_string(N);
+      std::string Skip = "i" + std::to_string(N + 1);
+      B.br(Opcode::Ult, {ProgramBuilder::r(Idx), ProgramBuilder::imm(8)}, In,
+           Skip);
+      B.label(In);
+      B.load(Val, {ProgramBuilder::imm(0x40), ProgramBuilder::r(Idx)});
+      B.load(RandomReg(), {ProgramBuilder::imm(0x60), ProgramBuilder::r(Val)});
+      break;
+    }
     default:
       B.movi(RandomReg(), Pick(32));
       break;
     }
   }
   B.label("i" + std::to_string(Length));
+  if (EmitLoop) {
+    // Counted back-edge: the only backward branch, bounded by Trip, so
+    // sequential runs still terminate.
+    B.op(LoopC, Opcode::Add,
+         {ProgramBuilder::r(LoopC), ProgramBuilder::imm(1)});
+    B.br(Opcode::Ult, {ProgramBuilder::r(LoopC), ProgramBuilder::imm(Trip)},
+         "loop", "loopout");
+    B.label("loopout");
+  }
   if (EmitCall) {
     // A tail region with a leaf function called from the end — half the
     // time through a function pointer (the calli extension), which also
