@@ -9,12 +9,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "checker/SctChecker.h"
+#include "engine/SessionArgs.h"
 #include "checker/SequentialCt.h"
 #include "isa/AsmPrinter.h"
 #include "support/Printing.h"
 #include "workloads/Figures.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace sct;
 
@@ -67,6 +69,12 @@ void printFigure(const FigureCase &C, const SctReport &R) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--help") || !std::strcmp(Argv[I], "-h")) {
+      std::printf("usage: %s [session flags]\n%s", Argv[0],
+                  sct::sessionFlagsHelp().c_str());
+      return 0;
+    }
   CheckSession Session(sessionOptionsFromArgs(Argc, Argv));
 
   printTable1();

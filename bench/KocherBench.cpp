@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "isa/AsmPrinter.h"
+#include "engine/SessionArgs.h"
 #include "support/Printing.h"
 #include "workloads/Kocher.h"
 #include "workloads/SpectreSuites.h"
@@ -53,6 +54,12 @@ bool reportSuite(const CheckSession &Session, const char *Title,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--help") || !std::strcmp(Argv[I], "-h")) {
+      std::printf("usage: %s [session flags]\n%s", Argv[0],
+                  sct::sessionFlagsHelp().c_str());
+      return 0;
+    }
   // `--dump-asm DIR` writes each case as DIR/<id>.sct and exits — the CI
   // smoke feeds these to `sctcheck --prove-sps` over the whole corpus.
   for (int I = 1; I < Argc; ++I) {

@@ -18,6 +18,7 @@
 #include "checker/Retpoline.h"
 #include "checker/SctChecker.h"
 #include "engine/MitigationSession.h"
+#include "engine/SessionArgs.h"
 #include "support/Printing.h"
 #include "workloads/CryptoLibs.h"
 #include "workloads/Figures.h"
@@ -98,6 +99,12 @@ void reportGroup(const MitigationSession &MS, const char *Title,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--help") || !std::strcmp(Argv[I], "-h")) {
+      std::printf("usage: %s [session flags]\n%s", Argv[0],
+                  sct::sessionFlagsHelp().c_str());
+      return 0;
+    }
   bool Quick = false, NoReuse = false;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--quick"))

@@ -16,14 +16,22 @@
 //===----------------------------------------------------------------------===//
 
 #include "checker/SctChecker.h"
+#include "engine/SessionArgs.h"
 #include "support/Printing.h"
 #include "workloads/CryptoLibs.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace sct;
 
 int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--help") || !std::strcmp(Argv[I], "-h")) {
+      std::printf("usage: %s [session flags]\n%s", Argv[0],
+                  sct::sessionFlagsHelp().c_str());
+      return 0;
+    }
   CheckSession Session(sessionOptionsFromArgs(Argc, Argv));
 
   std::printf("Table 2: SCT violations in crypto case studies "

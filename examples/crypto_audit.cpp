@@ -35,16 +35,16 @@ int main(int Argc, char **Argv) {
     NoFwd.Id = C.Id + "/v1v11";
     NoFwd.Prog = C.Prog;
     NoFwd.Opts = v1v11Mode();
-    NoFwd.MinimizeWitnesses = true;
-    NoFwd.Minimize = SOpts.Minimize;
+    PassConfig &NoFwdPasses = NoFwd.Passes.emplace(SOpts.Passes);
+    NoFwdPasses.MinimizeWitnesses = true;
     Reqs.push_back(std::move(NoFwd));
 
     CheckRequest Fwd;
     Fwd.Id = C.Id + "/v4";
     Fwd.Prog = C.Prog;
     Fwd.Opts = v4Mode();
-    Fwd.MinimizeWitnesses = true;
-    Fwd.Minimize = SOpts.Minimize;
+    PassConfig &FwdPasses = Fwd.Passes.emplace(SOpts.Passes);
+    FwdPasses.MinimizeWitnesses = true;
     Reqs.push_back(std::move(Fwd));
   }
 

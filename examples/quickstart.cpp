@@ -48,10 +48,10 @@ int main() {
   CheckRequest Reqs[2];
   Reqs[0].Id = "gadget";
   Reqs[0].Prog = Prog;
-  Reqs[0].MinimizeWitnesses = true;
+  Reqs[0].Passes.emplace().MinimizeWitnesses = true;
   Reqs[1].Id = "fenced";
   Reqs[1].Prog = Fenced;
-  Reqs[1].MinimizeWitnesses = true;
+  Reqs[1].Passes.emplace().MinimizeWitnesses = true;
 
   CheckSession Session;
   std::vector<CheckResult> Results =

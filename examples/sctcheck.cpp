@@ -8,19 +8,18 @@
 //            [--indirect-targets a,b,..] [--rsb-targets a,b,..]
 //            [--fence-branches] [--fence-stores] [--first]
 //            [--mitigate fence|retpoline|minimal-fence]
-//            [--threads N] [--shards N] [--no-prune-seen]
-//            [--replay-snapshots] [--checkpoint-interval K]
-//            [--minimize-witnesses] [--minimize-budget N] [--validate]
-//            [--prove-sps] [--sps-max-tapes N]
+//            [--replay-snapshots] [--stats] [--validate] [--print]
+//            [session flags: --threads, --shards, --cache-dir,
+//             --workers, --minimize-*, --prove-sps, ... (--help)]
 //
-// Checks run through the engine layer (CheckSession): --threads fans the
-// exploration frontier over N work-stealing workers, --shards overrides
-// the frontier sharding (1 = the single shared frontier), --no-prune-seen
-// disables the cross-schedule seen-state table (on by default),
-// --replay-snapshots switches fork checkpoints to prefix-replay,
-// --checkpoint-interval K selects the replay-snapshot hybrid (shared
-// checkpoint every K directives), --minimize-witnesses delta-debugs each
-// witness to a minimal attack schedule (docs/WITNESSES.md), and
+// Checks run through the engine layer (CheckSession).  The session-level
+// knobs — thread budget, frontier sharding, snapshot policy, witness
+// minimization, the SPS proof backend, the persistent result cache
+// (--cache-dir) and the worker-process pool (--workers) — all parse
+// through the shared declarative flag table (engine/SessionArgs.h); this
+// driver only adds the per-file attacker knobs above.  With --cache-dir,
+// a hit/miss line goes to *stderr* so stdout stays byte-comparable
+// between cold and warm audits (the CI cache-smoke relies on this).
 // --validate replays every witness differentially to confirm it as a
 // concrete trace divergence.
 //
@@ -40,6 +39,8 @@
 #include "checker/SctChecker.h"
 #include "checker/SequentialCt.h"
 #include "engine/MitigationSession.h"
+#include "engine/ResultCache.h"
+#include "engine/SessionArgs.h"
 #include "isa/AsmParser.h"
 #include "isa/AsmPrinter.h"
 
@@ -71,34 +72,15 @@ void usage(const char *Prog) {
       "                         re-check reusing the baseline's seen\n"
       "                         states, report per-leak closure + cost\n"
       "  --first                stop at the first violation\n"
-      "  --threads N            engine worker threads (default 1)\n"
-      "  --shards N             frontier shards (default: one per worker;\n"
-      "                         1 = single shared frontier)\n"
-      "  --no-prune-seen        disable seen-state pruning (on by default)\n"
       "  --stats                collect and print exploration diagnostics:\n"
       "                         seen-table occupancy/probe lengths, fork-\n"
       "                         filter verdicts, convergence prunes, and\n"
       "                         the distinct-state-per-depth histogram\n"
       "  --replay-snapshots     prefix-replay fork checkpoints\n"
-      "  --checkpoint-interval K  hybrid snapshots: shared checkpoint\n"
-      "                         every K directives (replay cost <= K)\n"
-      "  --minimize-witnesses   delta-debug witnesses to minimal attacks\n"
-      "  --minimize-budget N    replays spent minimizing each witness\n"
-      "  --minimize-threads N   minimization worker threads (default:\n"
-      "                         the check's frontier thread share)\n"
-      "  --no-slice-excursions  disable the excursion slice pass\n"
-      "  --no-slice-polish      disable the slice-polish basin hop\n"
-      "  --no-seed-replays      replay every candidate from the initial\n"
-      "                         configuration (identical results)\n"
-      "  --no-suffix-converge   disable suffix-convergence rejoins in\n"
-      "                         minimization (identical results)\n"
-      "  --prove-sps            try the SPS proof backend first: a\n"
-      "                         conclusive sequential proof or refutation\n"
-      "                         settles the verdict without exploring\n"
-      "  --sps-max-tapes N      oracle-tape budget for --prove-sps\n"
       "  --validate             differentially confirm each witness\n"
-      "  --print                echo the (possibly transformed) program\n",
-      Prog);
+      "  --print                echo the (possibly transformed) program\n"
+      "session flags (shared with every engine driver):\n%s",
+      Prog, sessionFlagsHelp().c_str());
 }
 
 std::vector<PC> parseTargets(const Program &P, const char *List) {
@@ -119,6 +101,11 @@ std::vector<PC> parseTargets(const Program &P, const char *List) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--help") || !std::strcmp(Argv[I], "-h")) {
+      usage(Argv[0]);
+      return 0;
+    }
   if (Argc < 2) {
     usage(Argv[0]);
     return 2;
@@ -140,11 +127,12 @@ int main(int Argc, char **Argv) {
   }
   Program Prog = std::move(*Parsed.Prog);
 
-  ExplorerOptions Opts;
-  bool SeqOnly = false, Print = false, Validate = false, Minimize = false;
-  bool ProveSps = false;
-  SpsOptions SpsOpts;
-  MinimizeOptions MinOpts;
+  // Session flags (thread budget, sharding, snapshot policy, passes,
+  // cache, workers) parse through the shared table; the loop below only
+  // handles what the table left unconsumed.
+  SessionArgs SA = parseSessionArgs(Argc, Argv);
+  ExplorerOptions Opts = SA.Opts.DefaultOpts;
+  bool SeqOnly = false, Print = false, Validate = false;
   const char *IndirectList = nullptr, *RsbList = nullptr;
   const char *MitigateKind = nullptr;
   auto ApplyFences = [&Prog](FencePolicy Policy) {
@@ -161,6 +149,8 @@ int main(int Argc, char **Argv) {
     Prog = std::move(R.Prog);
   };
   for (int I = 2; I < Argc; ++I) {
+    if (SA.Consumed[static_cast<size_t>(I)])
+      continue;
     if (!std::strcmp(Argv[I], "--bound") && I + 1 < Argc)
       Opts.SpeculationBound = static_cast<unsigned>(atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--no-fwd"))
@@ -181,44 +171,16 @@ int main(int Argc, char **Argv) {
       MitigateKind = Argv[++I];
     else if (!std::strcmp(Argv[I], "--first"))
       Opts.StopAtFirstLeak = true;
-    else if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
-      Opts.Threads = static_cast<unsigned>(atoi(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--shards") && I + 1 < Argc)
-      Opts.Shards = static_cast<unsigned>(atoi(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--prune-seen"))
-      Opts.PruneSeen = true;
-    else if (!std::strcmp(Argv[I], "--no-prune-seen"))
-      Opts.PruneSeen = false;
     else if (!std::strcmp(Argv[I], "--stats"))
       Opts.CollectStats = true;
     else if (!std::strcmp(Argv[I], "--replay-snapshots"))
       Opts.Snapshots = SnapshotPolicy::Replay;
-    else if (!std::strcmp(Argv[I], "--checkpoint-interval") && I + 1 < Argc) {
-      Opts.Snapshots = SnapshotPolicy::Hybrid;
-      Opts.CheckpointInterval = static_cast<unsigned>(atoi(Argv[++I]));
-    } else if (!std::strcmp(Argv[I], "--minimize-witnesses"))
-      Minimize = true;
-    else if (!std::strcmp(Argv[I], "--minimize-budget") && I + 1 < Argc)
-      MinOpts.MaxReplays = static_cast<uint64_t>(atoll(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--minimize-threads") && I + 1 < Argc)
-      MinOpts.Threads = static_cast<unsigned>(atoi(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--no-slice-excursions"))
-      MinOpts.SliceExcursions = false;
-    else if (!std::strcmp(Argv[I], "--no-slice-polish"))
-      MinOpts.SlicePolish = false;
-    else if (!std::strcmp(Argv[I], "--no-seed-replays"))
-      MinOpts.SeedReplays = false;
-    else if (!std::strcmp(Argv[I], "--no-suffix-converge"))
-      MinOpts.SuffixConverge = false;
-    else if (!std::strcmp(Argv[I], "--prove-sps"))
-      ProveSps = true;
-    else if (!std::strcmp(Argv[I], "--sps-max-tapes") && I + 1 < Argc)
-      SpsOpts.MaxTapes = static_cast<uint64_t>(atoll(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--validate"))
       Validate = true;
     else if (!std::strcmp(Argv[I], "--print"))
       Print = true;
     else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Argv[I]);
       usage(Argv[0]);
       return 2;
     }
@@ -232,9 +194,7 @@ int main(int Argc, char **Argv) {
     std::printf("%s\n", printAsm(Prog).c_str());
 
   if (MitigateKind) {
-    SessionOptions SOpts;
-    SOpts.Threads = Opts.Threads ? Opts.Threads : 1;
-    MitigationSession MSession(SOpts);
+    MitigationSession MSession(SA.Opts);
     bool WantStores = Opts.ExploreForwardingHazards;
     FencePolicy Blanket = WantStores ? FencePolicy::BranchTargetsAndStores
                                      : FencePolicy::BranchTargets;
@@ -314,18 +274,16 @@ int main(int Argc, char **Argv) {
   if (SeqOnly)
     return Seq.secure() ? 0 : 1;
 
-  SessionOptions SOpts;
-  SOpts.Threads = Opts.Threads ? Opts.Threads : 1;
-  CheckSession Session(SOpts);
+  CheckSession Session(SA.Opts);
   CheckRequest Req;
   Req.Id = Argv[1];
   Req.Prog = Prog;
   Req.Opts = Opts;
-  Req.MinimizeWitnesses = Minimize;
-  Req.Minimize = MinOpts;
-  Req.ProveSps = ProveSps;
-  Req.Sps = SpsOpts;
   CheckResult Check = Session.check(Req);
+  // The hit/miss line goes to stderr: stdout must stay byte-identical
+  // between a cold audit and its warm re-run (the cache-smoke contract).
+  if (Session.cache())
+    std::fprintf(stderr, "cache: %s\n", Check.FromCache ? "hit" : "miss");
   if (Check.Sps) {
     const SpsReport &S = *Check.Sps;
     const char *V = S.Verdict == SpsVerdict::Proved ? "PROVED leak-free"

@@ -1,0 +1,76 @@
+//===- examples/sctworker.cpp - Audit-service worker process ----------------===//
+//
+// The subprocess half of the multi-process audit service: reads
+// length-prefixed serialized CheckRequests on stdin, runs each through a
+// CheckSession, and writes serialized CheckResults back on stdout —
+// echoing the dispatcher's sequence stamp and job index so replies can
+// never be mis-attributed (engine/ProcessPool.h documents the frames).
+//
+// stdout belongs to the frame protocol; nothing else may write to it.
+// Diagnostics go to stderr.  EOF on stdin is the normal shutdown signal.
+//
+// Not usually run by hand: CheckSession spawns it via `--workers N`
+// (default binary: sctworker beside the calling executable, or
+// $SCT_WORKER_BIN).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ProcessPool.h"
+#include "engine/Serialization.h"
+#include "engine/SessionArgs.h"
+
+#include <cstdio>
+
+using namespace sct;
+
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      std::printf(
+          "usage: sctworker\n\n"
+          "Audit-service worker: speaks the framed request/result protocol\n"
+          "of engine/ProcessPool.h on stdin/stdout.  Spawned by drivers\n"
+          "running with --workers N; not meant for interactive use.\n\n"
+          "The dispatching session resolves these flags and serializes the\n"
+          "result into each request, so the worker itself takes none:\n\n%s",
+          sessionFlagsHelp().c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "sctworker: unexpected argument '%s' (see --help)\n",
+                 Argv[I]);
+    return 2;
+  }
+
+  WireFrame F;
+  while (readWireFrame(0, F)) {
+    std::optional<WireRequest> Req = deserializeWireRequest(F.Payload);
+    if (!Req) {
+      // A payload we cannot parse means the stream is desynced or the
+      // dispatcher speaks a different format version; nothing sensible
+      // can follow.
+      std::fprintf(stderr, "sctworker: malformed request payload\n");
+      return 1;
+    }
+
+    SessionOptions SOpts;
+    SOpts.Threads = Req->Opts.Threads ? Req->Opts.Threads : 1;
+    SOpts.Passes = Req->Passes;
+    CheckSession Session(SOpts);
+
+    CheckRequest CR;
+    CR.Id = Req->Id;
+    CR.Prog = std::move(Req->Prog);
+    CR.Opts = Req->Opts;
+    CR.MOpts = Req->MOpts;
+    CheckResult Res = Session.check(CR);
+
+    WireFrame Reply;
+    Reply.Seq = F.Seq;
+    Reply.Job = F.Job;
+    Reply.Payload = serializeCheckResult(Res);
+    if (!writeWireFrame(1, Reply))
+      return 1; // Dispatcher went away.
+  }
+  return 0; // EOF: clean shutdown.
+}

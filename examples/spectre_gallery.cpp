@@ -92,8 +92,7 @@ int main(int Argc, char **Argv) {
     Req.Id = S.Fig.Name;
     Req.Prog = S.Fig.Prog;
     Req.Opts = S.Fig.CheckOpts;
-    Req.MinimizeWitnesses = true;
-    Req.Minimize = SOpts.Minimize;
+    Req.Passes.emplace(SOpts.Passes).MinimizeWitnesses = true;
     Reqs.push_back(std::move(Req));
   }
   CheckSession Session(SOpts);

@@ -30,7 +30,10 @@ uint64_t Configuration::hashFromScratch() const {
 }
 
 std::optional<uint64_t> Configuration::hash(const PcRemap &R) const {
-  std::optional<PC> MN = R.target(N);
+  // N is where this configuration already *is*, not a point it still has
+  // to reach — the fetch-point channel may be more permissive than the
+  // target channel (core/TransientInstr.h).
+  std::optional<PC> MN = R.fetchPoint(N);
   if (!MN)
     return std::nullopt;
   std::optional<uint64_t> BufH = Buf.hash(R);

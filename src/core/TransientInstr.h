@@ -56,12 +56,20 @@ using BufIdx = uint64_t;
 class PcRemap {
 public:
   virtual ~PcRemap() = default;
-  /// Image of a *control-flow* coordinate: a fetch point, branch/jump
-  /// target, or RSB entry.
+  /// Image of a *control-flow* coordinate: a branch/jump target or RSB
+  /// entry — a point the machine will still travel *to*, so the image
+  /// must account for anything inserted on the way in.
   virtual std::optional<PC> target(PC N) const = 0;
   /// Image of an *instruction-identity* coordinate: a transient
   /// instruction's origin.
   virtual std::optional<PC> instr(PC N) const = 0;
+  /// Image of a configuration's *fetch point*: the machine already sits
+  /// at \p N, so whatever was inserted before it has been consumed and
+  /// only what lies ahead matters.  Defaults to the target channel;
+  /// consumers that distinguish "arriving at" from "being at" (the
+  /// mitigation re-check's influence veto) override this with a mapping
+  /// that only refuses points with insertions still reachable ahead.
+  virtual std::optional<PC> fetchPoint(PC N) const { return target(N); }
 };
 
 /// Kinds of transient instructions.

@@ -2,55 +2,29 @@
 
 #include "engine/CheckSession.h"
 
+#include "engine/ProcessPool.h"
+#include "engine/ResultCache.h"
+#include "engine/Serialization.h"
+
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
-#include <cstring>
 #include <thread>
 
 using namespace sct;
 
-SessionOptions sct::sessionOptionsFromArgs(int Argc, char **Argv) {
-  SessionOptions SOpts;
-  SOpts.Threads = std::thread::hardware_concurrency();
-  for (int I = 1; I < Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
-      SOpts.Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--shards") && I + 1 < Argc)
-      SOpts.DefaultOpts.Shards = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--prune-seen"))
-      SOpts.DefaultOpts.PruneSeen = true;
-    else if (!std::strcmp(Argv[I], "--no-prune-seen"))
-      SOpts.DefaultOpts.PruneSeen = false;
-    else if (!std::strcmp(Argv[I], "--checkpoint-interval") && I + 1 < Argc) {
-      SOpts.DefaultOpts.Snapshots = SnapshotPolicy::Hybrid;
-      SOpts.DefaultOpts.CheckpointInterval =
-          static_cast<unsigned>(std::atoi(Argv[++I]));
-    } else if (!std::strcmp(Argv[I], "--minimize-witnesses"))
-      SOpts.MinimizeWitnesses = true;
-    else if (!std::strcmp(Argv[I], "--minimize-budget") && I + 1 < Argc)
-      SOpts.Minimize.MaxReplays =
-          static_cast<uint64_t>(std::atoll(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--minimize-threads") && I + 1 < Argc)
-      SOpts.Minimize.Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--no-slice-excursions"))
-      SOpts.Minimize.SliceExcursions = false;
-    else if (!std::strcmp(Argv[I], "--no-slice-polish"))
-      SOpts.Minimize.SlicePolish = false;
-    else if (!std::strcmp(Argv[I], "--no-seed-replays"))
-      SOpts.Minimize.SeedReplays = false;
-    else if (!std::strcmp(Argv[I], "--prove-sps"))
-      SOpts.ProveSps = true;
-    else if (!std::strcmp(Argv[I], "--sps-max-tapes") && I + 1 < Argc)
-      SOpts.Sps.MaxTapes = static_cast<uint64_t>(std::atoll(Argv[++I]));
-  }
-  return SOpts;
-}
-
-CheckSession::CheckSession(SessionOptions Opts) : Opts(std::move(Opts)) {
+CheckSession::CheckSession(SessionOptions SOpts) : Opts(std::move(SOpts)) {
   if (this->Opts.Threads == 0)
     this->Opts.Threads = 1;
+  if (!this->Opts.CacheDir.empty()) {
+    auto C = std::make_unique<ResultCache>(this->Opts.CacheDir);
+    if (C->ok())
+      Cache = std::move(C);
+  }
 }
+
+CheckSession::~CheckSession() = default;
+CheckSession::CheckSession(CheckSession &&) noexcept = default;
+CheckSession &CheckSession::operator=(CheckSession &&) noexcept = default;
 
 CheckResult CheckSession::runOne(const CheckRequest &Req,
                                  unsigned FrontierThreads) const {
@@ -62,6 +36,11 @@ CheckResult CheckSession::runOne(const CheckRequest &Req,
   if (Res.Opts.Threads == 0)
     Res.Opts.Threads = FrontierThreads ? FrontierThreads : 1;
 
+  // The one resolution point: request-overrides-session (see
+  // CheckRequest::resolved).  The cache fingerprint and the wire
+  // serializer consume the same value.
+  const PassConfig &Passes = Req.resolved(Opts);
+
   Machine M(Req.Prog, Req.MOpts);
   Configuration Init =
       Req.Init ? *Req.Init : Configuration::initial(Req.Prog);
@@ -70,10 +49,9 @@ CheckResult CheckSession::runOne(const CheckRequest &Req,
   // the full tape tree) settles the request without exploring at all.
   // Custom initial configurations are excluded — the translation bakes
   // the program's own init lists into P̂'s canonical start state.
-  if ((Req.ProveSps || Opts.ProveSps) && !Req.Init) {
-    const SpsOptions &SOpts = Req.ProveSps ? Req.Sps : Opts.Sps;
+  if (Passes.ProveSps && !Req.Init) {
     auto T0 = std::chrono::steady_clock::now();
-    Res.Sps = checkSps(Req.Prog, Res.Opts, Req.MOpts, SOpts);
+    Res.Sps = checkSps(Req.Prog, Res.Opts, Req.MOpts, Passes.Sps);
     auto T1 = std::chrono::steady_clock::now();
     Res.Seconds = std::chrono::duration<double>(T1 - T0).count();
     if (Res.Sps->conclusive())
@@ -81,14 +59,12 @@ CheckResult CheckSession::runOne(const CheckRequest &Req,
     // Inconclusive: fall through to the ordinary exploration.
   }
 
-  bool Minimizing = Req.MinimizeWitnesses || Opts.MinimizeWitnesses;
-  MinimizeOptions MinOpts =
-      Req.MinimizeWitnesses ? Req.Minimize : Opts.Minimize;
+  MinimizeOptions MinOpts = Passes.Minimize;
   // The minimizer seeds its ddmin replays from the explorer's hybrid
   // checkpoints; chain them up (LeakRecord::Ckpt) whenever minimization
   // will consume them.  Copy/Replay explorations have no checkpoints —
   // the minimizer then builds its ladder from scratch.
-  if (Minimizing && MinOpts.SeedReplays &&
+  if (Passes.MinimizeWitnesses && MinOpts.SeedReplays &&
       Res.Opts.Snapshots == SnapshotPolicy::Hybrid)
     Res.Opts.RecordCheckpointChain = true;
 
@@ -103,7 +79,7 @@ CheckResult CheckSession::runOne(const CheckRequest &Req,
   // schedules land in MinSched.  An unset minimizer thread count inherits
   // this check's frontier share, so one `--threads N` budget governs both
   // phases.
-  if (Minimizing) {
+  if (Passes.MinimizeWitnesses) {
     if (MinOpts.Threads == 0)
       MinOpts.Threads = Res.Opts.Threads ? Res.Opts.Threads : 1;
     Res.Minimization =
@@ -112,8 +88,23 @@ CheckResult CheckSession::runOne(const CheckRequest &Req,
   return Res;
 }
 
+CheckResult CheckSession::runOneCached(const CheckRequest &Req,
+                                       unsigned FrontierThreads) const {
+  if (!Cache)
+    return runOne(Req, FrontierThreads);
+  const PassConfig &Passes = Req.resolved(Opts);
+  if (std::optional<CheckResult> Hit = Cache->lookupResult(Req, Passes)) {
+    Hit->Id = Req.Id;
+    Hit->FromCache = true;
+    return std::move(*Hit);
+  }
+  CheckResult Res = runOne(Req, FrontierThreads);
+  Cache->storeResult(Req, Passes, Res);
+  return Res;
+}
+
 CheckResult CheckSession::check(const CheckRequest &Req) const {
-  return runOne(Req, Opts.Threads);
+  return runOneCached(Req, Opts.Threads);
 }
 
 CheckResult CheckSession::check(const Program &P) const {
@@ -129,19 +120,102 @@ CheckResult CheckSession::check(const Program &P,
   return check(Req);
 }
 
+bool CheckSession::runOnWorkers(std::span<const CheckRequest> Reqs,
+                                std::span<const size_t> Pending,
+                                std::vector<CheckResult> &Results) const {
+  ProcessPool::Options POpts;
+  POpts.WorkerBinary =
+      Opts.WorkerBinary.empty() ? defaultWorkerBinary() : Opts.WorkerBinary;
+  POpts.Workers = Opts.Workers;
+  POpts.TimeoutSec = Opts.WorkerTimeoutSec;
+  ProcessPool Pool(POpts);
+  if (!Pool.ok())
+    return false;
+
+  // Each worker process explores single-request-at-a-time; give it the
+  // per-program frontier share the in-process pool would have used.
+  unsigned PerProgram = Opts.Threads / std::max(1u, Opts.Workers);
+  if (PerProgram == 0)
+    PerProgram = 1;
+
+  std::vector<size_t> Fallback = Pool.run(
+      Pending,
+      [&](size_t I) {
+        CheckRequest Wire = Reqs[I];
+        Wire.Opts.Threads =
+            Wire.Opts.Threads ? Wire.Opts.Threads : PerProgram;
+        return serializeWireRequest(Wire, Wire.resolved(Opts));
+      },
+      [&](size_t I, std::span<const uint8_t> Payload) {
+        std::optional<CheckResult> Res = deserializeCheckResult(Payload);
+        if (!Res)
+          return false;
+        Res->Id = Reqs[I].Id;
+        Results[I] = std::move(*Res);
+        return true;
+      });
+
+  // Whatever the pool could not finish — workers crashed twice, timed
+  // out, or all died — runs in-process on this thread.
+  for (size_t I : Fallback)
+    Results[I] = runOne(Reqs[I], Opts.Threads);
+
+  if (Cache)
+    for (size_t I : Pending)
+      Cache->storeResult(Reqs[I], Reqs[I].resolved(Opts), Results[I]);
+  return true;
+}
+
 std::vector<CheckResult>
 CheckSession::checkMany(std::span<const CheckRequest> Reqs) const {
   std::vector<CheckResult> Results(Reqs.size());
   if (Reqs.empty())
     return Results;
 
+  // Cache pass first: an unchanged corpus audit is pure lookups.
+  std::vector<size_t> Pending;
+  Pending.reserve(Reqs.size());
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    if (Cache) {
+      if (std::optional<CheckResult> Hit =
+              Cache->lookupResult(Reqs[I], Reqs[I].resolved(Opts))) {
+        Hit->Id = Reqs[I].Id;
+        Hit->FromCache = true;
+        Results[I] = std::move(*Hit);
+        continue;
+      }
+    }
+    Pending.push_back(I);
+  }
+  if (Pending.empty())
+    return Results;
+
+  // Worker-process backend: ship the serializable misses to sctworker
+  // subprocesses; anything non-wireable (custom Init, reuse filters,
+  // seen-state exports) stays in-process.
+  if (Opts.Workers > 0) {
+    std::vector<size_t> Wire, Local;
+    for (size_t I : Pending)
+      (wireable(Reqs[I]) ? Wire : Local).push_back(I);
+    if (!Wire.empty() && runOnWorkers(Reqs, Wire, Results))
+      Pending = std::move(Local);
+    if (Pending.empty())
+      return Results;
+  }
+
+  auto ComputeAndStore = [&](size_t I, unsigned FrontierThreads) {
+    Results[I] = runOne(Reqs[I], FrontierThreads);
+    if (Cache)
+      Cache->storeResult(Reqs[I], Reqs[I].resolved(Opts), Results[I]);
+  };
+
   // Split the budget: program-level fan-out first, leftover threads go to
   // each program's frontier.
   unsigned PoolSize =
-      static_cast<unsigned>(std::min<size_t>(Opts.Threads, Reqs.size()));
+      static_cast<unsigned>(std::min<size_t>(Opts.Threads, Pending.size()));
   if (PoolSize <= 1) {
-    for (size_t I = 0; I < Reqs.size(); ++I)
-      Results[I] = runOne(Reqs[I], Opts.Threads);
+    for (size_t I : Pending)
+      ComputeAndStore(I, Opts.Threads);
     return Results;
   }
   unsigned PerProgram = Opts.Threads / PoolSize;
@@ -151,10 +225,10 @@ CheckSession::checkMany(std::span<const CheckRequest> Reqs) const {
   std::atomic<size_t> NextReq{0};
   auto Drain = [&] {
     for (;;) {
-      size_t I = NextReq.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Reqs.size())
+      size_t N = NextReq.fetch_add(1, std::memory_order_relaxed);
+      if (N >= Pending.size())
         return;
-      Results[I] = runOne(Reqs[I], PerProgram);
+      ComputeAndStore(Pending[N], PerProgram);
     }
   };
   std::vector<std::thread> Pool;

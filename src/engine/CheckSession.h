@@ -26,8 +26,23 @@
 /// Within one check, frontier-level parallelism is the work-stealing
 /// sharded engine of sched/ScheduleExplorer.h; its `Shards` and
 /// `PruneSeen` knobs ride in through `CheckRequest::Opts` (or the session
-/// defaults, which `sessionOptionsFromArgs` fills from `--shards` /
-/// `--prune-seen`).
+/// defaults, which the flag table in engine/SessionArgs.h fills from
+/// `--shards` / `--prune-seen`).
+///
+/// **The audit service.**  Two session knobs turn checkMany into a
+/// persistent audit service (docs/ARCHITECTURE.md, "life of a cached
+/// audit"):
+///  - `SessionOptions::CacheDir` opens a content-addressed ResultCache
+///    (engine/ResultCache.h): before exploring, each request's canonical
+///    program hash + options fingerprint is looked up, and an unchanged
+///    case is served from disk (`CheckResult::FromCache`) instead of
+///    re-explored; fresh results are stored back atomically.
+///  - `SessionOptions::Workers` dispatches cache-missing requests to a
+///    pool of `sctworker` processes over pipes (engine/ProcessPool.h),
+///    with crash re-dispatch and timeout fallback to in-process checking.
+/// Both are keyed on the *serialized* request (engine/Serialization.h),
+/// which is why a request's pass options are one closed `PassConfig`
+/// value rather than session-inherited booleans.
 ///
 /// **Thread-safety.**  A CheckSession is immutable after construction:
 /// `check()` and `checkMany()` are const, allocate all mutable state per
@@ -35,14 +50,17 @@
 /// call builds its own worker pool, so concurrent calls multiply thread
 /// counts — prefer one batched checkMany).  Requests are taken by
 /// span/reference and must outlive the call; results are returned by
-/// value in request order.
+/// value in request order.  The result cache is safe for concurrent use
+/// (lookups read immutable files; stores are atomic renames).
 ///
 /// **Determinism.**  A check with Threads <= 1 (session and request) is
 /// fully reproducible, counters included.  With parallelism anywhere, the
 /// deduplicated leak set of every result is still independent of thread
-/// count, sharding, and drain order — the engine's contract
+/// count, sharding, and snapshot policies — the engine's contract
 /// (sched/ScheduleExplorer.h); wall-clock `Seconds` and, under PruneSeen,
-/// step counters are the only racy quantities.
+/// step counters are the only racy quantities.  The same contract is what
+/// lets the cache fingerprint exclude Threads/Shards: a cached verdict is
+/// valid at any thread count (counters are the stored run's).
 ///
 /// Layering: isa → core → sched → engine → checker → workloads.  The
 /// checkers and every bench/example driver sit on top of this seam;
@@ -57,10 +75,64 @@
 #include "engine/WitnessMinimizer.h"
 #include "sched/ScheduleExplorer.h"
 
+#include <memory>
 #include <span>
 #include <string>
 
 namespace sct {
+
+class ResultCache;
+
+/// The optional analysis passes of a check, as one closed value: witness
+/// minimization (engine/WitnessMinimizer.h) and the SPS proof backend
+/// (checker/SpsChecker.h), each with its knobs.  A PassConfig fully
+/// describes "which passes ran and how" — the cache fingerprint, the wire
+/// serializer, and CheckSession::runOne all consume the same resolved
+/// value, so what actually ran is never scattered across structs.
+struct PassConfig {
+  /// Delta-debug every witness after exploration: each leak's `MinSched`
+  /// is filled with a minimized schedule replaying to the identical
+  /// `LeakRecord::key()`, and `CheckResult::Minimization` reports the
+  /// aggregate shrink.
+  bool MinimizeWitnesses = false;
+  /// Minimization budget and knobs.
+  MinimizeOptions Minimize;
+  /// Run the SPS proof backend before exploring.  A conclusive SPS
+  /// verdict — Proved or CounterExample — settles the request without
+  /// running the explorer at all; Inconclusive (options outside the
+  /// supported fragment, budgets, custom Init) falls back to the
+  /// ordinary exploration transparently.
+  bool ProveSps = false;
+  /// Tape-enumeration budgets for the SPS pass.
+  SpsOptions Sps;
+};
+
+/// Session-wide knobs.
+struct SessionOptions {
+  /// Total worker-thread budget shared by frontier- and program-level
+  /// parallelism.  0 or 1 = fully sequential.
+  unsigned Threads = 1;
+  /// Defaults applied by the Program-only conveniences.
+  ExplorerOptions DefaultOpts;
+  MachineOptions DefaultMOpts;
+  /// Passes applied to every request that does not pin its own
+  /// (`CheckRequest::Passes`); see CheckRequest::resolved.
+  PassConfig Passes;
+  /// Directory of the persistent content-addressed result cache
+  /// (engine/ResultCache.h); empty = caching off.  Created on demand.
+  std::string CacheDir;
+  /// Worker *processes* for checkMany: 0 = in-process (the thread pool
+  /// above); N > 0 dispatches serializable requests to N `sctworker`
+  /// subprocesses (engine/ProcessPool.h), falling back to in-process on
+  /// spawn failure, crash, or timeout.
+  unsigned Workers = 0;
+  /// Path of the worker binary; empty = "sctworker" next to the current
+  /// executable (or $SCT_WORKER_BIN).
+  std::string WorkerBinary;
+  /// Per-request worker timeout in seconds; an expired request's worker
+  /// is killed and the request re-runs in-process.
+  double WorkerTimeoutSec = 300.0;
+};
 
 /// One unit of analysis work: a program plus how to explore it.
 struct CheckRequest {
@@ -76,26 +148,21 @@ struct CheckRequest {
   MachineOptions MOpts;
   /// Start from this configuration instead of Configuration::initial —
   /// lets differential drivers check mutated-secret variants through the
-  /// same API.
+  /// same API.  Custom-init requests are never cached or shipped to
+  /// worker processes.
   std::optional<Configuration> Init;
-  /// Delta-debug every witness after exploration
-  /// (engine/WitnessMinimizer.h): each leak's `MinSched` is filled with a
-  /// minimized schedule replaying to the identical `LeakRecord::key()`,
-  /// and `CheckResult::Minimization` reports the aggregate shrink.  Also
-  /// enabled session-wide by `SessionOptions::MinimizeWitnesses`.
-  bool MinimizeWitnesses = false;
-  /// Minimization budget and knobs (used when this request enables
-  /// minimization; session-enabled requests use the session's).
-  MinimizeOptions Minimize;
-  /// Run the SPS proof backend (checker/SpsChecker.h) before exploring.
-  /// A conclusive SPS verdict — Proved or CounterExample — settles the
-  /// request without running the explorer at all; Inconclusive (options
-  /// outside the supported fragment, budgets, custom Init) falls back to
-  /// the ordinary exploration transparently.  Also enabled session-wide
-  /// by `SessionOptions::ProveSps`.
-  bool ProveSps = false;
-  /// Tape-enumeration budgets for the SPS pass.
-  SpsOptions Sps;
+  /// Pass configuration override.  Disengaged (the default) inherits the
+  /// session's `SessionOptions::Passes`; an engaged value replaces it
+  /// wholesale — there is no field-wise merging, so `resolved()` is the
+  /// single place "what runs" is decided.
+  std::optional<PassConfig> Passes;
+
+  /// The passes this request actually runs under session \p SOpts:
+  /// request-overrides-session, as one explicit function shared by
+  /// runOne, the cache fingerprint, and the wire serializer.
+  const PassConfig &resolved(const SessionOptions &SOpts) const {
+    return Passes ? *Passes : SOpts.Passes;
+  }
 };
 
 /// The outcome of one CheckRequest.
@@ -105,7 +172,9 @@ struct CheckResult {
   /// The options the exploration actually ran with (thread share
   /// resolved).
   ExplorerOptions Opts;
-  /// Wall-clock seconds spent exploring.
+  /// Wall-clock seconds spent exploring.  A cache hit reports the
+  /// *stored* run's seconds (so serialized results round-trip
+  /// byte-identically); `FromCache` tells the two apart.
   double Seconds = 0;
   /// Aggregate witness-minimization outcome; engaged iff minimization ran
   /// (raw and minimized directive totals, replays spent, budget state).
@@ -115,6 +184,11 @@ struct CheckResult {
   /// empty — the explorer never ran); an inconclusive one means the
   /// explorer ran as usual and `Exploration` decides.
   std::optional<SpsReport> Sps;
+  /// True iff this result was served from the session's ResultCache
+  /// rather than computed.  Not serialized — the stored bytes are those
+  /// of the original run, which is what keeps warm and cold audits
+  /// byte-comparable.
+  bool FromCache = false;
 
   bool secure() const {
     if (Sps && Sps->conclusive())
@@ -123,33 +197,23 @@ struct CheckResult {
   }
 };
 
-/// Session-wide knobs.
-struct SessionOptions {
-  /// Total worker-thread budget shared by frontier- and program-level
-  /// parallelism.  0 or 1 = fully sequential.
-  unsigned Threads = 1;
-  /// Defaults applied by the Program-only conveniences.
-  ExplorerOptions DefaultOpts;
-  MachineOptions DefaultMOpts;
-  /// Minimize witnesses on every check in this session (requests can also
-  /// opt in individually via CheckRequest::MinimizeWitnesses).
-  bool MinimizeWitnesses = false;
-  MinimizeOptions Minimize;
-  /// Try the SPS proof backend on every check in this session (requests
-  /// can also opt in individually via CheckRequest::ProveSps).
-  bool ProveSps = false;
-  SpsOptions Sps;
-};
-
 /// The unified entry point for running checks.
 class CheckSession {
 public:
   explicit CheckSession(SessionOptions Opts = {});
+  ~CheckSession();
+  CheckSession(CheckSession &&) noexcept;
+  CheckSession &operator=(CheckSession &&) noexcept;
 
   const SessionOptions &options() const { return Opts; }
 
+  /// The session's result cache, or null when `CacheDir` is empty or the
+  /// directory could not be created.  Exposes hit/miss/store counters.
+  const ResultCache *cache() const { return Cache.get(); }
+
   /// Checks one request; the frontier spreads over the session's whole
-  /// thread budget unless the request pins its own.
+  /// thread budget unless the request pins its own.  Consults the result
+  /// cache (when open) before exploring.
   CheckResult check(const CheckRequest &Req) const;
 
   /// Convenience: checks \p P under the session defaults.
@@ -157,8 +221,9 @@ public:
   CheckResult check(const Program &P, const ExplorerOptions &EOpts) const;
 
   /// Batch entry point: fans the requests out over the session's worker
-  /// pool.  Results are returned in request order regardless of which
-  /// worker finished first.
+  /// pool — cache lookups first, then worker processes (Workers > 0) or
+  /// the in-process thread pool for the misses.  Results are returned in
+  /// request order regardless of which worker finished first.
   std::vector<CheckResult> checkMany(std::span<const CheckRequest> Reqs) const;
 
   /// Batch convenience: checks each program under the session defaults.
@@ -166,19 +231,28 @@ public:
 
 private:
   SessionOptions Opts;
+  std::unique_ptr<ResultCache> Cache;
 
   CheckResult runOne(const CheckRequest &Req, unsigned FrontierThreads) const;
+  /// runOne plus cache lookup/store (no-op without an open cache).
+  CheckResult runOneCached(const CheckRequest &Req,
+                           unsigned FrontierThreads) const;
+  /// Dispatches \p Pending (indices into \p Reqs) to a process pool;
+  /// returns false when no pool could be built (caller falls back to the
+  /// in-process path).  Computed results land in \p Results and the
+  /// cache.
+  bool runOnWorkers(std::span<const CheckRequest> Reqs,
+                    std::span<const size_t> Pending,
+                    std::vector<CheckResult> &Results) const;
 };
 
-/// Session options for a CLI driver: parses `--threads N`, `--shards N`,
-/// `--prune-seen` / `--no-prune-seen` (PruneSeen is on by default),
-/// `--checkpoint-interval N` (selects `SnapshotPolicy::Hybrid` with that
-/// K), `--minimize-witnesses`, `--minimize-budget N`,
-/// `--minimize-threads N` (0 = inherit the check's frontier share),
-/// `--no-slice-excursions`, `--no-slice-polish`, `--no-seed-replays`,
-/// `--prove-sps`, and `--sps-max-tapes N` out of argv,
-/// defaulting the thread budget to the hardware concurrency.  Shared by
-/// the bench mains.
+/// Session options for a CLI driver, parsed by the declarative flag table
+/// in engine/SessionArgs.h (`--threads`, `--shards`, `--prune-seen` /
+/// `--no-prune-seen`, `--checkpoint-interval`, the `--minimize-*` family,
+/// `--prove-sps` / `--sps-max-tapes`, `--cache-dir`, `--workers`, ...),
+/// defaulting the thread budget to the hardware concurrency.  Unknown
+/// arguments are ignored — drivers with their own flags use
+/// parseSessionArgs to see what was consumed.  Shared by the bench mains.
 SessionOptions sessionOptionsFromArgs(int Argc, char **Argv);
 
 } // namespace sct

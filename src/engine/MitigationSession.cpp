@@ -120,31 +120,139 @@ std::vector<char> influencedOldPoints(const Program &P,
   return Influenced;
 }
 
+/// The strictly-ahead half of the influence veto: true for old point \p n
+/// iff an insertion is reachable from n *without counting whatever sits
+/// on the way into n itself* — i.e. some successor of n is influenced.
+/// This is what a configuration's fetch point must be vetoed by: the
+/// machine already consumed anything inserted before n (a blanket fence,
+/// say), so only insertions still ahead can make the subtree diverge.
+/// Same conservative control-flow treatment as influencedOldPoints; the
+/// end point has no successors and is never ahead-influenced.
+std::vector<char> influencedAheadPoints(const Program &P,
+                                        const std::vector<char> &Influenced,
+                                        const MachineOptions &MachOpts) {
+  const PC End = P.endPC();
+  std::vector<char> Ahead(End + 1, 0);
+  std::vector<PC> RetSuccs;
+  bool RetUnknown = MachOpts.RsbOnEmpty == RsbPolicy::AttackerChoice;
+  for (PC N = 0; N < End; ++N)
+    if (P.at(N).is(InstrKind::Call) || P.at(N).is(InstrKind::CallI))
+      RetSuccs.push_back(P.at(N).next());
+  if (MachOpts.RsbOnEmpty == RsbPolicy::Circular)
+    RetSuccs.push_back(0);
+
+  auto Inf = [&](PC M) { return M <= End && Influenced[M]; };
+  for (PC N = 0; N < End; ++N) {
+    const Instruction &I = P.at(N);
+    bool A = false;
+    switch (I.kind()) {
+    case InstrKind::Op:
+    case InstrKind::Load:
+    case InstrKind::Store:
+    case InstrKind::Fence:
+      A = Inf(I.next());
+      break;
+    case InstrKind::Branch:
+      A = Inf(I.trueTarget()) || Inf(I.falseTarget());
+      break;
+    case InstrKind::Call:
+      A = Inf(I.callee()) || Inf(I.next());
+      break;
+    case InstrKind::JumpI:
+    case InstrKind::CallI:
+      A = true; // Data-driven target: reaches anything.
+      break;
+    case InstrKind::Ret:
+      if (RetUnknown)
+        A = true;
+      else
+        for (PC S : RetSuccs)
+          A = A || Inf(S);
+      break;
+    }
+    Ahead[N] = A;
+  }
+  return Ahead;
+}
+
 /// PcRemap over a mitigation's provenance: maps mitigated coordinates
-/// back to baseline ones, refusing an image for inserted instructions and
-/// for any point from which an insertion is still reachable — the
-/// subtree-isomorphism contract RemappedSeenFilter requires.
+/// back to baseline ones.  Two tiers, chosen by what the transform
+/// inserted:
+///
+///  - Fence-only transforms (every new slot without provenance is a
+///    fence): all three channels map through the raw provenance, no
+///    influence veto.  The subtrees are not isomorphic — the mitigated
+///    one fetches fences the baseline never sees — but a fence only
+///    *removes* speculative behaviour (it blocks younger fetches until it
+///    retires) and its own fetch/retire steps observe nothing, so every
+///    observation the mitigated subtree can make, the baseline subtree
+///    makes too: leak-freedom transfers.  An inserted fence's own PC maps
+///    through the target channel to the old point whose arrival it
+///    guards; a configuration parked right before an unfetched fence
+///    likewise corresponds to the baseline state at the guarded point
+///    (fetchPoint).  A fence already *in flight* still refuses an image
+///    (its ROB entry has no baseline counterpart), and any state past a
+///    *consumed* fence simply never matches — retiring the fence shifted
+///    the buffer-index coordinates the fingerprint folds — so both are
+///    silent misses, never unsound hits.
+///  - Anything else inserted (retpoline thunks, masking ops) can change
+///    values and add observations, so the strict contract applies: the
+///    arrival (target) and in-flight (instr) channels refuse any
+///    influenced old point, and the fetch channel refuses points with an
+///    insertion still reachable ahead (consumed insertions are history —
+///    that is the one asymmetry a fetch point is entitled to).
 class MitigationRemap final : public PcRemap {
 public:
-  MitigationRemap(ProvenanceMap Map, std::vector<char> InfluencedOld)
-      : Map(std::move(Map)), Influenced(std::move(InfluencedOld)) {}
+  MitigationRemap(ProvenanceMap Map, std::vector<char> InfluencedOld,
+                  std::vector<char> AheadOld, bool FencesOnly, PC OldEnd,
+                  PC NewEnd)
+      : Map(std::move(Map)), Influenced(std::move(InfluencedOld)),
+        Ahead(std::move(AheadOld)), FencesOnly(FencesOnly), OldEnd(OldEnd),
+        NewEnd(NewEnd) {}
 
   std::optional<PC> target(PC N) const override {
     std::optional<PC> Old = Map.oldTargetOf(N);
-    if (!Old || (*Old < Influenced.size() && Influenced[*Old]))
+    if (!Old)
+      return std::nullopt;
+    if (!FencesOnly && *Old < Influenced.size() && Influenced[*Old])
       return std::nullopt;
     return Old;
   }
   std::optional<PC> instr(PC N) const override {
     std::optional<PC> Old = Map.oldOf(N);
-    if (!Old || (*Old < Influenced.size() && Influenced[*Old]))
+    if (!Old)
+      return std::nullopt;
+    if (!FencesOnly && *Old < Influenced.size() && Influenced[*Old])
       return std::nullopt;
     return Old;
+  }
+  std::optional<PC> fetchPoint(PC N) const override {
+    // The terminal fetch point maps to the terminal fetch point even
+    // behind an inserted epilogue: nothing lies ahead of it.
+    if (N == NewEnd)
+      return OldEnd;
+    if (std::optional<PC> Old = Map.oldOf(N)) {
+      if (!FencesOnly && *Old < Ahead.size() && Ahead[*Old])
+        return std::nullopt;
+      return Old;
+    }
+    // Sitting at an inserted instruction.  Under a fence-only transform
+    // the machine is about to fetch a fence guarding arrival at some old
+    // point n: this state corresponds to the baseline state whose fetch
+    // point is n — the fence's own fetch/retire observe nothing, and
+    // everything beyond it is common to both programs.
+    if (FencesOnly)
+      return Map.oldTargetOf(N);
+    return std::nullopt;
   }
 
 private:
   ProvenanceMap Map;
   std::vector<char> Influenced;
+  std::vector<char> Ahead;
+  bool FencesOnly;
+  PC OldEnd;
+  PC NewEnd;
 };
 
 /// Builds the reuse filter for a variant, or null when reuse would be
@@ -160,8 +268,19 @@ makeReuseFilter(const Program &P, const Program &NewProg,
     return nullptr;
   if (NewProg.numRegs() != P.numRegs())
     return nullptr;
+  std::vector<char> Influenced = influencedOldPoints(P, Map, NewProg, MachOpts);
+  std::vector<char> Ahead = influencedAheadPoints(P, Influenced, MachOpts);
+  // Every provenance-less slot a fence <=> the fetch channel may drop its
+  // ahead veto entirely (see MitigationRemap).
+  bool FencesOnly = true;
+  for (PC N = 0; N < NewProg.endPC(); ++N)
+    if (!Map.oldOf(N) && !NewProg.at(N).is(InstrKind::Fence)) {
+      FencesOnly = false;
+      break;
+    }
   auto Remap = std::make_shared<const MitigationRemap>(
-      Map, influencedOldPoints(P, Map, NewProg, MachOpts));
+      Map, std::move(Influenced), std::move(Ahead), FencesOnly, P.endPC(),
+      NewProg.endPC());
   return std::make_shared<const RemappedSeenFilter>(
       Baseline.Exploration.SeenExport, Remap);
 }
@@ -319,12 +438,13 @@ MitigationVariant MitigationSession::checkVariant(
     Req.Opts.Reuse = Filter;
   }
   if (Opts.ProveSpsRecheck) {
-    Req.ProveSps = true;
-    Req.Sps = Opts.Sps;
+    PassConfig &Passes = Req.Passes.emplace();
+    Passes.ProveSps = true;
+    Passes.Sps = Opts.Sps;
     // The re-check is a verifier, not an agreement check: window-depth
     // consults keep the proof sound and stop looping candidates from
     // depth-clipping into Inconclusive (and the slow explorer fallback).
-    Req.Sps.DepthToWindow = true;
+    Passes.Sps.DepthToWindow = true;
   }
   V.After = Session.check(Req);
   V.ReusePrunedNodes = V.After.Exploration.ReusePrunedNodes;
@@ -379,7 +499,7 @@ MitigationSession::run(const Program &P, const ExplorerOptions &Mode,
   Base.Opts = Mode;
   Base.Opts.ExportSeenStates = Opts.ReuseSeenStates;
   Base.MOpts = MachOpts;
-  Base.MinimizeWitnesses = Opts.MinimizeBaselineWitnesses;
+  Base.Passes.emplace().MinimizeWitnesses = Opts.MinimizeBaselineWitnesses;
   Rep.Baseline = Session.check(Base);
   Rep.SeqStepsBaseline = sequentialScheduleLength(P, MachOpts);
   for (const Mitigation *M : Ms)
@@ -412,7 +532,7 @@ FencePlacementResult MitigationSession::minimizeFencePlacement(
     Base.Opts = Mode;
     Base.Opts.ExportSeenStates = Opts.ReuseSeenStates;
     Base.MOpts = MachOpts;
-    Base.MinimizeWitnesses = Opts.MinimizeBaselineWitnesses;
+    Base.Passes.emplace().MinimizeWitnesses = Opts.MinimizeBaselineWitnesses;
     R.Baseline = Session.check(Base);
   }
   if (R.Baseline.secure()) {
@@ -444,10 +564,11 @@ FencePlacementResult MitigationSession::minimizeFencePlacement(
     // one necessarily explores everything either way).
     Req.Opts.StopAtFirstLeak = true;
     if (FOpts.ProveSps) {
-      Req.ProveSps = true;
-      Req.Sps = FOpts.Sps;
-      Req.Sps.StopAtFirstCounterExample = true;
-      Req.Sps.DepthToWindow = true; // Verifier depth; see checkVariant.
+      PassConfig &Passes = Req.Passes.emplace();
+      Passes.ProveSps = true;
+      Passes.Sps = FOpts.Sps;
+      Passes.Sps.StopAtFirstCounterExample = true;
+      Passes.Sps.DepthToWindow = true; // Verifier depth; see checkVariant.
     }
     for (PC &T : Req.Opts.IndirectTargets)
       T = MR.Map.newTargetOf(T).value_or(T);

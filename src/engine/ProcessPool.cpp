@@ -1,0 +1,327 @@
+//===- engine/ProcessPool.cpp - Worker-process dispatcher -------------------===//
+
+#include "engine/ProcessPool.h"
+
+#include "support/ByteStream.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace sct;
+
+namespace {
+
+double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool readFull(int Fd, uint8_t *Buf, size_t Len) {
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::read(Fd, Buf + Got, Len - Got);
+    if (N == 0)
+      return false; // EOF.
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool writeFull(int Fd, const uint8_t *Buf, size_t Len) {
+  size_t Put = 0;
+  while (Put < Len) {
+    ssize_t N = ::write(Fd, Buf + Put, Len - Put);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Put += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+constexpr size_t FrameHeaderBytes = 4 + 4 + 8 + 8 + 8;
+
+/// A dead worker must not take the pool down with SIGPIPE; writes report
+/// EPIPE instead.  Installed once, process-wide.
+void ignoreSigpipeOnce() {
+  static std::once_flag Once;
+  std::call_once(Once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+} // namespace
+
+bool sct::readWireFrame(int Fd, WireFrame &F) {
+  uint8_t Header[FrameHeaderBytes];
+  if (!readFull(Fd, Header, sizeof(Header)))
+    return false;
+  ByteReader R(std::span<const uint8_t>(Header, sizeof(Header)));
+  if (R.u32() != WireMagic || R.u32() != WireProtocolVersion)
+    return false;
+  F.Seq = R.u64();
+  F.Job = R.u64();
+  uint64_t Len = R.u64();
+  // A frame is bounded by what a serialized request/result can plausibly
+  // be; a wild length here means a desynced or corrupted stream.
+  if (Len > (1ull << 32))
+    return false;
+  F.Payload.resize(static_cast<size_t>(Len));
+  return readFull(Fd, F.Payload.data(), F.Payload.size());
+}
+
+bool sct::writeWireFrame(int Fd, const WireFrame &F) {
+  ByteWriter W;
+  W.u32(WireMagic);
+  W.u32(WireProtocolVersion);
+  W.u64(F.Seq);
+  W.u64(F.Job);
+  W.u64(F.Payload.size());
+  W.bytes(F.Payload);
+  return writeFull(Fd, W.buffer().data(), W.size());
+}
+
+ProcessPool::ProcessPool(const Options &O) : Opts(O) {
+  ignoreSigpipeOnce();
+  W.resize(std::max(1u, Opts.Workers));
+  for (unsigned I = 0; I < W.size(); ++I)
+    spawn(I);
+}
+
+void ProcessPool::spawn(unsigned I) {
+  Worker &Wk = W[I];
+  int ToWorker[2], FromWorker[2];
+  if (::pipe(ToWorker) != 0)
+    return;
+  if (::pipe(FromWorker) != 0) {
+    ::close(ToWorker[0]);
+    ::close(ToWorker[1]);
+    return;
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(ToWorker[0]);
+    ::close(ToWorker[1]);
+    ::close(FromWorker[0]);
+    ::close(FromWorker[1]);
+    return;
+  }
+  if (Pid == 0) {
+    // Child: frames in on stdin, frames out on stdout.
+    ::dup2(ToWorker[0], 0);
+    ::dup2(FromWorker[1], 1);
+    ::close(ToWorker[0]);
+    ::close(ToWorker[1]);
+    ::close(FromWorker[0]);
+    ::close(FromWorker[1]);
+    ::execlp(Opts.WorkerBinary.c_str(), Opts.WorkerBinary.c_str(),
+             static_cast<char *>(nullptr));
+    _exit(127); // exec failed; the parent sees EOF and marks us dead.
+  }
+  ::close(ToWorker[0]);
+  ::close(FromWorker[1]);
+  Wk.Pid = Pid;
+  Wk.In = ToWorker[1];
+  Wk.Out = FromWorker[0];
+  Wk.Alive = true;
+}
+
+void ProcessPool::kill(Worker &Wk) {
+  if (!Wk.Alive)
+    return;
+  Wk.Alive = false;
+  Wk.Busy = false;
+  if (Wk.In >= 0)
+    ::close(Wk.In);
+  if (Wk.Out >= 0)
+    ::close(Wk.Out);
+  Wk.In = Wk.Out = -1;
+  if (Wk.Pid > 0) {
+    ::kill(Wk.Pid, SIGKILL);
+    int Status = 0;
+    ::waitpid(Wk.Pid, &Status, 0);
+    Wk.Pid = -1;
+  }
+}
+
+ProcessPool::~ProcessPool() {
+  for (Worker &Wk : W) {
+    // Close stdin first: a healthy idle worker exits cleanly on EOF.
+    if (Wk.Alive && Wk.In >= 0) {
+      ::close(Wk.In);
+      Wk.In = -1;
+    }
+  }
+  for (Worker &Wk : W) {
+    if (!Wk.Alive)
+      continue;
+    if (Wk.Out >= 0)
+      ::close(Wk.Out);
+    Wk.Out = -1;
+    if (Wk.Pid > 0) {
+      // Busy workers may run long past teardown; don't wait on them.
+      if (Wk.Busy)
+        ::kill(Wk.Pid, SIGKILL);
+      int Status = 0;
+      ::waitpid(Wk.Pid, &Status, 0);
+    }
+    Wk.Alive = false;
+  }
+}
+
+bool ProcessPool::ok() const {
+  for (const Worker &Wk : W)
+    if (Wk.Alive)
+      return true;
+  return false;
+}
+
+unsigned ProcessPool::aliveWorkers() const {
+  unsigned N = 0;
+  for (const Worker &Wk : W)
+    if (Wk.Alive)
+      ++N;
+  return N;
+}
+
+std::vector<size_t> ProcessPool::run(
+    std::span<const size_t> Jobs,
+    const std::function<std::vector<uint8_t>(size_t)> &Payload,
+    const std::function<bool(size_t, std::span<const uint8_t>)> &OnResult) {
+  std::deque<size_t> Queue(Jobs.begin(), Jobs.end());
+  std::vector<size_t> Fallback;
+  // Jobs that already burned their one re-dispatch.
+  std::vector<size_t> Retried;
+  auto FailJob = [&](size_t Job) {
+    for (size_t R : Retried)
+      if (R == Job) {
+        Fallback.push_back(Job);
+        return;
+      }
+    Retried.push_back(Job);
+    Queue.push_front(Job); // Retry before fresh work: results stay warm.
+  };
+
+  auto Dispatch = [&](Worker &Wk) {
+    while (!Queue.empty()) {
+      size_t Job = Queue.front();
+      Queue.pop_front();
+      WireFrame F;
+      F.Seq = ++Wk.TxSeq;
+      F.Job = Job;
+      F.Payload = Payload(Job);
+      if (!writeWireFrame(Wk.In, F)) {
+        kill(Wk);
+        FailJob(Job);
+        return;
+      }
+      Wk.Busy = true;
+      Wk.Job = Job;
+      Wk.SentSeq = F.Seq;
+      Wk.Deadline =
+          Opts.TimeoutSec > 0 ? monotonicSeconds() + Opts.TimeoutSec : 0;
+      return;
+    }
+  };
+
+  for (;;) {
+    // Keep every live idle worker fed.
+    for (Worker &Wk : W)
+      if (Wk.Alive && !Wk.Busy && !Queue.empty())
+        Dispatch(Wk);
+
+    // Done when nothing is in flight and nothing is queued.
+    bool AnyBusy = false;
+    for (Worker &Wk : W)
+      AnyBusy |= Wk.Busy;
+    if (!AnyBusy) {
+      if (Queue.empty())
+        break;
+      // Jobs remain but no worker could take them: all dead.
+      for (size_t Job : Queue)
+        Fallback.push_back(Job);
+      break;
+    }
+
+    // Poll the busy workers up to the nearest deadline.
+    std::vector<pollfd> Fds;
+    std::vector<size_t> FdWorker;
+    double Now = monotonicSeconds();
+    double Nearest = -1;
+    for (size_t I = 0; I < W.size(); ++I) {
+      if (!W[I].Busy)
+        continue;
+      Fds.push_back({W[I].Out, POLLIN, 0});
+      FdWorker.push_back(I);
+      if (W[I].Deadline > 0 && (Nearest < 0 || W[I].Deadline < Nearest))
+        Nearest = W[I].Deadline;
+    }
+    int TimeoutMs = -1;
+    if (Nearest >= 0)
+      TimeoutMs = std::max(0, static_cast<int>((Nearest - Now) * 1000) + 1);
+    int N = ::poll(Fds.data(), Fds.size(), TimeoutMs);
+    if (N < 0 && errno != EINTR)
+      break; // Poll itself broken; unfinished jobs fall back below.
+
+    Now = monotonicSeconds();
+    for (size_t F = 0; F < Fds.size(); ++F) {
+      Worker &Wk = W[FdWorker[F]];
+      if (!Wk.Busy)
+        continue;
+      if (Fds[F].revents & (POLLIN | POLLHUP | POLLERR)) {
+        size_t Job = Wk.Job;
+        WireFrame Reply;
+        bool Good = readWireFrame(Wk.Out, Reply) && Reply.Seq == Wk.SentSeq &&
+                    Reply.Job == Job && OnResult(Job, Reply.Payload);
+        if (Good) {
+          Wk.Busy = false;
+        } else {
+          // EOF, desync, stale stamp, or a payload the caller rejected:
+          // the worker is untrustworthy from here on.
+          kill(Wk);
+          FailJob(Job);
+        }
+      } else if (Wk.Deadline > 0 && Now >= Wk.Deadline) {
+        // Timeout: kill and fall back directly (no re-dispatch — a
+        // request this slow would just stall a second worker).
+        size_t Job = Wk.Job;
+        kill(Wk);
+        Fallback.push_back(Job);
+      }
+    }
+    // Deadlines for workers poll() didn't flag this round.
+    for (Worker &Wk : W) {
+      if (Wk.Busy && Wk.Deadline > 0 && Now >= Wk.Deadline) {
+        size_t Job = Wk.Job;
+        kill(Wk);
+        Fallback.push_back(Job);
+      }
+    }
+  }
+
+  // Anything still marked busy when the loop broke abnormally.
+  for (Worker &Wk : W)
+    if (Wk.Busy) {
+      Fallback.push_back(Wk.Job);
+      Wk.Busy = false;
+    }
+
+  std::sort(Fallback.begin(), Fallback.end());
+  Fallback.erase(std::unique(Fallback.begin(), Fallback.end()),
+                 Fallback.end());
+  return Fallback;
+}

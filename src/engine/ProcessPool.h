@@ -1,0 +1,122 @@
+//===- engine/ProcessPool.h - Worker-process dispatcher --------*- C++ -*-===//
+//
+// Part of libsct, a reproduction of "Constant-Time Foundations for the New
+// Spectre Era" (Cauligi et al., PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-process half of the audit service: a pool of `sctworker`
+/// subprocesses fed length-prefixed request frames over pipes and drained
+/// for result frames, with one request in flight per worker.  The engine's
+/// determinism contract makes this safe to expose at all — a check's leak
+/// set does not depend on where it ran — so `CheckSession::checkMany` can
+/// dispatch cache misses here and merge the results back in request order.
+///
+/// **Framing.**  Both directions use the same frame: magic, protocol
+/// version, a per-worker monotone sequence stamp, the job index, and a
+/// length-prefixed payload (a serialized request out, a serialized
+/// CheckResult back — engine/Serialization.h).  The sequence stamp is the
+/// ordering proof: each worker must echo exactly the stamp of the request
+/// it was sent, so a late reply from a worker that was timed out and
+/// replaced can never be attributed to the wrong job, and merging results
+/// by job index is deterministic no matter which worker finished first.
+///
+/// **Failure handling.**  A worker that closes its pipe or writes a
+/// malformed/mis-stamped frame is dead: its in-flight job is re-dispatched
+/// once to another live worker, and a second failure (or no live worker
+/// to take it) lands the job on the fallback list.  A worker that blows
+/// the per-request timeout is SIGKILLed and its job goes straight to
+/// fallback — a request that slow on one worker is not worth a second
+/// worker's time.  The caller (CheckSession) runs the fallback list
+/// in-process, so worker trouble degrades throughput, never correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCT_ENGINE_PROCESSPOOL_H
+#define SCT_ENGINE_PROCESSPOOL_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace sct {
+
+/// Frame constants shared by the pool and the sctworker main loop.
+/// Magic "SCTW" little-endian.
+inline constexpr uint32_t WireMagic = 0x57544353;
+inline constexpr uint32_t WireProtocolVersion = 1;
+
+/// One length-prefixed frame header (both directions).  Serialized
+/// field-by-field little-endian, never memcpy'd as a struct.
+struct WireFrame {
+  uint64_t Seq = 0;     ///< Per-worker monotone stamp; replies must echo.
+  uint64_t Job = 0;     ///< Caller's job index; replies must echo.
+  std::vector<uint8_t> Payload;
+};
+
+/// Reads one frame from \p Fd (blocking).  Returns false on EOF or a
+/// malformed header.
+bool readWireFrame(int Fd, WireFrame &F);
+/// Writes one frame to \p Fd.  Returns false on a short/failed write.
+bool writeWireFrame(int Fd, const WireFrame &F);
+
+/// A pool of worker subprocesses with one in-flight request each.
+class ProcessPool {
+public:
+  struct Options {
+    std::string WorkerBinary; ///< argv[0] of each worker.
+    unsigned Workers = 1;     ///< Processes to spawn.
+    double TimeoutSec = 300;  ///< Per-request wall-clock limit; <=0 = none.
+  };
+
+  explicit ProcessPool(const Options &Opts);
+  ~ProcessPool();
+  ProcessPool(const ProcessPool &) = delete;
+  ProcessPool &operator=(const ProcessPool &) = delete;
+
+  /// True iff at least one worker spawned.
+  bool ok() const;
+  /// Workers still live (informational).
+  unsigned aliveWorkers() const;
+  pid_t workerPid(unsigned I) const { return W[I].Pid; }
+
+  /// Dispatches every job in \p Jobs to the workers, keeping each worker
+  /// saturated with one request at a time.  \p Payload renders a job to
+  /// its request bytes (called once per dispatch, so a re-dispatched job
+  /// is re-rendered); \p OnResult consumes a reply payload and returns
+  /// false to reject it (a rejected reply counts as a worker failure).
+  /// Returns the jobs that could not be completed — the caller's
+  /// in-process fallback list, in ascending job order.
+  std::vector<size_t>
+  run(std::span<const size_t> Jobs,
+      const std::function<std::vector<uint8_t>(size_t)> &Payload,
+      const std::function<bool(size_t, std::span<const uint8_t>)> &OnResult);
+
+private:
+  struct Worker {
+    pid_t Pid = -1;
+    int In = -1;  ///< Pool-side write end (worker's stdin).
+    int Out = -1; ///< Pool-side read end (worker's stdout).
+    uint64_t TxSeq = 0; ///< Stamps issued to this worker so far.
+    bool Alive = false;
+    // In-flight request state.
+    bool Busy = false;
+    size_t Job = 0;
+    uint64_t SentSeq = 0;
+    double Deadline = 0; ///< Monotonic seconds; 0 = no timeout.
+  };
+
+  void spawn(unsigned I);
+  void kill(Worker &Wk);
+
+  Options Opts;
+  std::vector<Worker> W;
+};
+
+} // namespace sct
+
+#endif // SCT_ENGINE_PROCESSPOOL_H

@@ -1,0 +1,146 @@
+//===- engine/SessionArgs.cpp - Declarative session flag table --------------===//
+
+#include "engine/SessionArgs.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace sct;
+
+namespace {
+
+unsigned asUnsigned(const char *V) {
+  return static_cast<unsigned>(std::atoi(V));
+}
+uint64_t asU64(const char *V) {
+  return static_cast<uint64_t>(std::atoll(V));
+}
+
+// The one place a session flag is declared.  Rows parse *and* document:
+// sessionFlagsHelp() renders Name/Arg/Doc, parseSessionArgs dispatches to
+// Apply.  Keep Doc to one line — it becomes one help row.
+constexpr SessionFlag Flags[] = {
+    {"--threads", "N", "engine worker threads (default: hardware concurrency)",
+     [](SessionOptions &O, const char *V) { O.Threads = asUnsigned(V); }},
+    {"--shards", "N",
+     "frontier shards (default: one per worker; 1 = shared frontier)",
+     [](SessionOptions &O, const char *V) {
+       O.DefaultOpts.Shards = asUnsigned(V);
+     }},
+    {"--prune-seen", nullptr, "enable seen-state pruning (the default)",
+     [](SessionOptions &O, const char *) { O.DefaultOpts.PruneSeen = true; }},
+    {"--no-prune-seen", nullptr, "disable cross-schedule seen-state pruning",
+     [](SessionOptions &O, const char *) { O.DefaultOpts.PruneSeen = false; }},
+    {"--checkpoint-interval", "K",
+     "hybrid snapshots: shared checkpoint every K directives",
+     [](SessionOptions &O, const char *V) {
+       O.DefaultOpts.Snapshots = SnapshotPolicy::Hybrid;
+       O.DefaultOpts.CheckpointInterval = asUnsigned(V);
+     }},
+    {"--minimize-witnesses", nullptr,
+     "delta-debug witnesses to minimal attack schedules",
+     [](SessionOptions &O, const char *) {
+       O.Passes.MinimizeWitnesses = true;
+     }},
+    {"--minimize-budget", "N", "replays spent minimizing each witness",
+     [](SessionOptions &O, const char *V) {
+       O.Passes.Minimize.MaxReplays = asU64(V);
+     }},
+    {"--minimize-threads", "N",
+     "minimization worker threads (0 = the check's frontier share)",
+     [](SessionOptions &O, const char *V) {
+       O.Passes.Minimize.Threads = asUnsigned(V);
+     }},
+    {"--no-slice-excursions", nullptr, "disable the excursion slice pass",
+     [](SessionOptions &O, const char *) {
+       O.Passes.Minimize.SliceExcursions = false;
+     }},
+    {"--no-slice-polish", nullptr, "disable the slice-polish basin hop",
+     [](SessionOptions &O, const char *) {
+       O.Passes.Minimize.SlicePolish = false;
+     }},
+    {"--no-seed-replays", nullptr,
+     "replay every candidate from the initial configuration",
+     [](SessionOptions &O, const char *) {
+       O.Passes.Minimize.SeedReplays = false;
+     }},
+    {"--no-suffix-converge", nullptr,
+     "disable suffix-convergence rejoins in minimization",
+     [](SessionOptions &O, const char *) {
+       O.Passes.Minimize.SuffixConverge = false;
+     }},
+    {"--prove-sps", nullptr,
+     "try the SPS proof backend first; conclusive verdicts skip exploring",
+     [](SessionOptions &O, const char *) { O.Passes.ProveSps = true; }},
+    {"--sps-max-tapes", "N", "oracle-tape budget for --prove-sps",
+     [](SessionOptions &O, const char *V) {
+       O.Passes.Sps.MaxTapes = asU64(V);
+     }},
+    {"--cache-dir", "DIR",
+     "persistent result cache: serve unchanged checks from DIR",
+     [](SessionOptions &O, const char *V) { O.CacheDir = V; }},
+    {"--workers", "N", "dispatch checkMany to N sctworker processes",
+     [](SessionOptions &O, const char *V) { O.Workers = asUnsigned(V); }},
+    {"--worker-bin", "PATH",
+     "worker binary (default: sctworker beside this executable)",
+     [](SessionOptions &O, const char *V) { O.WorkerBinary = V; }},
+    {"--worker-timeout", "SEC",
+     "kill a worker past SEC seconds on one request; re-run in-process",
+     [](SessionOptions &O, const char *V) {
+       O.WorkerTimeoutSec = std::atof(V);
+     }},
+};
+
+} // namespace
+
+std::span<const SessionFlag> sct::sessionFlags() { return Flags; }
+
+SessionArgs sct::parseSessionArgs(int Argc, char **Argv) {
+  SessionArgs Parsed;
+  Parsed.Opts.Threads = std::thread::hardware_concurrency();
+  Parsed.Consumed.assign(static_cast<size_t>(Argc < 0 ? 0 : Argc), false);
+  for (int I = 1; I < Argc; ++I) {
+    for (const SessionFlag &F : Flags) {
+      if (std::strcmp(Argv[I], F.Name) != 0)
+        continue;
+      if (F.Arg) {
+        if (I + 1 >= Argc)
+          break; // Trailing flag without its value: leave it unconsumed.
+        Parsed.Consumed[static_cast<size_t>(I)] = true;
+        ++I;
+        F.Apply(Parsed.Opts, Argv[I]);
+      } else {
+        F.Apply(Parsed.Opts, nullptr);
+      }
+      Parsed.Consumed[static_cast<size_t>(I)] = true;
+      break;
+    }
+  }
+  return Parsed;
+}
+
+std::string sct::sessionFlagsHelp() {
+  // Align the doc column on the widest "--flag ARG" spelling.
+  size_t Widest = 0;
+  for (const SessionFlag &F : Flags) {
+    size_t W = std::strlen(F.Name) + (F.Arg ? 1 + std::strlen(F.Arg) : 0);
+    Widest = std::max(Widest, W);
+  }
+  std::string Out;
+  for (const SessionFlag &F : Flags) {
+    std::string Head = F.Name;
+    if (F.Arg) {
+      Head += ' ';
+      Head += F.Arg;
+    }
+    Out += "  " + Head + std::string(Widest + 2 - Head.size(), ' ') +
+           F.Doc + "\n";
+  }
+  return Out;
+}
+
+SessionOptions sct::sessionOptionsFromArgs(int Argc, char **Argv) {
+  return parseSessionArgs(Argc, Argv).Opts;
+}

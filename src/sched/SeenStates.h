@@ -206,13 +206,16 @@ struct SeenStateExport {
 /// remapped fingerprint was claimed there and certified leak-free.
 ///
 /// Soundness rests on the PcRemap the caller supplies: it must return an
-/// image only for states whose schedule subtree in the relocated program
-/// is isomorphic to the original's (no inserted instruction reachable —
-/// the engine layer's influence analysis enforces this by mapping
-/// influenced points to nullopt).  Under that contract, pruning a covered
-/// state loses nothing: the isomorphic original subtree was fully
-/// explored and contains no leak, so the relocated twin cannot either.
-/// Residual caveats are the table's usual 64-bit fingerprint collisions.
+/// image only for states whose relocated schedule subtree cannot observe
+/// anything the original's subtree does not — subtree isomorphism (no
+/// inserted instruction reachable; the engine layer's influence analysis
+/// enforces this by mapping influenced points to nullopt) is the strict
+/// version, and fence-only insertions qualify under the weaker
+/// observation-subset reading (engine/MitigationSession.cpp's
+/// MitigationRemap).  Under that contract, pruning a covered state loses
+/// nothing: the original subtree was fully explored and contains no
+/// leak, so the relocated state's subtree cannot either.  Residual
+/// caveats are the table's usual 64-bit fingerprint collisions.
 ///
 /// Thread-safety: covered() is safe from any number of explorer workers;
 /// the root-site record is mutex-guarded.
@@ -231,7 +234,7 @@ public:
       return false;
     if (!Base->Seen.contains(*H) || Base->LeakyBelow.contains(*H))
       return false;
-    if (std::optional<PC> Root = Remap->target(C.N)) {
+    if (std::optional<PC> Root = Remap->fetchPoint(C.N)) {
       std::lock_guard<std::mutex> L(Mu);
       Roots.insert(*Root);
     }

@@ -20,7 +20,7 @@
 //    bloated witnesses (leaking random well-formed schedules — the
 //    "unreadable full prefix" case minimization exists for) the median
 //    minimized length is at most 25% of the raw prefix;
-//  - the engine plumbing: CheckRequest::MinimizeWitnesses fills
+//  - the engine plumbing: CheckRequest pass configs fill
 //    LeakRecord::MinSched and CheckResult::Minimization, and the replay
 //    budget degrades gracefully.
 //
@@ -447,7 +447,7 @@ TEST(Minimizer, CheckRequestFillsMinSchedAndStats) {
   Req.Id = C.Id;
   Req.Prog = C.Prog;
   Req.Opts = v1v11Mode();
-  Req.MinimizeWitnesses = true;
+  Req.Passes.emplace().MinimizeWitnesses = true;
   CheckSession Session;
   CheckResult R = Session.check(Req);
   ASSERT_FALSE(R.secure());
@@ -464,8 +464,8 @@ TEST(Minimizer, CheckRequestFillsMinSchedAndStats) {
     ASSERT_TRUE(Key.has_value());
     EXPECT_EQ(*Key, L.key());
   }
-  // Without the request flag, witnesses stay raw.
-  Req.MinimizeWitnesses = false;
+  // Without the pass, witnesses stay raw.
+  Req.Passes.emplace().MinimizeWitnesses = false;
   CheckResult Plain = Session.check(Req);
   EXPECT_FALSE(Plain.Minimization.has_value());
   for (const LeakRecord &L : Plain.Exploration.Leaks)
@@ -483,7 +483,7 @@ TEST(Minimizer, SessionThreadsChainAndFlagsPlumbThrough) {
   Req.Prog = C.Prog;
   Req.Opts = v4Mode();
   Req.Opts.Snapshots = SnapshotPolicy::Hybrid;
-  Req.MinimizeWitnesses = true;
+  Req.Passes.emplace().MinimizeWitnesses = true;
 
   SessionOptions Seq;
   Seq.Threads = 1;
@@ -512,10 +512,10 @@ TEST(Minimizer, SessionThreadsChainAndFlagsPlumbThrough) {
                         "--minimize-threads", "4",
                         "--no-slice-excursions", "--no-seed-replays"};
   SessionOptions SOpts = sessionOptionsFromArgs(6, const_cast<char **>(Argv));
-  EXPECT_TRUE(SOpts.MinimizeWitnesses);
-  EXPECT_EQ(SOpts.Minimize.Threads, 4u);
-  EXPECT_FALSE(SOpts.Minimize.SliceExcursions);
-  EXPECT_FALSE(SOpts.Minimize.SeedReplays);
+  EXPECT_TRUE(SOpts.Passes.MinimizeWitnesses);
+  EXPECT_EQ(SOpts.Passes.Minimize.Threads, 4u);
+  EXPECT_FALSE(SOpts.Passes.Minimize.SliceExcursions);
+  EXPECT_FALSE(SOpts.Passes.Minimize.SeedReplays);
 }
 
 TEST(Minimizer, BudgetDegradesGracefully) {

@@ -202,6 +202,40 @@ TEST(MitigationSession, BlanketFencesCloseKocherLeaks) {
   }
 }
 
+TEST(MitigationSession, FenceOnlyTransformsReusePastConsumedFences) {
+  // Blanket fencing is the worst case for the strict (isomorphism)
+  // reuse contract: the epilogue fence sits right before the old end
+  // point, so the influence fixpoint marks *every* old point influenced
+  // and the remap refuses every image — the re-check used to run with
+  // ReusePrunedNodes == 0 on this exact corpus.  The fence-only tier
+  // (engine/MitigationSession.cpp's MitigationRemap) restores reuse for
+  // the shared pre-fence region: inserted fences only remove speculative
+  // behaviour, so a matched baseline certificate still transfers.  Pin
+  // that the prunes actually happen now, and that they change step
+  // counts, never verdicts (ReuseNeverChangesVerdicts sweeps the leak
+  // sets; this asserts the closure verdicts directly).
+  MitigationSession MS = makeSession(true, 1, /*Minimize=*/false);
+  unsigned Checked = 0, CasesPruning = 0;
+  uint64_t TotalPruned = 0;
+  for (const SuiteCase &C : kocherCases()) {
+    if (C.ExpectSeqLeak || !C.ExpectV1V11Leak)
+      continue;
+    if (++Checked > 6)
+      break;
+    MitigationReport Rep =
+        MS.run(C.Prog, v1v11Mode(), FenceInsertion(FencePolicy::BranchTargets));
+    const MitigationVariant &V = Rep.Variants.front();
+    ASSERT_TRUE(V.applied()) << C.Id;
+    EXPECT_TRUE(V.restoredSct()) << C.Id;
+    TotalPruned += V.ReusePrunedNodes;
+    CasesPruning += V.ReusePrunedNodes > 0;
+  }
+  EXPECT_EQ(Checked, 7u); // Six cases examined (loop broke on the 7th).
+  EXPECT_GT(TotalPruned, 0u)
+      << "fence-only relaxation regressed: blanket fencing prunes nothing";
+  EXPECT_GE(CasesPruning, 3u);
+}
+
 TEST(MitigationSession, SpsRecheckAgreesWithReuseCertificateSweep) {
   // The reuse-certificate machinery and the SPS proof backend are
   // independent verifiers of the same mitigated programs: one diff-driven
