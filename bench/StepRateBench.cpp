@@ -1,10 +1,13 @@
 //===- bench/StepRateBench.cpp - Engine core step rate --------------------===//
 //
 // The tentpole measurement for the cache-friendly engine core (flat COW
-// memory, arena'd ROB with a lazily-folded incremental fingerprint, flat
-// seen-state table): per-core steps/sec on the two largest pruned v4
-// crypto trees, against the **pre-PR layout** — the node-based engine
-// this rewrite replaced.
+// memory, chunked structurally-shared ROB with a lazily-folded
+// incremental fingerprint, flat seen-state table): per-core steps/sec on
+// the two largest pruned v4 crypto trees, against the **pre-PR layout**
+// — the node-based engine this rewrite replaced.  Each run also records
+// the fork-copy accounting (configurations forked, ROB bytes actually
+// moved vs. the flat-slab equivalent): the chunked layout's sharing is
+// what turned fork cost from O(live suffix) into O(delta).
 //
 // The old layout no longer exists in this binary, so its rates are
 // embedded below as measured constants with provenance (same machine,
@@ -86,8 +89,18 @@ struct RunRecord {
   uint64_t Steps = 0;
   size_t Leaks = 0;
   bool LeakSetOk = true;
+  /// Fork-copy accounting from the structurally-shared ROB (see
+  /// ExploreResult): configurations copied at fork sites, the ROB bytes
+  /// those copies actually moved, and the flat-slab equivalent.  The
+  /// flat/copied ratio is the sharing factor the chunked layout buys.
+  uint64_t Forked = 0;
+  uint64_t RobCopied = 0;
+  uint64_t RobFlat = 0;
   double stepsPerSec() const { return Seconds > 0 ? Steps / Seconds : 0; }
   double perCore() const { return Threads ? stepsPerSec() / Threads : 0; }
+  double shareFactor() const {
+    return RobCopied ? double(RobFlat) / double(RobCopied) : 0;
+  }
 };
 
 std::set<uint64_t> leakKeys(const ExploreResult &R) {
@@ -136,6 +149,9 @@ std::pair<RunRecord, ExploreResult> runOne(const BenchCase &C,
       Rec.Seconds = Secs;
       Rec.Steps = R.TotalSteps;
       Rec.Leaks = R.Leaks.size();
+      Rec.Forked = R.ConfigsForked;
+      Rec.RobCopied = R.RobBytesCopied;
+      Rec.RobFlat = R.RobBytesFlat;
       Best = std::move(R);
     }
   }
@@ -170,10 +186,16 @@ void jsonRun(FILE *F, const RunRecord &R, bool Last) {
                "      {\"config\": \"%s\", \"threads\": %u, "
                "\"seconds\": %.6f, \"steps\": %llu, "
                "\"steps_per_sec\": %.1f, \"per_core_steps_per_sec\": %.1f, "
-               "\"leaks\": %zu, \"leak_set_matches_reference\": %s}%s\n",
+               "\"leaks\": %zu, \"leak_set_matches_reference\": %s, "
+               "\"configs_forked\": %llu, \"rob_bytes_copied\": %llu, "
+               "\"rob_bytes_flat_equiv\": %llu, "
+               "\"rob_flat_over_copied\": %.2f}%s\n",
                R.Config.c_str(), R.Threads, R.Seconds,
                static_cast<unsigned long long>(R.Steps), R.stepsPerSec(),
                R.perCore(), R.Leaks, R.LeakSetOk ? "true" : "false",
+               static_cast<unsigned long long>(R.Forked),
+               static_cast<unsigned long long>(R.RobCopied),
+               static_cast<unsigned long long>(R.RobFlat), R.shareFactor(),
                Last ? "" : ",");
 }
 
@@ -340,19 +362,32 @@ int main(int Argc, char **Argv) {
       MinSpeedup1 = Speedup1;
     if (CI == 0 || New1 < MinPerCore1)
       MinPerCore1 = New1;
+    // T=1 incremental is Runs[1] (from-scratch T=1 is Runs[0]); its
+    // fork accounting is deterministic, so it is the sharing headline.
+    double Share1 = Runs.size() > 1 ? Runs[1].shareFactor() : 0;
     std::printf("  per-core at 1 thread: %.0f steps/s, %.2fx the pre-PR "
                 "layout's %.0f; T=1 records %s, minimized witnesses %s\n",
                 New1, Speedup1, Prepr, T1Identical ? "identical" : "DIFFER",
                 T1MinIdentical ? "identical" : "DIFFER");
+    std::printf("  fork copies at 1 thread: %llu, ROB bytes %llu vs %llu "
+                "flat (%.1fx shared)\n",
+                static_cast<unsigned long long>(
+                    Runs.size() > 1 ? Runs[1].Forked : 0),
+                static_cast<unsigned long long>(
+                    Runs.size() > 1 ? Runs[1].RobCopied : 0),
+                static_cast<unsigned long long>(
+                    Runs.size() > 1 ? Runs[1].RobFlat : 0),
+                Share1);
 
     std::fprintf(Out, "    {\"id\": \"%s\",\n", C.Id.c_str());
     std::fprintf(Out,
                  "     \"pre_pr_per_core_steps_per_sec_at_1_thread\": %.1f,\n"
                  "     \"per_core_speedup_vs_pre_pr_at_1_thread\": %.3f,\n"
+                 "     \"rob_flat_over_copied_at_1_thread\": %.2f,\n"
                  "     \"t1_records_identical\": %s,\n"
                  "     \"t1_minimized_identical\": %s,\n"
                  "     \"runs\": [\n",
-                 Prepr, Speedup1, T1Identical ? "true" : "false",
+                 Prepr, Speedup1, Share1, T1Identical ? "true" : "false",
                  T1MinIdentical ? "true" : "false");
     for (size_t I = 0; I < Runs.size(); ++I)
       jsonRun(Out, Runs[I], I + 1 == Runs.size());

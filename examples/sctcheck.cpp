@@ -73,6 +73,8 @@ void usage(const char *Prog) {
       "                         states, report per-leak closure + cost\n"
       "  --first                stop at the first violation\n"
       "  --stats                collect and print exploration diagnostics:\n"
+      "                         fork-copy accounting (configurations\n"
+      "                         forked, ROB bytes moved vs. flat layout),\n"
       "                         seen-table occupancy/probe lengths, fork-\n"
       "                         filter verdicts, convergence prunes, and\n"
       "                         the distinct-state-per-depth histogram\n"
@@ -314,6 +316,17 @@ int main(int Argc, char **Argv) {
     std::printf("seen-state pruning dropped %llu convergent subtrees\n",
                 static_cast<unsigned long long>(
                     Report.Exploration.PrunedNodes));
+  if (Check.Opts.CollectStats && Report.Exploration.ConfigsForked) {
+    const ExploreResult &Ex = Report.Exploration;
+    double Factor = Ex.RobBytesCopied
+                        ? double(Ex.RobBytesFlat) / double(Ex.RobBytesCopied)
+                        : 0.0;
+    std::printf("fork copies: %llu configuration(s), %llu ROB bytes moved "
+                "(%llu flat-equivalent, %.1fx shared)\n",
+                static_cast<unsigned long long>(Ex.ConfigsForked),
+                static_cast<unsigned long long>(Ex.RobBytesCopied),
+                static_cast<unsigned long long>(Ex.RobBytesFlat), Factor);
+  }
   if (Report.Exploration.Stats) {
     // The blowup-diagnosis block (docs/WITNESSES.md "diagnosing budget
     // blowups"): which of table pressure, missed recurrence, or genuine

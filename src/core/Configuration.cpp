@@ -7,8 +7,15 @@
 using namespace sct;
 
 uint64_t Configuration::hash() {
-  Buf.foldPending();
-  return static_cast<const Configuration &>(*this).hash();
+  // Mirrors the const overload below, but picks ReorderBuffer's non-const
+  // hash(): it folds pending contributions and then skips the per-chunk
+  // pending walk entirely — this is the explorer's per-step probe path.
+  uint64_t H = hashCombine(HashSeed, Regs.hash());
+  H = hashCombine(H, Mem.hash());
+  H = hashCombine(H, N);
+  H = hashCombine(H, Buf.hash());
+  H = hashCombine(H, Rsb.hash());
+  return H;
 }
 
 uint64_t Configuration::hash() const {

@@ -87,27 +87,28 @@ StepOutcome ok(RuleId Rule, Observation Obs = Observation::none()) {
 std::optional<Value> Machine::resolveReg(const Configuration &C, BufIdx I,
                                          Reg R) const {
   const ReorderBuffer &Buf = C.Buf;
-  if (!Buf.empty()) {
-    BufIdx Lo = Buf.minIndex();
-    BufIdx Hi = I > Buf.nextIndex() ? Buf.nextIndex() : I;
-    for (BufIdx J = Hi; J > Lo;) {
-      --J;
-      const TransientInstr &T = Buf.at(J);
-      if (!T.assignsReg(R))
-        continue;
-      switch (T.Kind) {
-      case TransientKind::ResolvedValue:
-      case TransientKind::LoadResolved:
-        return T.Val;
-      case TransientKind::LoadGuessed:
-        // §3.5: a partially resolved load supplies its predicted value.
-        return T.Val;
-      default:
-        // Latest assignment is unresolved: (buf +i ρ)(r) = ⊥.
-        return std::nullopt;
-      }
-    }
-  }
+  std::optional<Value> Res;
+  bool Found = Buf.scanReverse(
+      Buf.minIndex(), I, [&](BufIdx, const TransientInstr &T) {
+        if (!T.assignsReg(R))
+          return false;
+        switch (T.Kind) {
+        case TransientKind::ResolvedValue:
+        case TransientKind::LoadResolved:
+          Res = T.Val;
+          break;
+        case TransientKind::LoadGuessed:
+          // §3.5: a partially resolved load supplies its predicted value.
+          Res = T.Val;
+          break;
+        default:
+          // Latest assignment is unresolved: (buf +i ρ)(r) = ⊥.
+          break;
+        }
+        return true;
+      });
+  if (Found)
+    return Res;
   // No pending assignment: fall through to the register map ρ.
   return C.Regs.get(R);
 }
@@ -431,9 +432,13 @@ std::optional<StepOutcome> Machine::stepExecute(Configuration &C,
 
     // Latest earlier store with a resolved address equal to a.
     std::optional<BufIdx> Match;
-    for (BufIdx J = C.Buf.minIndex(); J < I; ++J)
-      if (C.Buf.at(J).isStoreToAddr(A))
-        Match = J;
+    C.Buf.scanReverse(C.Buf.minIndex(), I,
+                      [&](BufIdx J, const TransientInstr &S) {
+                        if (!S.isStoreToAddr(A))
+                          return false;
+                        Match = J;
+                        return true;
+                      });
 
     if (!Match) {
       // Rule load-execute-nodep: no matching store; read from memory.
@@ -472,10 +477,10 @@ std::optional<StepOutcome> Machine::stepExecute(Configuration &C,
       // The originating store is still in flight.
       const TransientInstr &S = C.Buf.at(J);
       bool AddrMismatch = S.StoreAddrIsResolved && S.StoreAddr.Bits != A;
-      bool Intervening = false;
-      for (BufIdx K = J + 1; K < I; ++K)
-        if (C.Buf.at(K).isStoreToAddr(A))
-          Intervening = true;
+      bool Intervening = C.Buf.scanReverse(
+          J + 1, I, [&](BufIdx, const TransientInstr &S) {
+            return S.isStoreToAddr(A);
+          });
       if (!AddrMismatch && !Intervening) {
         // Rule load-execute-addr-ok.
         T.Kind = TransientKind::LoadResolved;
@@ -491,10 +496,12 @@ std::optional<StepOutcome> Machine::stepExecute(Configuration &C,
     }
 
     // The originating store already retired: validate against memory.
-    for (BufIdx K = C.Buf.minIndex(); K < I; ++K)
-      if (C.Buf.at(K).isStoreToAddr(A))
-        return fail(WhyNot, "an earlier in-flight store to the same address "
-                            "must retire first");
+    if (C.Buf.scanReverse(C.Buf.minIndex(), I,
+                          [&](BufIdx, const TransientInstr &S) {
+                            return S.isStoreToAddr(A);
+                          }))
+      return fail(WhyNot, "an earlier in-flight store to the same address "
+                          "must retire first");
     Value V = C.Mem.load(A);
     if (V == T.Val) {
       // Rule load-execute-addr-mem-match.

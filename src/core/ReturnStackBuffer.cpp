@@ -7,20 +7,22 @@
 using namespace sct;
 
 uint64_t ReturnStackBuffer::hash() const {
-  return hashFields({Journal.size(), JournalXor});
+  return hashFields({journal().size(), JournalXor});
 }
 
 uint64_t ReturnStackBuffer::hashFromScratch() const {
+  const std::vector<Entry> &J = journal();
   uint64_t Xor = 0;
-  for (size_t Pos = 0; Pos < Journal.size(); ++Pos)
-    Xor ^= contribution(Pos, Journal[Pos]);
-  return hashFields({Journal.size(), Xor});
+  for (size_t Pos = 0; Pos < J.size(); ++Pos)
+    Xor ^= contribution(Pos, J[Pos]);
+  return hashFields({J.size(), Xor});
 }
 
 std::optional<uint64_t> ReturnStackBuffer::hash(const PcRemap &R) const {
+  const std::vector<Entry> &J = journal();
   uint64_t Xor = 0;
-  for (size_t Pos = 0; Pos < Journal.size(); ++Pos) {
-    Entry E = Journal[Pos]; // Pops record no target (raw 0, like hash()).
+  for (size_t Pos = 0; Pos < J.size(); ++Pos) {
+    Entry E = J[Pos]; // Pops record no target (raw 0, like hash()).
     if (E.IsPush) {
       std::optional<PC> M = R.target(E.Target);
       if (!M)
@@ -29,13 +31,13 @@ std::optional<uint64_t> ReturnStackBuffer::hash(const PcRemap &R) const {
     }
     Xor ^= contribution(Pos, E);
   }
-  return hashFields({Journal.size(), Xor});
+  return hashFields({J.size(), Xor});
 }
 
 std::optional<PC> ReturnStackBuffer::top() const {
   // Replay the journal into a stack (the paper's JσK), then take the top.
   std::vector<PC> Stack;
-  for (const Entry &E : Journal) {
+  for (const Entry &E : journal()) {
     if (E.IsPush) {
       Stack.push_back(E.Target);
       continue;
@@ -52,7 +54,7 @@ PC ReturnStackBuffer::topCircular(unsigned Size) const {
   assert(Size > 0 && "circular RSB needs at least one slot");
   std::vector<PC> Ring(Size, 0);
   unsigned Ptr = 0;
-  for (const Entry &E : Journal) {
+  for (const Entry &E : journal()) {
     if (E.IsPush) {
       Ptr = (Ptr + 1) % Size;
       Ring[Ptr] = E.Target;
@@ -66,8 +68,14 @@ PC ReturnStackBuffer::topCircular(unsigned Size) const {
 }
 
 void ReturnStackBuffer::rollbackFrom(BufIdx I) {
-  while (!Journal.empty() && Journal.back().Idx >= I) {
-    JournalXor ^= contribution(Journal.size() - 1, Journal.back());
-    Journal.pop_back();
+  // Peek through the read view first: rollbacks that drop nothing (the
+  // common case — most squashed windows contain no call/ret) must not
+  // clone a shared journal.
+  if (journal().empty() || journal().back().Idx < I)
+    return;
+  std::vector<Entry> &J = mutJournal();
+  while (!J.empty() && J.back().Idx >= I) {
+    JournalXor ^= contribution(J.size() - 1, J.back());
+    J.pop_back();
   }
 }

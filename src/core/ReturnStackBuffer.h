@@ -28,6 +28,7 @@
 #include "core/TransientInstr.h"
 #include "support/Hashing.h"
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -41,18 +42,27 @@ enum class RsbPolicy : unsigned char {
 };
 
 /// The return stack buffer σ.
+///
+/// The journal is held behind a shared_ptr with copy-on-write semantics,
+/// mirroring core/Memory and the reorder buffer's chunks: a configuration
+/// is copied at every schedule fork and branch probe, while the journal
+/// itself only changes at call/ret fetches and rollbacks — so copies
+/// share the journal by pointer and the first mutation through a shared
+/// reference clones it.
 class ReturnStackBuffer {
 public:
   /// Records "σ[i ↦ push n]" (call fetch).
   void push(BufIdx I, PC Target) {
-    JournalXor ^= contribution(Journal.size(), {I, Target, true});
-    Journal.push_back({I, Target, true});
+    std::vector<Entry> &J = mutJournal();
+    JournalXor ^= contribution(J.size(), {I, Target, true});
+    J.push_back({I, Target, true});
   }
 
   /// Records "σ[i ↦ pop]" (ret fetch).
   void pop(BufIdx I) {
-    JournalXor ^= contribution(Journal.size(), {I, 0, false});
-    Journal.push_back({I, 0, false});
+    std::vector<Entry> &J = mutJournal();
+    JournalXor ^= contribution(J.size(), {I, 0, false});
+    J.push_back({I, 0, false});
   }
 
   /// top(σ) under the standard stack replay; std::nullopt encodes ⊥.
@@ -66,10 +76,10 @@ public:
   void rollbackFrom(BufIdx I);
 
   /// Number of journal entries (for tests).
-  size_t journalSize() const { return Journal.size(); }
+  size_t journalSize() const { return journal().size(); }
 
   bool operator==(const ReturnStackBuffer &Other) const {
-    return Journal == Other.Journal;
+    return journal() == Other.journal();
   }
 
   /// Fingerprint over the whole journal in order (σ is journalled state:
@@ -105,7 +115,23 @@ private:
     return hashFields({Pos, E.Idx, (uint64_t(E.Target) << 1) | E.IsPush});
   }
 
-  std::vector<Entry> Journal;
+  /// Read view; a never-pushed RSB holds no allocation at all.
+  const std::vector<Entry> &journal() const {
+    static const std::vector<Entry> Empty;
+    return Journal ? *Journal : Empty;
+  }
+
+  /// Write access: allocates on first use, clones when shared.
+  std::vector<Entry> &mutJournal() {
+    if (!Journal)
+      Journal = std::make_shared<std::vector<Entry>>();
+    else if (Journal.use_count() > 1)
+      Journal = std::make_shared<std::vector<Entry>>(*Journal);
+    return *Journal;
+  }
+
+  /// Shared copy-on-write journal (null encodes empty).
+  std::shared_ptr<std::vector<Entry>> Journal;
   /// XOR of contribution over the whole journal.
   uint64_t JournalXor = 0;
 };

@@ -163,7 +163,9 @@ uint64_t hashEntryFields(const TransientInstr &T, PC N0, PC NTrue, PC NFalse,
   H = hashFold(H, T.StoreAddr.Bits);
   H = hashFold(H, T.StoreAddr.Taint.mask());
   H = hashFold(H, T.LoadAddr);
-  H = hashFold(H, T.Dep ? *T.Dep + 1 : 0);
+  // OptBufIdx's raw word is already the index-plus-one sentinel this
+  // line has always folded.
+  H = hashFold(H, T.Dep.raw());
   H = hashFold(H, (uint64_t(N0) << 32) | NTrue);
   H = hashFold(H, (uint64_t(NFalse) << 32) | Origin);
   H = hashFold(H, T.GroupLeader);

@@ -45,6 +45,33 @@ namespace sct {
 /// keeping schedules unambiguous.
 using BufIdx = uint64_t;
 
+/// An optional buffer index packed into one word: 0 encodes "no index"
+/// (the paper's ⊥ provenance), any other value encodes the index plus
+/// one.  Drop-in for the `std::optional<BufIdx>` it replaces in
+/// reorder-buffer entries, where the separate engaged flag doubled the
+/// field to 16 bytes; the raw word is also exactly the value the entry
+/// fingerprint has always folded (`Dep ? *Dep + 1 : 0`), so swapping the
+/// representation leaves every hash unchanged.
+class OptBufIdx {
+public:
+  constexpr OptBufIdx() = default;
+  constexpr OptBufIdx(std::nullopt_t) {}
+  constexpr OptBufIdx(BufIdx I) : Raw(I + 1) {}
+
+  constexpr explicit operator bool() const { return Raw != 0; }
+  constexpr BufIdx operator*() const {
+    assert(Raw != 0 && "dereferencing empty OptBufIdx");
+    return Raw - 1;
+  }
+  /// The sentinel word itself (index + 1, 0 = none).
+  constexpr uint64_t raw() const { return Raw; }
+
+  constexpr bool operator==(const OptBufIdx &Other) const = default;
+
+private:
+  uint64_t Raw = 0;
+};
+
 /// Maps program points of one program into another's coordinate space —
 /// the hook behind the remap-aware fingerprints
 /// (`Configuration::hash(const PcRemap &)`).  A relocated program's
@@ -90,13 +117,24 @@ enum class TransientKind : unsigned char {
 
 /// One reorder-buffer entry.  A single tagged struct; which fields are
 /// meaningful depends on Kind (see the factory functions).
+///
+/// The field order is chosen for size, not narrative: the byte-wide tag,
+/// opcode, and resolution flags share the leading word with the 16-bit
+/// register, and every 8-byte-aligned field follows without padding.
+/// tests/CoreTest.cpp asserts the resulting sizeof ceiling — an entry is
+/// copied at every schedule fork and chunk unshare, so accidental
+/// padding regressions are a measured cost, not a cosmetic one.
 struct TransientInstr {
   TransientKind Kind = TransientKind::Fence;
-
-  /// Destination register (Op, ResolvedValue, Load*).
-  Reg Dest;
   /// Op opcode or Branch condition.
   Opcode Opc = Opcode::True;
+  /// Whether the store's value has resolved into StoreResolvedVal.
+  bool StoreValIsResolved : 1 = false;
+  /// Whether the store's address has resolved into StoreAddr.
+  bool StoreAddrIsResolved : 1 = false;
+  /// Destination register (Op, ResolvedValue, Load*).
+  Reg Dest;
+
   /// Operand list rv⃗ (Op args, Branch condition args, Load/Store/JumpI
   /// address args).  Address expressions and condition lists are one or
   /// two operands in every workload, so they live inline in the entry —
@@ -110,18 +148,20 @@ struct TransientInstr {
 
   /// Store value operand rv (unresolved form).
   Operand StoreVal = Operand::imm(0);
-  /// Whether the store's value has resolved into StoreResolvedVal.
-  bool StoreValIsResolved = false;
   Value StoreResolvedVal;
-  /// Whether the store's address has resolved into StoreAddr.
-  bool StoreAddrIsResolved = false;
   Value StoreAddr;
 
   /// LoadResolved: the address annotation a of (r = v{j,a}).
   uint64_t LoadAddr = 0;
-  /// LoadResolved: originating store index j, or nullopt for ⊥ (memory).
+  /// LoadResolved: originating store index j, or none for ⊥ (memory).
   /// LoadGuessed: the predicted originating store index j.
-  std::optional<BufIdx> Dep;
+  OptBufIdx Dep;
+
+  /// Index of the leading transient of this instruction's fetch group.
+  /// Equals the entry's own index except for the call/ret expansions of
+  /// Appendix A.2, whose members all point at the call/ret marker so a
+  /// rollback into the middle of a group widens to the whole group.
+  BufIdx GroupLeader = 0;
 
   /// Branch: speculatively chosen target n0.  Jump: resolved target.
   /// JumpI: predicted target n0.
@@ -134,12 +174,6 @@ struct TransientInstr {
   /// load annotation `(...)_n`, kept for every transient for diagnostics
   /// and hazard rollback).
   PC Origin = 0;
-
-  /// Index of the leading transient of this instruction's fetch group.
-  /// Equals the entry's own index except for the call/ret expansions of
-  /// Appendix A.2, whose members all point at the call/ret marker so a
-  /// rollback into the middle of a group widens to the whole group.
-  BufIdx GroupLeader = 0;
 
   // --- Factories -----------------------------------------------------------
   static TransientInstr makeOp(Reg Dest, Opcode Opc,

@@ -416,6 +416,9 @@ void writeExploreResult(ByteWriter &W, const ExploreResult &E) {
   W.u64(E.ReplaySteps);
   W.u64(E.Checkpoints);
   W.u64(E.ReusePrunedNodes);
+  W.u64(E.ConfigsForked);
+  W.u64(E.RobBytesCopied);
+  W.u64(E.RobBytesFlat);
   // SeenExport is a cross-exploration table handle; wireable() keeps it
   // out of serialized requests, so results never carry one either.
   W.b(E.Stats.has_value());
@@ -438,6 +441,9 @@ bool readExploreResult(ByteReader &R, ExploreResult &E) {
   E.ReplaySteps = R.u64();
   E.Checkpoints = R.u64();
   E.ReusePrunedNodes = R.u64();
+  E.ConfigsForked = R.u64();
+  E.RobBytesCopied = R.u64();
+  E.RobBytesFlat = R.u64();
   if (R.b()) {
     E.Stats.emplace();
     if (!readExploreStats(R, *E.Stats))

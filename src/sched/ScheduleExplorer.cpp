@@ -287,6 +287,9 @@ private:
   std::atomic<uint64_t> Steals{0};
   std::atomic<uint64_t> ReplaySteps{0};
   std::atomic<uint64_t> Checkpoints{0};
+  std::atomic<uint64_t> ConfigsForked{0};
+  std::atomic<uint64_t> RobBytesCopied{0};
+  std::atomic<uint64_t> RobBytesFlat{0};
   std::atomic<bool> StopFlag{false};
   std::atomic<bool> TruncatedFlag{false};
 
@@ -549,6 +552,9 @@ private:
     R.ReplaySteps = ReplaySteps.load();
     R.Checkpoints = Checkpoints.load();
     R.ReusePrunedNodes = ReusePruned.load();
+    R.ConfigsForked = ConfigsForked.load();
+    R.RobBytesCopied = RobBytesCopied.load();
+    R.RobBytesFlat = RobBytesFlat.load();
     R.SeenExport = Export;
     R.Truncated = TruncatedFlag.load();
     if (Opts.CollectStats) {
@@ -689,23 +695,24 @@ private:
     if (C.Buf.empty())
       return 0;
     unsigned Depth = 0;
-    for (BufIdx J = C.Buf.minIndex(); J <= C.Buf.maxIndex(); ++J) {
-      TransientKind K = C.Buf.at(J).Kind;
-      if (K == TransientKind::Branch || K == TransientKind::JumpI)
-        ++Depth;
-    }
+    C.Buf.forEachIn(C.Buf.minIndex(), C.Buf.maxIndex() + 1,
+                    [&](BufIdx, const TransientInstr &T) {
+                      if (T.Kind == TransientKind::Branch ||
+                          T.Kind == TransientKind::JumpI)
+                        ++Depth;
+                    });
     return Depth;
   }
 
   /// True iff buffer entry \p S sits in the shadow of unresolved control
   /// flow (a rollback may squash it before retirement).
   bool inSpeculativeShadow(const Configuration &C, BufIdx S) const {
-    for (BufIdx J = C.Buf.minIndex(); J < S; ++J) {
-      TransientKind K = C.Buf.at(J).Kind;
-      if (K == TransientKind::Branch || K == TransientKind::JumpI)
-        return true;
-    }
-    return false;
+    // Existence check — scan direction is immaterial.
+    return C.Buf.scanReverse(C.Buf.minIndex(), S,
+                             [](BufIdx, const TransientInstr &T) {
+                               return T.Kind == TransientKind::Branch ||
+                                      T.Kind == TransientKind::JumpI;
+                             });
   }
 
   /// Probes whether guessing true for the branch at C.N is the correct
@@ -738,13 +745,15 @@ private:
     if (!Sp)
       return 0;
     uint64_t A = Sp->Bits;
-    if (!C.Buf.empty())
-      for (BufIdx J = C.Buf.maxIndex() + 1; J > C.Buf.minIndex();) {
-        --J;
-        const TransientInstr &T = C.Buf.at(J);
-        if (T.isStoreToAddr(A) && T.StoreValIsResolved)
-          return static_cast<PC>(T.StoreResolvedVal.Bits);
-      }
+    PC Hit = 0;
+    if (C.Buf.scanReverse(C.Buf.minIndex(), C.Buf.nextIndex(),
+                          [&](BufIdx, const TransientInstr &T) {
+                            if (!T.isStoreToAddr(A) || !T.StoreValIsResolved)
+                              return false;
+                            Hit = static_cast<PC>(T.StoreResolvedVal.Bits);
+                            return true;
+                          }))
+      return Hit;
     return static_cast<PC>(C.Mem.load(A).Bits);
   }
 
@@ -894,8 +903,23 @@ private:
         // 1->2->4 growth reallocations (one malloc here instead).
         Pth.Suffix.reserve(8);
       }
+      // Fold the parent's pending fingerprint contributions before
+      // copying: the fork then inherits folded chunk refs, so the
+      // seen-table hashes of this fork, its siblings, and the parent all
+      // reuse one folding pass instead of each recomputing the shared
+      // entries' contributions.  Folding is internal state only — every
+      // hash value is identical either way.  Skipped when the incremental
+      // fingerprint is unused (from-scratch mode folds for nothing).
+      if (Opts.PruneSeen && !Opts.FromScratchHashing)
+        Pth.C.Buf.foldPending();
       Path F;
       F.C = Pth.C;
+      // Fork-copy accounting: what the ROB copy above actually moved vs.
+      // what a flat per-entry slab would have (the sharing win).
+      ConfigsForked.fetch_add(1, std::memory_order_relaxed);
+      RobBytesCopied.fetch_add(F.C.Buf.bytesPerCopy(),
+                               std::memory_order_relaxed);
+      RobBytesFlat.fetch_add(F.C.Buf.bytesIfFlat(), std::memory_order_relaxed);
       F.Prefix = Pth.Prefix;
       F.Suffix.reserve(8); // Probing steps land immediately; same saving.
       F.Steps = Pth.Steps;

@@ -351,6 +351,16 @@ struct ExploreResult {
   /// because a prior exploration's exported table covered them
   /// (`ExplorerOptions::Reuse`).
   uint64_t ReusePrunedNodes = 0;
+  /// Schedule-tree forks: how many configurations were copied at fork
+  /// sites, the reorder-buffer bytes those copies actually moved
+  /// (chunk references plus the private tail, under the structurally
+  /// shared chunked layout), and what the same copies would have cost
+  /// under a flat per-entry slab.  Flat / Copied is the sharing factor
+  /// `sctcheck --stats` reports; always collected (three relaxed adds
+  /// per fork), unlike the CollectStats-gated tallies.
+  uint64_t ConfigsForked = 0;
+  uint64_t RobBytesCopied = 0;
+  uint64_t RobBytesFlat = 0;
   /// This run's claimed states and their leaky-below subset; engaged iff
   /// `ExplorerOptions::ExportSeenStates`.  Feed it to a
   /// RemappedSeenFilter to reuse this exploration when re-checking a

@@ -31,6 +31,7 @@
 #include <initializer_list>
 #include <new>
 #include <span>
+#include <type_traits>
 #include <utility>
 
 namespace sct {
@@ -90,18 +91,52 @@ public:
   T *end() { return data() + Size; }
 
   void push_back(const T &V) {
-    if (Size < N) {
-      new (inlineData() + Size) T(V);
-      ++Size;
-      return;
-    }
-    if (Size == N) {
-      spill(Size + 1);
-    } else if (Size == HeapCap) {
-      regrow(HeapCap * 2);
-    }
-    new (Heap + Size) T(V);
+    new (grow()) T(V);
     ++Size;
+  }
+  void push_back(T &&V) {
+    new (grow()) T(std::move(V));
+    ++Size;
+  }
+
+  T &front() {
+    assert(Size && "front of empty vector");
+    return data()[0];
+  }
+  const T &front() const {
+    assert(Size && "front of empty vector");
+    return data()[0];
+  }
+  T &back() {
+    assert(Size && "back of empty vector");
+    return data()[Size - 1];
+  }
+  const T &back() const {
+    assert(Size && "back of empty vector");
+    return data()[Size - 1];
+  }
+
+  /// Destroys elements [NewSize, size()); only shrinks.
+  void resize(size_t NewSize) {
+    assert(NewSize <= Size && "resize only shrinks");
+    T *D = data();
+    for (size_t I = NewSize; I < Size; ++I)
+      D[I].~T();
+    size_t Old = Size;
+    Size = static_cast<uint32_t>(NewSize);
+    unspillIfNeeded(Old);
+  }
+
+  /// Removes the first element, shifting the rest down (O(size)).
+  void eraseFront() {
+    assert(Size && "eraseFront of empty vector");
+    T *D = data();
+    for (size_t I = 1; I < Size; ++I)
+      D[I - 1] = std::move(D[I]);
+    D[Size - 1].~T();
+    size_t Old = Size;
+    --Size;
+    unspillIfNeeded(Old);
   }
 
   void clear() {
@@ -145,12 +180,31 @@ private:
         new (Heap + Size++) T(V);
       return;
     }
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      // The common case is a whole-object copy at a schedule fork or a
+      // chunk unshare; a straight memcpy beats the element loop's
+      // per-iteration branching.
+      std::memcpy(Inline, Elems.data(), Elems.size() * sizeof(T));
+      Size = static_cast<uint32_t>(Elems.size());
+      return;
+    }
     for (const T &V : Elems)
       new (inlineData() + Size++) T(V);
   }
 
   void stealFrom(InlineVector &Other) noexcept {
     assert(Size == 0 && "steal into a non-empty vector");
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (Other.Size <= N) {
+        // Fixed-size copy of the whole inline buffer compiles to a few
+        // vector moves; trailing bytes past Other.Size are never read
+        // back (Size gates every access).
+        std::memcpy(Inline, Other.Inline, sizeof(Inline));
+        Size = Other.Size;
+        Other.Size = 0;
+        return;
+      }
+    }
     if (Other.Size > N) {
       Heap = Other.Heap;
       HeapCap = Other.HeapCap;
@@ -164,6 +218,33 @@ private:
       new (inlineData() + I) T(std::move(Other.inlineData()[I]));
     Size = Other.Size;
     Other.clear();
+  }
+
+  /// Returns raw storage for one more element (capacity grown as needed);
+  /// the caller placement-constructs into it and bumps Size.
+  T *grow() {
+    if (Size < N)
+      return inlineData() + Size;
+    if (Size == N)
+      spill(Size + 1);
+    else if (Size == HeapCap)
+      regrow(HeapCap * 2);
+    return Heap + Size;
+  }
+
+  /// Restores the "inline iff Size <= N" representation after a shrink
+  /// took a spilled vector back under the inline capacity.
+  void unspillIfNeeded(size_t OldSize) {
+    if (OldSize <= N || Size > N)
+      return;
+    T *OldHeap = Heap;
+    for (size_t I = 0; I < Size; ++I) {
+      new (inlineData() + I) T(std::move(OldHeap[I]));
+      OldHeap[I].~T();
+    }
+    ::operator delete(OldHeap);
+    Heap = nullptr;
+    HeapCap = 0;
   }
 
   void spillAlloc(size_t Cap) {
@@ -195,8 +276,11 @@ private:
 
   alignas(T) unsigned char Inline[N * sizeof(T)];
   T *Heap = nullptr;
-  size_t HeapCap = 0;
-  size_t Size = 0;
+  // 32-bit counters: a reorder-buffer entry embeds one of these, so the
+  // header's footprint is copied at every schedule fork; operand lists
+  // never approach 2^32 elements.
+  uint32_t HeapCap = 0;
+  uint32_t Size = 0;
 };
 
 } // namespace sct

@@ -100,6 +100,39 @@ TEST(Memory, LowEquivalenceIgnoresSecretBits) {
 }
 
 //===----------------------------------------------------------------------===//
+// Transient-instruction layout
+//===----------------------------------------------------------------------===//
+
+// A reorder-buffer entry is copied at every schedule fork (tail slots) and
+// chunk unshare, so its size is a measured engine cost, not a cosmetic
+// one.  The 160-byte ceiling reflects the packed layout: resolution flags
+// share the leading word with the tag/opcode/register, the optional
+// forwarding index is a one-word sentinel (OptBufIdx), and the 4-byte
+// program points sit last so no alignment padding survives.
+static_assert(sizeof(TransientInstr) <= 160,
+              "TransientInstr grew past the packed-layout ceiling; "
+              "check for padding before accepting a larger entry");
+
+TEST(TransientInstr, OptBufIdxSentinelRoundTrips) {
+  OptBufIdx None;
+  EXPECT_FALSE(None);
+  EXPECT_EQ(None.raw(), 0u);
+  OptBufIdx Some = BufIdx(7);
+  ASSERT_TRUE(Some);
+  EXPECT_EQ(*Some, 7u);
+  // The raw word is the index-plus-one sentinel the entry fingerprint
+  // folds — index 0 must stay distinguishable from "none".
+  EXPECT_EQ(Some.raw(), 8u);
+  OptBufIdx Zero = BufIdx(0);
+  ASSERT_TRUE(Zero);
+  EXPECT_EQ(*Zero, 0u);
+  EXPECT_NE(Zero, None);
+  Some = std::nullopt;
+  EXPECT_FALSE(Some);
+  EXPECT_EQ(Some, None);
+}
+
+//===----------------------------------------------------------------------===//
 // Reorder buffer
 //===----------------------------------------------------------------------===//
 
@@ -141,6 +174,55 @@ TEST(ReorderBuffer, PushDefaultsGroupLeaderToOwnIndex) {
   Grouped.GroupLeader = A;
   BufIdx B = Buf.push(std::move(Grouped));
   EXPECT_EQ(Buf.at(B).GroupLeader, A);
+}
+
+TEST(ReorderBuffer, CopiesShareChunksUntilMutation) {
+  ReorderBuffer Buf;
+  // Two sealed chunks plus a partial tail.
+  for (PC N = 0; N < 2 * ReorderBuffer::ChunkCap + 3; ++N)
+    Buf.push(TransientInstr::makeJump(N, N));
+  ReorderBuffer Fork = Buf;
+  EXPECT_TRUE(Buf.sharesChunks());
+  EXPECT_TRUE(Fork.sharesChunks());
+  // A copy duplicates pointers and the tail, not the live suffix.
+  EXPECT_LT(Buf.bytesPerCopy(), Buf.bytesIfFlat());
+
+  // Mutating one side must not be visible through the other.
+  BufIdx Mid = 2; // Inside the first sealed chunk.
+  Fork.mut(Mid) = TransientInstr::makeFence(99);
+  EXPECT_TRUE(Fork.at(Mid).is(TransientKind::Fence));
+  EXPECT_TRUE(Buf.at(Mid).is(TransientKind::Jump));
+  // The untouched chunk stays shared.
+  EXPECT_TRUE(Buf.sharesChunks());
+  EXPECT_TRUE(Buf == Buf);
+  EXPECT_FALSE(Buf == Fork);
+}
+
+TEST(ReorderBuffer, RetireAndRollbackCrossChunkSeams) {
+  ReorderBuffer Buf;
+  const size_t Cap = ReorderBuffer::ChunkCap;
+  for (PC N = 0; N < 3 * Cap + 1; ++N)
+    Buf.push(TransientInstr::makeJump(N, N));
+  ReorderBuffer Fork = Buf;
+  // Retire through the whole first chunk and into the second.
+  for (size_t K = 0; K < Cap + 2; ++K)
+    Buf.popFront();
+  EXPECT_EQ(Buf.minIndex(), BufIdx(Cap + 3));
+  EXPECT_EQ(Buf.size(), 2 * Cap - 1);
+  // Roll back to the middle of the second sealed chunk: the cut chunk's
+  // surviving prefix re-opens as tail; contents must match a fresh walk.
+  BufIdx Cut = Cap + 5;
+  Buf.truncateFrom(Cut);
+  EXPECT_EQ(Buf.nextIndex(), Cut);
+  for (BufIdx I = Buf.minIndex(); I <= Buf.maxIndex(); ++I)
+    EXPECT_EQ(Buf.at(I).N0, PC(I - 1)); // Jump N was pushed at index N+1.
+  // Pushes after the rollback continue the same index sequence.
+  EXPECT_EQ(Buf.push(TransientInstr::makeFence(0)), Cut);
+  // The fork saw none of it.
+  EXPECT_EQ(Fork.size(), 3 * Cap + 1);
+  EXPECT_EQ(Fork.minIndex(), 1u);
+  for (BufIdx I = Fork.minIndex(); I <= Fork.maxIndex(); ++I)
+    EXPECT_EQ(Fork.at(I).N0, PC(I - 1));
 }
 
 //===----------------------------------------------------------------------===//

@@ -230,16 +230,97 @@ TEST_P(HashEquivalence, MemoryEqualityIsStoreOrderAndDefaultCanonical) {
   EXPECT_EQ(Padded.hash(), Padded.hashFromScratch());
 }
 
+// The chunked reorder buffer's structural sharing: a copy shares sealed
+// chunks until one side writes through mut(), which must unshare just
+// that chunk and leave BOTH sides' incremental fingerprints bit-equal to
+// their oracles.  Drives the buffer directly (pushes across several
+// chunk seals, retires across chunk seams, rollbacks into sealed
+// territory, in-place rewrites) so every unshare path runs, interleaved
+// on both sides of a fork.
+TEST_P(HashEquivalence, ChunkUnshareOnMutateKeepsForksOracleEqual) {
+  uint64_t Seed = GetParam();
+  std::mt19937_64 Rng(Seed * 0x6a09e667f3bcc909ull + 5);
+  auto RandomEntry = [&](PC N) {
+    switch (Rng() % 3) {
+    case 0:
+      return TransientInstr::makeJump(PC(Rng() % 64), N);
+    case 1:
+      return TransientInstr::makeFence(N);
+    default:
+      return TransientInstr::makeStore(
+          Operand::imm(Rng() % 256),
+          {Operand::imm(0x30 + Rng() % 16)}, N);
+    }
+  };
+
+  ReorderBuffer A;
+  // Grow past several chunk seals, probing some prefixes so chunks reach
+  // the fork in a mix of folded and pending states.
+  PC Grow = PC(3 * ReorderBuffer::ChunkCap + Rng() % 5);
+  for (PC N = 0; N < Grow; ++N) {
+    A.push(RandomEntry(N));
+    if (Rng() % 4 == 0)
+      A.hash();
+  }
+  ASSERT_EQ(A.hash(), A.hashFromScratch());
+
+  ReorderBuffer B = A;
+  ASSERT_TRUE(A.sharesChunks());
+  ASSERT_EQ(B.hash(), A.hash());
+
+  for (unsigned Step = 0; Step < 120; ++Step) {
+    ReorderBuffer &R = (Rng() % 2) ? A : B;
+    switch (Rng() % 5) {
+    case 0:
+      R.push(RandomEntry(PC(64 + Step)));
+      break;
+    case 1:
+      if (!R.empty())
+        R.popFront();
+      break;
+    case 2:
+      if (!R.empty()) {
+        // In-place rewrite through the mutation chokepoint — the
+        // unshare-on-first-write path when the chunk is shared.  Fences
+        // are never rewritten (mirrors Machine.cpp, which only retires
+        // them; the fence-index list is maintained at push/pop/truncate).
+        BufIdx I = R.minIndex() + Rng() % R.size();
+        if (!R.at(I).is(TransientKind::Fence))
+          R.mut(I) = TransientInstr::makeJump(PC(Rng() % 64), PC(Step));
+      }
+      break;
+    case 3:
+      if (!R.empty())
+        R.truncateFrom(R.minIndex() + Rng() % (R.size() + 1));
+      break;
+    default: {
+      const ReorderBuffer &Frozen = R;
+      ASSERT_EQ(Frozen.hash(), R.hashFromScratch())
+          << "const probe diverged; seed " << Seed << " step " << Step;
+      break;
+    }
+    }
+    ASSERT_EQ(A.hash(), A.hashFromScratch())
+        << "fork A diverged; seed " << Seed << " step " << Step;
+    ASSERT_EQ(B.hash(), B.hashFromScratch())
+        << "fork B diverged; seed " << Seed << " step " << Step;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, HashEquivalence,
                          ::testing::Range<uint64_t>(1, 33));
 
 // The const hash() overload's concurrency contract: a shared (frozen)
 // configuration — the explorer holds exactly this shape in checkpoint
-// rungs — may be fingerprinted from many threads at once, because the
-// const overload computes pending ROB contributions on the fly without
-// memoizing.  Run under TSan this is the tripwire for anyone "helpfully"
-// making the const path fold-and-cache; it also pins that concurrent
-// reads agree with the oracle bit-for-bit.
+// rungs — may be fingerprinted from many threads at once.  The const
+// overload performs NO writes at all: pending contributions are
+// recomputed on the fly and combined into the running value without
+// touching the per-copy fold state or the chunks' shared memo caches
+// (those relaxed atomics exist for cross-fork fold/retire/clone races,
+// where every writer derives the same bit-identical value from the same
+// settled entry).  Run under TSan this is the tripwire for anyone adding
+// writes to the const path; it also pins that concurrent reads agree
+// with the oracle bit-for-bit.
 TEST(HashEquivalenceConcurrent, SharedConfigurationConstHashIsWriteFree) {
   Program P = randomProgram(7);
   Machine M(P);
@@ -262,6 +343,59 @@ TEST(HashEquivalenceConcurrent, SharedConfigurationConstHashIsWriteFree) {
       for (int I = 0; I < 1000; ++I)
         if (Shared.hash() != Expect)
           Mismatches.fetch_add(1, std::memory_order_relaxed);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+}
+
+// The shared-checkpoint shape under fire: a frozen configuration whose
+// sealed ROB chunks are ALSO shared (structurally) with live forks that
+// other threads are mutating.  The mutators unshare chunks and fold
+// fingerprints on their private copies while const probes of the frozen
+// side run full tilt through the same shared memo atomics.  Under TSan
+// this pins that the only cross-thread accesses are those relaxed
+// atomics; the counters pin that every side stays bit-equal to its
+// oracle throughout.
+TEST(HashEquivalenceConcurrent, SharedChunksConstHashRacesMutatingForks) {
+  Program P = randomProgram(11);
+  Machine M(P);
+  Configuration C = Configuration::initial(P);
+  RandomRunOptions Ropts;
+  Ropts.Seed = 11 * 131 + 17;
+  Ropts.MaxSteps = 160;
+  RunResult R = runRandom(M, C, Ropts);
+  for (const StepRecord &S : R.Trace)
+    ASSERT_TRUE(M.step(C, S.D).has_value());
+
+  const Configuration &Frozen = C;
+  uint64_t Expect = Frozen.hashFromScratch();
+
+  std::vector<std::thread> Pool;
+  std::atomic<unsigned> Mismatches{0};
+  // Four const probes of the frozen checkpoint...
+  for (int T = 0; T < 4; ++T)
+    Pool.emplace_back([&] {
+      for (int I = 0; I < 1000; ++I)
+        if (Frozen.hash() != Expect)
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+    });
+  // ...racing four forks that each advance (and so unshare and re-fold)
+  // a private copy whose chunks start out shared with Frozen.
+  for (int T = 0; T < 4; ++T)
+    Pool.emplace_back([&, T] {
+      Configuration F = C;
+      RandomRunOptions FOpts;
+      FOpts.Seed = 1000 + uint64_t(T) * 7919;
+      FOpts.MaxSteps = 120;
+      RunResult FR = runRandom(M, F, FOpts);
+      for (const StepRecord &S : FR.Trace)
+        if (!M.step(F, S.D).has_value()) {
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      if (F.hash() != F.hashFromScratch())
+        Mismatches.fetch_add(1, std::memory_order_relaxed);
     });
   for (std::thread &T : Pool)
     T.join();

@@ -279,6 +279,12 @@ TEST(Serialization, ExploredCheckResultRoundTripsByteExact) {
   EXPECT_EQ(Bytes, serializeCheckResult(*Back));
   EXPECT_EQ(Back->Id, Res.Id);
   EXPECT_EQ(Back->Seconds, Res.Seconds);
+  // Fork-copy accounting rides the wire: a real exploration forked at
+  // least once, and the counters survive the trip.
+  EXPECT_GT(Res.Exploration.ConfigsForked, 0u);
+  EXPECT_EQ(Back->Exploration.ConfigsForked, Res.Exploration.ConfigsForked);
+  EXPECT_EQ(Back->Exploration.RobBytesCopied, Res.Exploration.RobBytesCopied);
+  EXPECT_EQ(Back->Exploration.RobBytesFlat, Res.Exploration.RobBytesFlat);
   ASSERT_EQ(Back->Exploration.Leaks.size(), Res.Exploration.Leaks.size());
   for (size_t I = 0; I < Res.Exploration.Leaks.size(); ++I) {
     const LeakRecord &A = Res.Exploration.Leaks[I];
